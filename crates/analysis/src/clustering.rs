@@ -1,0 +1,235 @@
+//! Agglomerative hierarchical clustering over the workload space.
+//!
+//! §IV-A's similarity analysis eyeballs clusters in the PCA planes; this
+//! module makes the grouping algorithmic: bottom-up agglomeration with
+//! selectable linkage over the (projected) feature vectors, yielding both a
+//! merge dendrogram and flat cluster assignments at any cut.
+
+use std::fmt;
+
+/// How inter-cluster distance is computed from member distances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Linkage {
+    /// Minimum member distance (chains clusters).
+    Single,
+    /// Maximum member distance (compact clusters).
+    #[default]
+    Complete,
+    /// Mean member distance (UPGMA).
+    Average,
+}
+
+impl fmt::Display for Linkage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Linkage::Single => "single",
+            Linkage::Complete => "complete",
+            Linkage::Average => "average",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One merge step of the dendrogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Merge {
+    /// First merged cluster (node id: leaves are `0..n`, internal nodes
+    /// continue upward in merge order).
+    pub a: usize,
+    /// Second merged cluster.
+    pub b: usize,
+    /// Linkage distance at which the merge happened.
+    pub distance: f64,
+    /// The id of the new cluster (`n + merge index`).
+    pub id: usize,
+}
+
+/// A fitted hierarchical clustering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dendrogram {
+    n: usize,
+    merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Number of observations clustered.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the dendrogram is over zero observations.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The merge sequence, in non-decreasing distance order.
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Flat assignments when cutting into `k` clusters: returns, for every
+    /// observation, a label in `0..k` (labels ordered by first member).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= k <= n`.
+    pub fn cut(&self, k: usize) -> Vec<usize> {
+        assert!(k >= 1 && k <= self.n, "cut size must be in 1..=n");
+        // Apply merges until only k clusters remain.
+        let mut parent: Vec<usize> = (0..self.n + self.merges.len()).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        for m in self.merges.iter().take(self.n - k) {
+            let (ra, rb) = (find(&mut parent, m.a), find(&mut parent, m.b));
+            parent[ra] = m.id;
+            parent[rb] = m.id;
+        }
+        // Relabel roots densely in order of first appearance.
+        let mut labels = Vec::with_capacity(self.n);
+        let mut seen: Vec<usize> = Vec::new();
+        for i in 0..self.n {
+            let root = find(&mut parent, i);
+            let label = match seen.iter().position(|&r| r == root) {
+                Some(p) => p,
+                None => {
+                    seen.push(root);
+                    seen.len() - 1
+                }
+            };
+            labels.push(label);
+        }
+        labels
+    }
+}
+
+/// Fit a hierarchical clustering over observation rows with the given
+/// linkage, using Euclidean distance.
+///
+/// # Panics
+///
+/// Panics if `rows` is empty or ragged.
+pub fn cluster(rows: &[Vec<f64>], linkage: Linkage) -> Dendrogram {
+    let n = rows.len();
+    assert!(n >= 1, "need at least one observation");
+    let d = rows[0].len();
+    assert!(rows.iter().all(|r| r.len() == d), "ragged rows");
+
+    let dist = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    };
+
+    // Active clusters: (node id, member indices).
+    let mut active: Vec<(usize, Vec<usize>)> = (0..n).map(|i| (i, vec![i])).collect();
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+    let mut next_id = n;
+
+    while active.len() > 1 {
+        // Find the closest active pair under the linkage.
+        let mut best: Option<(f64, usize, usize)> = None;
+        for i in 0..active.len() {
+            for j in (i + 1)..active.len() {
+                let mut ds: Vec<f64> = Vec::new();
+                for &x in &active[i].1 {
+                    for &y in &active[j].1 {
+                        ds.push(dist(&rows[x], &rows[y]));
+                    }
+                }
+                let link = match linkage {
+                    Linkage::Single => ds.iter().cloned().fold(f64::INFINITY, f64::min),
+                    Linkage::Complete => ds.iter().cloned().fold(0.0, f64::max),
+                    Linkage::Average => ds.iter().sum::<f64>() / ds.len() as f64,
+                };
+                if best.is_none_or(|(b, _, _)| link < b) {
+                    best = Some((link, i, j));
+                }
+            }
+        }
+        let (distance, i, j) = best.expect("at least one pair");
+        let (id_b, members_b) = active.swap_remove(j.max(i));
+        let (id_a, members_a) = active.swap_remove(j.min(i));
+        merges.push(Merge {
+            a: id_a,
+            b: id_b,
+            distance,
+            id: next_id,
+        });
+        let mut members = members_a;
+        members.extend(members_b);
+        active.push((next_id, members));
+        next_id += 1;
+    }
+    Dendrogram { n, merges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            vec![10.0, 10.0],
+            vec![10.1, 10.0],
+        ]
+    }
+
+    #[test]
+    fn two_blobs_separate_at_k2() {
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let d = cluster(&two_blobs(), linkage);
+            let labels = d.cut(2);
+            assert_eq!(labels[0], labels[1]);
+            assert_eq!(labels[1], labels[2]);
+            assert_eq!(labels[3], labels[4]);
+            assert_ne!(labels[0], labels[3], "{linkage}");
+        }
+    }
+
+    #[test]
+    fn merge_distances_are_monotone_for_complete_linkage() {
+        let d = cluster(&two_blobs(), Linkage::Complete);
+        assert!(d
+            .merges()
+            .windows(2)
+            .all(|w| w[1].distance >= w[0].distance - 1e-12));
+    }
+
+    #[test]
+    fn cut_extremes() {
+        let rows = two_blobs();
+        let d = cluster(&rows, Linkage::Average);
+        let all_separate = d.cut(rows.len());
+        let mut sorted = all_separate.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), rows.len(), "k=n puts every point alone");
+        let all_together = d.cut(1);
+        assert!(all_together.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn single_observation_degenerates() {
+        let d = cluster(&[vec![1.0, 2.0]], Linkage::Single);
+        assert_eq!(d.len(), 1);
+        assert!(d.merges().is_empty());
+        assert_eq!(d.cut(1), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cut size")]
+    fn oversized_cut_rejected() {
+        let d = cluster(&two_blobs(), Linkage::Single);
+        let _ = d.cut(6);
+    }
+}

@@ -1,0 +1,275 @@
+//! Principal component analysis over workload characteristics.
+//!
+//! Section IV-A standardizes eight measured features per workload, extracts
+//! principal components, plots the suite in PC1-PC2 and PC3-PC4 (Fig. 1),
+//! reports the variance the top components cover (88 % for PC1–PC4), and
+//! names each component's *dominant metric* — the feature with the largest
+//! absolute loading. This module reproduces that pipeline exactly.
+
+use crate::linalg::{symmetric_eigen, Matrix};
+use crate::stats::{mean, std_dev};
+use std::fmt;
+
+/// A fitted PCA model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pca {
+    feature_means: Vec<f64>,
+    feature_stds: Vec<f64>,
+    /// Eigenvectors as columns, by descending eigenvalue.
+    components: Matrix,
+    eigenvalues: Vec<f64>,
+}
+
+impl Pca {
+    /// Fit PCA to observation rows (each row one workload, each column one
+    /// feature). Features are z-score standardized first; constant features
+    /// are left centered with unit divisor.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mlperf_analysis::pca::Pca;
+    ///
+    /// let rows = vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]];
+    /// let pca = Pca::fit(&rows);
+    /// // Perfectly correlated features: one component explains everything.
+    /// assert!(pca.explained_variance_ratio()[0] > 0.999);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are fewer than two rows or the rows are ragged/empty.
+    pub fn fit(rows: &[Vec<f64>]) -> Self {
+        assert!(rows.len() >= 2, "PCA needs at least two observations");
+        let d = rows[0].len();
+        assert!(
+            d > 0 && rows.iter().all(|r| r.len() == d),
+            "ragged or empty rows"
+        );
+
+        let n = rows.len();
+        let mut feature_means = Vec::with_capacity(d);
+        let mut feature_stds = Vec::with_capacity(d);
+        for j in 0..d {
+            let col: Vec<f64> = rows.iter().map(|r| r[j]).collect();
+            feature_means.push(mean(&col));
+            let s = std_dev(&col);
+            feature_stds.push(if s > 0.0 { s } else { 1.0 });
+        }
+
+        // Standardized data matrix.
+        let z: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| {
+                (0..d)
+                    .map(|j| (r[j] - feature_means[j]) / feature_stds[j])
+                    .collect()
+            })
+            .collect();
+
+        // Covariance of standardized data = correlation matrix.
+        let mut cov = Matrix::zeros(d, d);
+        for i in 0..d {
+            for j in i..d {
+                let c: f64 = z.iter().map(|r| r[i] * r[j]).sum::<f64>() / n as f64;
+                cov[(i, j)] = c;
+                cov[(j, i)] = c;
+            }
+        }
+
+        let eig = symmetric_eigen(&cov);
+        Pca {
+            feature_means,
+            feature_stds,
+            components: eig.vectors,
+            eigenvalues: eig.values.into_iter().map(|v| v.max(0.0)).collect(),
+        }
+    }
+
+    /// Number of features the model was fitted on.
+    pub fn n_features(&self) -> usize {
+        self.eigenvalues.len()
+    }
+
+    /// Eigenvalues (variance along each component), descending.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Fraction of total variance explained by each component.
+    pub fn explained_variance_ratio(&self) -> Vec<f64> {
+        let total: f64 = self.eigenvalues.iter().sum();
+        if total == 0.0 {
+            return vec![0.0; self.eigenvalues.len()];
+        }
+        self.eigenvalues.iter().map(|v| v / total).collect()
+    }
+
+    /// Cumulative variance covered by the first `k` components (the paper's
+    /// "PC1 to PC4 covering 88 % variance" figure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds the feature count.
+    pub fn cumulative_variance(&self, k: usize) -> f64 {
+        assert!(k <= self.n_features(), "k exceeds component count");
+        self.explained_variance_ratio().iter().take(k).sum()
+    }
+
+    /// The loading vector of component `pc` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range.
+    pub fn loadings(&self, pc: usize) -> Vec<f64> {
+        assert!(pc < self.n_features(), "component {pc} out of range");
+        self.components.col(pc)
+    }
+
+    /// Index of the dominant metric of component `pc`: the feature with the
+    /// greatest absolute weight in its eigenvector.
+    pub fn dominant_feature(&self, pc: usize) -> usize {
+        let loads = self.loadings(pc);
+        loads
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                a.1.abs()
+                    .partial_cmp(&b.1.abs())
+                    .expect("loadings are finite")
+            })
+            .map(|(i, _)| i)
+            .expect("at least one feature")
+    }
+
+    /// Project one observation onto the first `k` components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length mismatches or `k` exceeds the feature count.
+    pub fn project(&self, row: &[f64], k: usize) -> Vec<f64> {
+        assert_eq!(row.len(), self.n_features(), "feature-count mismatch");
+        assert!(k <= self.n_features(), "k exceeds component count");
+        let z: Vec<f64> = row
+            .iter()
+            .enumerate()
+            .map(|(j, &x)| (x - self.feature_means[j]) / self.feature_stds[j])
+            .collect();
+        (0..k)
+            .map(|pc| {
+                self.components
+                    .col(pc)
+                    .iter()
+                    .zip(&z)
+                    .map(|(w, x)| w * x)
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Pca {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ratios = self.explained_variance_ratio();
+        write!(f, "PCA over {} features; variance:", self.n_features())?;
+        for (i, r) in ratios.iter().enumerate().take(4) {
+            write!(f, " PC{}={:.0}%", i + 1, r * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Observations that vary strongly along feature 0 and weakly along 1.
+    fn anisotropic_rows() -> Vec<Vec<f64>> {
+        vec![
+            vec![10.0, 1.0, 0.5],
+            vec![20.0, 1.1, 0.4],
+            vec![30.0, 0.9, 0.6],
+            vec![40.0, 1.0, 0.5],
+            vec![50.0, 1.05, 0.45],
+        ]
+    }
+
+    #[test]
+    fn variance_ratios_sum_to_one() {
+        let pca = Pca::fit(&anisotropic_rows());
+        let sum: f64 = pca.explained_variance_ratio().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!((pca.cumulative_variance(pca.n_features()) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratios_are_descending() {
+        let pca = Pca::fit(&anisotropic_rows());
+        let r = pca.explained_variance_ratio();
+        assert!(r.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+    }
+
+    #[test]
+    fn projection_separates_two_clusters() {
+        // Two well-separated clusters must land apart on PC1.
+        let mut rows = Vec::new();
+        for i in 0..5 {
+            rows.push(vec![0.0 + i as f64 * 0.1, 5.0, 1.0]);
+            rows.push(vec![100.0 + i as f64 * 0.1, 5.1, 1.1]);
+        }
+        let pca = Pca::fit(&rows);
+        let a = pca.project(&rows[0], 1)[0];
+        let b = pca.project(&rows[1], 1)[0];
+        assert!((a - b).abs() > 1.0, "clusters should separate: {a} vs {b}");
+    }
+
+    #[test]
+    fn dominant_feature_of_pc1_is_the_spread_axis() {
+        // After standardization all features have unit variance, so make
+        // two features move together (they form PC1) and one independent.
+        let rows = vec![
+            vec![1.0, 10.0, 0.3],
+            vec![2.0, 20.0, 0.9],
+            vec![3.0, 30.0, 0.1],
+            vec![4.0, 40.0, 0.7],
+        ];
+        let pca = Pca::fit(&rows);
+        let dom = pca.dominant_feature(0);
+        assert!(
+            dom == 0 || dom == 1,
+            "correlated pair dominates PC1, got {dom}"
+        );
+    }
+
+    #[test]
+    fn constant_feature_does_not_nan() {
+        let rows = vec![vec![1.0, 7.0], vec![2.0, 7.0], vec![3.0, 7.0]];
+        let pca = Pca::fit(&rows);
+        let p = pca.project(&rows[0], 2);
+        assert!(p.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn mean_row_projects_to_origin() {
+        let rows = anisotropic_rows();
+        let pca = Pca::fit(&rows);
+        let d = rows[0].len();
+        let mean_row: Vec<f64> = (0..d)
+            .map(|j| rows.iter().map(|r| r[j]).sum::<f64>() / rows.len() as f64)
+            .collect();
+        let p = pca.project(&mean_row, d);
+        assert!(p.iter().all(|x| x.abs() < 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_observation_rejected() {
+        let _ = Pca::fit(&[vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn display_reports_percentages() {
+        let pca = Pca::fit(&anisotropic_rows());
+        assert!(pca.to_string().contains("PC1="));
+    }
+}

@@ -1,0 +1,294 @@
+//! Scalability metrics (Table IV).
+//!
+//! The paper reports, per benchmark, the training time on single P100 and
+//! V100 GPUs, the P-to-V generational speedup, and 1→2/4/8-GPU scaling
+//! factors on the DSS 8440. [`ScalingRow`] holds one benchmark's numbers
+//! and derives the speedups and parallel efficiencies.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One benchmark's row of Table IV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingRow {
+    name: String,
+    p100_minutes: f64,
+    /// Training time (minutes) at each V100 GPU count.
+    v100_minutes: BTreeMap<u64, f64>,
+}
+
+impl ScalingRow {
+    /// Build a row from the P100 anchor and `(gpus, minutes)` measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the 1-GPU V100 time is present and every time is
+    /// finite and positive.
+    pub fn new(
+        name: impl Into<String>,
+        p100_minutes: f64,
+        v100_minutes: impl IntoIterator<Item = (u64, f64)>,
+    ) -> Self {
+        assert!(
+            p100_minutes.is_finite() && p100_minutes > 0.0,
+            "P100 time must be positive"
+        );
+        let v100_minutes: BTreeMap<u64, f64> = v100_minutes.into_iter().collect();
+        assert!(v100_minutes.contains_key(&1), "need the single-V100 anchor");
+        for (&n, &t) in &v100_minutes {
+            assert!(n > 0, "GPU count must be positive");
+            assert!(t.is_finite() && t > 0.0, "time must be finite and positive");
+        }
+        ScalingRow {
+            name: name.into(),
+            p100_minutes,
+            v100_minutes,
+        }
+    }
+
+    /// The benchmark name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Training time on the P100 reference machine.
+    pub fn p100_minutes(&self) -> f64 {
+        self.p100_minutes
+    }
+
+    /// Training time at a V100 GPU count, if measured.
+    pub fn v100_minutes(&self, gpus: u64) -> Option<f64> {
+        self.v100_minutes.get(&gpus).copied()
+    }
+
+    /// The P100 → V100 single-GPU generational speedup.
+    pub fn p_to_v_speedup(&self) -> f64 {
+        self.p100_minutes / self.v100_minutes[&1]
+    }
+
+    /// Speedup of `gpus` V100s over one V100 (the 1-to-N columns).
+    pub fn speedup(&self, gpus: u64) -> Option<f64> {
+        Some(self.v100_minutes[&1] / self.v100_minutes(gpus)?)
+    }
+
+    /// Parallel efficiency at a GPU count: speedup / ideal.
+    pub fn efficiency(&self, gpus: u64) -> Option<f64> {
+        Some(self.speedup(gpus)? / gpus as f64)
+    }
+
+    /// GPU counts measured, ascending.
+    pub fn gpu_counts(&self) -> impl Iterator<Item = u64> + '_ {
+        self.v100_minutes.keys().copied()
+    }
+}
+
+impl fmt::Display for ScalingRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: P100 {:.1} min, V100 {:.1} min, P-to-V {:.2}x",
+            self.name,
+            self.p100_minutes,
+            self.v100_minutes[&1],
+            self.p_to_v_speedup()
+        )?;
+        for n in self.gpu_counts().filter(|&n| n > 1) {
+            if let Some(s) = self.speedup(n) {
+                write!(f, ", 1-to-{n} {s:.2}x")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Classify a row's scaling quality the way §IV-D narrates it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalingClass {
+    /// Near-linear to 8 GPUs (Res50, SSD).
+    Good,
+    /// Noticeably sub-linear but still improving (MRCNN, XFMR).
+    Medium,
+    /// Saturates early; more GPUs are not rewarding (NCF).
+    Poor,
+}
+
+impl fmt::Display for ScalingClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ScalingClass::Good => "good",
+            ScalingClass::Medium => "medium",
+            ScalingClass::Poor => "poor",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Fit Amdahl's law to a row's speedup curve: find the serial fraction
+/// `s` minimizing squared error of `speedup(n) = 1 / (s + (1 - s) / n)`
+/// over the measured GPU counts. Returns `s` in `[0, 1]` — the scalar
+/// summary of *why* a benchmark scales the way it does (0 = perfectly
+/// parallel, 1 = fully serial).
+///
+/// # Panics
+///
+/// Panics if the row has no multi-GPU measurements.
+pub fn amdahl_serial_fraction(row: &ScalingRow) -> f64 {
+    let points: Vec<(f64, f64)> = row
+        .gpu_counts()
+        .filter(|&n| n > 1)
+        .map(|n| (n as f64, row.speedup(n).expect("count came from the row")))
+        .collect();
+    assert!(
+        !points.is_empty(),
+        "need at least one multi-GPU measurement"
+    );
+    // 1-D convex-ish objective: golden-section search over s in [0, 1].
+    let sse = |s: f64| -> f64 {
+        points
+            .iter()
+            .map(|&(n, measured)| {
+                let predicted = 1.0 / (s + (1.0 - s) / n);
+                (predicted - measured).powi(2)
+            })
+            .sum()
+    };
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    const PHI: f64 = 0.618_033_988_749_894_8;
+    for _ in 0..80 {
+        let a = hi - PHI * (hi - lo);
+        let b = lo + PHI * (hi - lo);
+        if sse(a) < sse(b) {
+            hi = b;
+        } else {
+            lo = a;
+        }
+    }
+    (lo + hi) / 2.0
+}
+
+/// Classify by 8-GPU efficiency (falls back to the largest measured count).
+pub fn classify(row: &ScalingRow) -> ScalingClass {
+    let n = row.gpu_counts().max().expect("at least the 1-GPU anchor");
+    if n == 1 {
+        return ScalingClass::Poor;
+    }
+    let eff = row.efficiency(n).expect("max count exists");
+    if eff >= 0.72 {
+        ScalingClass::Good
+    } else if eff >= 0.40 {
+        ScalingClass::Medium
+    } else {
+        ScalingClass::Poor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Res50_TF row.
+    fn res50() -> ScalingRow {
+        ScalingRow::new(
+            "Res50_TF",
+            8831.3,
+            [
+                (1, 1016.9),
+                (2, 1016.9 / 1.92),
+                (4, 1016.9 / 3.84),
+                (8, 1016.9 / 7.04),
+            ],
+        )
+    }
+
+    /// The paper's NCF_Py row.
+    fn ncf() -> ScalingRow {
+        ScalingRow::new(
+            "NCF_Py",
+            46.7,
+            [(1, 2.2), (2, 2.2 / 1.88), (4, 2.2 / 2.16), (8, 2.2 / 2.32)],
+        )
+    }
+
+    #[test]
+    fn p_to_v_matches_table_iv() {
+        assert!((res50().p_to_v_speedup() - 8.68).abs() < 0.01);
+        assert!((ncf().p_to_v_speedup() - 21.23).abs() < 0.01);
+    }
+
+    #[test]
+    fn speedups_round_trip() {
+        let r = res50();
+        assert!((r.speedup(8).unwrap() - 7.04).abs() < 1e-9);
+        assert!((r.efficiency(8).unwrap() - 0.88).abs() < 0.001);
+        assert_eq!(r.speedup(16), None);
+    }
+
+    #[test]
+    fn classification_matches_paper_narrative() {
+        assert_eq!(classify(&res50()), ScalingClass::Good);
+        assert_eq!(classify(&ncf()), ScalingClass::Poor);
+        let mrcnn = ScalingRow::new(
+            "MRCNN_Py",
+            4999.5,
+            [
+                (1, 1840.4),
+                (2, 1840.4 / 1.76),
+                (4, 1840.4 / 2.64),
+                (8, 1840.4 / 5.60),
+            ],
+        );
+        assert_eq!(classify(&mrcnn), ScalingClass::Medium);
+    }
+
+    #[test]
+    fn amdahl_fit_recovers_known_serial_fractions() {
+        // Generate speedups from a known s and recover it.
+        for s_true in [0.0, 0.05, 0.2, 0.5] {
+            let speedup = |n: f64| 1.0 / (s_true + (1.0 - s_true) / n);
+            let row = ScalingRow::new(
+                "synthetic",
+                100.0,
+                [
+                    (1, 10.0),
+                    (2, 10.0 / speedup(2.0)),
+                    (4, 10.0 / speedup(4.0)),
+                    (8, 10.0 / speedup(8.0)),
+                ],
+            );
+            let s_fit = amdahl_serial_fraction(&row);
+            assert!(
+                (s_fit - s_true).abs() < 1e-6,
+                "s_true {s_true}, fit {s_fit}"
+            );
+        }
+    }
+
+    #[test]
+    fn amdahl_orders_the_paper_rows() {
+        // Res50_TF scales nearly linearly (tiny serial fraction); NCF
+        // saturates (large one).
+        let s_res50 = amdahl_serial_fraction(&res50());
+        let s_ncf = amdahl_serial_fraction(&ncf());
+        assert!(s_res50 < 0.05, "Res50 serial fraction {s_res50}");
+        assert!(s_ncf > 0.25, "NCF serial fraction {s_ncf}");
+    }
+
+    #[test]
+    fn single_count_rows_classify_poor() {
+        let r = ScalingRow::new("solo", 10.0, [(1, 5.0)]);
+        assert_eq!(classify(&r), ScalingClass::Poor);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-V100 anchor")]
+    fn missing_anchor_rejected() {
+        let _ = ScalingRow::new("x", 10.0, [(2, 5.0)]);
+    }
+
+    #[test]
+    fn display_contains_speedups() {
+        let s = res50().to_string();
+        assert!(s.contains("P-to-V 8.68x"));
+        assert!(s.contains("1-to-8 7.04x"));
+    }
+}

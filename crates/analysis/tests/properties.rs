@@ -1,0 +1,181 @@
+//! Property-based tests for the analysis stack.
+
+use mlperf_analysis::linalg::{symmetric_eigen, Matrix};
+use mlperf_analysis::pca::Pca;
+use mlperf_analysis::scheduling::{lpt_schedule, naive_schedule, optimal_schedule, JobTimes};
+use mlperf_analysis::stats;
+use proptest::prelude::*;
+
+/// Random symmetric matrices of size 2..=6.
+fn arb_symmetric() -> impl Strategy<Value = Matrix> {
+    (2usize..=6).prop_flat_map(|n| {
+        proptest::collection::vec(-10.0f64..10.0, n * (n + 1) / 2).prop_map(move |vals| {
+            let mut m = Matrix::zeros(n, n);
+            let mut it = vals.into_iter();
+            for i in 0..n {
+                for j in i..n {
+                    let v = it.next().expect("enough values");
+                    m[(i, j)] = v;
+                    m[(j, i)] = v;
+                }
+            }
+            m
+        })
+    })
+}
+
+/// Random well-formed job sets: 2..6 jobs, each with times at widths
+/// 1/2/4, weakly improving with width.
+fn arb_jobs() -> impl Strategy<Value = Vec<JobTimes>> {
+    proptest::collection::vec(
+        (10.0f64..500.0, 0.5f64..1.0, 0.5f64..1.0)
+            .prop_map(|(t1, f2, f4)| (t1, t1 * f2, t1 * f2 * f4)),
+        2..6,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (t1, t2, t4))| JobTimes::new(format!("job{i}"), [(1, t1), (2, t2), (4, t4)]))
+            .collect()
+    })
+}
+
+proptest! {
+    /// Jacobi: eigenvalues sum to the trace and V·Λ·Vᵀ reconstructs A.
+    #[test]
+    fn jacobi_reconstructs(m in arb_symmetric()) {
+        let n = m.rows();
+        let e = symmetric_eigen(&m);
+        let trace: f64 = (0..n).map(|i| m[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((sum - trace).abs() < 1e-8, "trace {trace} vs sum {sum}");
+
+        let mut d = Matrix::zeros(n, n);
+        for i in 0..n {
+            d[(i, i)] = e.values[i];
+        }
+        let recon = e.vectors.matmul(&d).matmul(&e.vectors.transpose());
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!((recon[(i, j)] - m[(i, j)]).abs() < 1e-7);
+            }
+        }
+    }
+
+    /// Jacobi eigenvectors are orthonormal.
+    #[test]
+    fn jacobi_orthonormal(m in arb_symmetric()) {
+        let n = m.rows();
+        let e = symmetric_eigen(&m);
+        let gram = e.vectors.transpose().matmul(&e.vectors);
+        for i in 0..n {
+            for j in 0..n {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((gram[(i, j)] - expect).abs() < 1e-8);
+            }
+        }
+    }
+
+    /// PCA variance ratios are a descending probability distribution, and
+    /// projecting the fitted rows reproduces the component variances.
+    #[test]
+    fn pca_variance_laws(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-100.0f64..100.0, 4), 3..10)
+    ) {
+        let pca = Pca::fit(&rows);
+        let r = pca.explained_variance_ratio();
+        let sum: f64 = r.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9 || sum == 0.0);
+        prop_assert!(r.windows(2).all(|w| w[0] >= w[1] - 1e-9));
+
+        // Projected coordinates along PC1 have variance == eigenvalue 1.
+        let coords: Vec<f64> = rows.iter().map(|row| pca.project(row, 1)[0]).collect();
+        let var = stats::variance(&coords);
+        prop_assert!((var - pca.eigenvalues()[0]).abs() < 1e-6 * (1.0 + var));
+    }
+
+    /// Scheduling: optimal ≤ LPT ≤-ish naive; all schedules place every
+    /// job exactly once with no per-GPU overlap; and the optimum respects
+    /// the area lower bound.
+    #[test]
+    fn scheduling_invariants(jobs in arb_jobs(), g in 1u64..=4) {
+        let naive = naive_schedule(&jobs, g);
+        let lpt = lpt_schedule(&jobs, g);
+        let best = optimal_schedule(&jobs, g);
+
+        prop_assert!(best.makespan <= lpt.makespan + 1e-9);
+        prop_assert!(best.makespan <= naive.makespan + 1e-9);
+
+        for sched in [&naive, &lpt, &best] {
+            // Every job exactly once.
+            let mut seen = vec![false; jobs.len()];
+            for p in &sched.placements {
+                prop_assert!(!seen[p.job], "job {} placed twice", p.job);
+                seen[p.job] = true;
+                prop_assert!(!p.gpus.is_empty());
+                prop_assert!(p.gpus.len() <= g as usize);
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+            // No overlap on any GPU.
+            for row in sched.gantt() {
+                for w in row.windows(2) {
+                    prop_assert!(w[0].2 <= w[1].1 + 1e-9, "overlap {w:?}");
+                }
+            }
+            // Makespan equals the max completion.
+            let max_end = sched
+                .placements
+                .iter()
+                .map(|p| p.end())
+                .fold(0.0f64, f64::max);
+            prop_assert!((sched.makespan - max_end).abs() < 1e-9);
+        }
+
+        // Area bound: makespan >= total best-case GPU-minutes / G.
+        let area: f64 = jobs
+            .iter()
+            .map(|j| {
+                j.widths()
+                    .filter(|&w| w <= g)
+                    .map(|w| w as f64 * j.time_at(w).expect("width present"))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum();
+        prop_assert!(best.makespan >= area / g as f64 - 1e-9);
+
+        // And >= the longest single job at its best feasible width.
+        let longest: f64 = jobs
+            .iter()
+            .map(|j| {
+                j.widths()
+                    .filter(|&w| w <= g)
+                    .map(|w| j.time_at(w).expect("width present"))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .fold(0.0f64, f64::max);
+        prop_assert!(best.makespan >= longest - 1e-9);
+    }
+
+    /// Pearson correlation is bounded and symmetric.
+    #[test]
+    fn pearson_bounded(
+        pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..40)
+    ) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let r = stats::pearson(&xs, &ys);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        prop_assert!((r - stats::pearson(&ys, &xs)).abs() < 1e-12);
+    }
+
+    /// Geometric mean lies between min and max.
+    #[test]
+    fn geomean_between_extremes(xs in proptest::collection::vec(0.001f64..1e6, 1..30)) {
+        let g = stats::geometric_mean(&xs);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(g >= lo - 1e-9 && g <= hi + 1e-9);
+    }
+}

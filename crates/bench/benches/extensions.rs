@@ -1,0 +1,46 @@
+//! Regenerate (and time) the beyond-the-paper extensions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlperf_suite::experiments as exp;
+use mlperf_suite::{validation, BenchmarkId};
+use std::hint::black_box;
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+
+    g.bench_function("cluster_study", |b| {
+        b.iter(|| {
+            let s = exp::cluster_study::run().expect("study runs");
+            black_box(exp::cluster_study::render(&s))
+        })
+    });
+    g.bench_function("energy_cost", |b| {
+        b.iter(|| {
+            let e = exp::energy_cost::run().expect("study runs");
+            black_box(exp::energy_cost::render(&e))
+        })
+    });
+    g.bench_function("storage_study", |b| {
+        b.iter(|| {
+            let rows = exp::storage_study::run().expect("study runs");
+            black_box(exp::storage_study::render(&rows))
+        })
+    });
+    g.bench_function("batch_sweep", |b| {
+        b.iter(|| {
+            let s = exp::batch_sweep::run(BenchmarkId::MlpfRes50Mx).expect("sweep runs");
+            black_box(exp::batch_sweep::render(&s))
+        })
+    });
+    g.bench_function("validation", |b| {
+        b.iter(|| {
+            let v = validation::run().expect("validation runs");
+            black_box(validation::render(&v))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

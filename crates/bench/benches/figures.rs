@@ -1,0 +1,45 @@
+//! Regenerate (and time) Figures 1-5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlperf_suite::experiments as exp;
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("figure1_pca", |b| {
+        b.iter(|| {
+            let f = exp::figure1::run().expect("figure runs");
+            black_box(exp::figure1::render(&f))
+        })
+    });
+    g.bench_function("figure2_roofline", |b| {
+        b.iter(|| {
+            let f = exp::figure2::run().expect("figure runs");
+            black_box(exp::figure2::render(&f))
+        })
+    });
+    g.bench_function("figure3_amp", |b| {
+        b.iter(|| {
+            let f = exp::figure3::run().expect("figure runs");
+            black_box(exp::figure3::render(&f))
+        })
+    });
+    g.bench_function("figure4_scheduling", |b| {
+        b.iter(|| {
+            let f = exp::figure4::run().expect("figure runs");
+            black_box(exp::figure4::render(&f))
+        })
+    });
+    g.bench_function("figure5_topology", |b| {
+        b.iter(|| {
+            let f = exp::figure5::run().expect("figure runs");
+            black_box(exp::figure5::render(&f))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Micro-benchmarks of the reproduction's machinery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlperf_analysis::linalg::{symmetric_eigen, Matrix};
+use mlperf_analysis::pca::Pca;
+use mlperf_hw::systems::SystemId;
+use mlperf_models::zoo::{detection, resnet, translation};
+use mlperf_sim::Simulator;
+use mlperf_suite::BenchmarkId;
+use std::hint::black_box;
+
+fn bench_model_builders(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model_builders");
+    g.bench_function("resnet50", |b| b.iter(|| black_box(resnet::resnet50())));
+    g.bench_function("mask_rcnn", |b| {
+        b.iter(|| black_box(detection::mask_rcnn()))
+    });
+    g.bench_function("transformer_big", |b| {
+        b.iter(|| black_box(translation::transformer_big()))
+    });
+    g.finish();
+}
+
+fn bench_engine_step(c: &mut Criterion) {
+    let system = SystemId::Dss8440.spec();
+    let sim = Simulator::new(&system);
+    let job = BenchmarkId::MlpfRes50Mx.job();
+    let mut g = c.benchmark_group("engine");
+    g.bench_function("steady_state_8gpu", |b| {
+        b.iter(|| black_box(sim.run_on_first(&job, 8).expect("run succeeds")))
+    });
+    g.bench_function("iteration_cost", |b| {
+        b.iter(|| {
+            black_box(job.model().iteration_cost(
+                job.per_gpu_batch(),
+                job.precision(),
+                job.optimizer(),
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    // A deterministic pseudo-random 13x8 feature matrix.
+    let rows: Vec<Vec<f64>> = (0..13)
+        .map(|i| {
+            (0..8)
+                .map(|j| {
+                    let x = ((i * 8 + j) as f64 * 2654435.761) % 1000.0;
+                    x / 10.0 + (i as f64) * (j as f64 % 3.0)
+                })
+                .collect()
+        })
+        .collect();
+    let mut g = c.benchmark_group("analysis");
+    g.bench_function("pca_fit_13x8", |b| b.iter(|| black_box(Pca::fit(&rows))));
+    g.bench_function("jacobi_eigen_8x8", |b| {
+        let mut m = Matrix::zeros(8, 8);
+        for i in 0..8 {
+            for j in 0..8 {
+                let v = 1.0 / (1.0 + (i as f64 - j as f64).abs());
+                m[(i, j)] = v;
+            }
+        }
+        b.iter(|| black_box(symmetric_eigen(&m)))
+    });
+    g.finish();
+}
+
+fn bench_topology(c: &mut Criterion) {
+    let spec = SystemId::Dss8440.spec();
+    let mut g = c.benchmark_group("topology");
+    g.bench_function("worst_peer_path_8gpu", |b| {
+        let gpus: Vec<u32> = (0..8).collect();
+        b.iter(|| black_box(spec.topology().worst_peer_path(&gpus).expect("connected")))
+    });
+    g.bench_function("build_dss8440", |b| {
+        b.iter(|| black_box(SystemId::Dss8440.spec()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_model_builders,
+    bench_engine_step,
+    bench_analysis,
+    bench_topology
+);
+criterion_main!(benches);

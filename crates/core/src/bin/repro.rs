@@ -1,0 +1,155 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro              # everything
+//! repro --table 4    # one table
+//! repro --figure 5   # one figure
+//! repro --list       # what's available
+//! ```
+
+use mlperf_suite::experiments as exp;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: repro [--table N | --figure N | --extra NAME | --csv DIR | --report FILE | --list]\n\
+     tables: 1 (insights) 2 (suites) 3 (systems) 4 (scaling) 5 (resources)\n\
+     figures: 1 (PCA) 2 (roofline) 3 (mixed precision) 4 (scheduling) 5 (topology)\n\
+     extras: cluster (online scheduling study beyond the paper)\n\
+             validate (per-cell error metrics vs the published numbers)\n\
+             batch    (batch-size sweep of ResNet-50 to the OOM wall)\n\
+             energy   (kWh and USD to train, DAWNBench's second metric)\n\
+             storage  (disk-staging feasibility per benchmark and device)\n\
+             sensitivity (derived-output elasticity to calibration knobs)"
+}
+
+fn run_extra(name: &str) -> Result<String, String> {
+    match name {
+        "cluster" => exp::cluster_study::run()
+            .map(|s| exp::cluster_study::render(&s))
+            .map_err(|e| e.to_string()),
+        "sensitivity" => mlperf_suite::sensitivity::run()
+            .map(|s| mlperf_suite::sensitivity::render(&s))
+            .map_err(|e| e.to_string()),
+        "storage" => exp::storage_study::run()
+            .map(|rows| exp::storage_study::render(&rows))
+            .map_err(|e| e.to_string()),
+        "energy" => exp::energy_cost::run()
+            .map(|e| exp::energy_cost::render(&e))
+            .map_err(|e| e.to_string()),
+        "batch" => exp::batch_sweep::run(mlperf_suite::BenchmarkId::MlpfRes50Mx)
+            .map(|s| exp::batch_sweep::render(&s))
+            .map_err(|e| e.to_string()),
+        "validate" => mlperf_suite::validation::run()
+            .map(|v| mlperf_suite::validation::render(&v))
+            .map_err(|e| e.to_string()),
+        _ => Err(format!("no extra '{name}'; {}", usage())),
+    }
+}
+
+fn run_table(n: u32) -> Result<String, String> {
+    match n {
+        1 => exp::table1::run()
+            .map(|t| exp::table1::render(&t))
+            .map_err(|e| e.to_string()),
+        2 => Ok(exp::table2::render()),
+        3 => Ok(exp::table3::render()),
+        4 => exp::table4::run()
+            .map(|t| exp::table4::render(&t))
+            .map_err(|e| e.to_string()),
+        5 => exp::table5::run()
+            .map(|t| exp::table5::render(&t))
+            .map_err(|e| e.to_string()),
+        _ => Err(format!("no table {n}; {}", usage())),
+    }
+}
+
+fn run_figure(n: u32) -> Result<String, String> {
+    match n {
+        1 => exp::figure1::run()
+            .map(|f| exp::figure1::render(&f))
+            .map_err(|e| e.to_string()),
+        2 => exp::figure2::run()
+            .map(|f| exp::figure2::render(&f))
+            .map_err(|e| e.to_string()),
+        3 => exp::figure3::run()
+            .map(|f| exp::figure3::render(&f))
+            .map_err(|e| e.to_string()),
+        4 => exp::figure4::run()
+            .map(|f| exp::figure4::render(&f))
+            .map_err(|e| e.to_string()),
+        5 => exp::figure5::run()
+            .map(|f| exp::figure5::render(&f))
+            .map_err(|e| e.to_string()),
+        _ => Err(format!("no figure {n}; {}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result: Result<(), String> = match args.as_slice() {
+        [] => {
+            let mut out = String::new();
+            for n in 1..=5u32 {
+                match run_table(n) {
+                    Ok(s) => out.push_str(&format!("{s}\n")),
+                    Err(e) => {
+                        eprintln!("table {n} failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            for n in 1..=5u32 {
+                match run_figure(n) {
+                    Ok(s) => out.push_str(&format!("{s}\n")),
+                    Err(e) => {
+                        eprintln!("figure {n} failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            print!("{out}");
+            Ok(())
+        }
+        [flag] if flag == "--list" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        [flag, n] if flag == "--table" => n
+            .parse::<u32>()
+            .map_err(|e| e.to_string())
+            .and_then(run_table)
+            .map(|s| print!("{s}")),
+        [flag, name] if flag == "--extra" => run_extra(name).map(|s| print!("{s}")),
+        [flag, file] if flag == "--report" => match mlperf_suite::report_gen::build() {
+            Ok(md) => std::fs::write(file, md)
+                .map(|()| println!("wrote {file}"))
+                .map_err(|e| e.to_string()),
+            Err(e) => Err(e.to_string()),
+        },
+        [flag, dir] if flag == "--csv" => {
+            match mlperf_suite::csv_export::write_all(std::path::Path::new(dir)) {
+                Ok(Ok(written)) => {
+                    for path in written {
+                        println!("wrote {path}");
+                    }
+                    Ok(())
+                }
+                Ok(Err(io)) => Err(io),
+                Err(sim) => Err(sim.to_string()),
+            }
+        }
+        [flag, n] if flag == "--figure" => n
+            .parse::<u32>()
+            .map_err(|e| e.to_string())
+            .and_then(run_figure)
+            .map(|s| print!("{s}")),
+        _ => Err(usage().to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

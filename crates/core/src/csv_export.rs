@@ -1,0 +1,198 @@
+//! Machine-readable CSV exports of every regenerated artifact.
+//!
+//! The paper's workflow exports measurements "to comma-separated values for
+//! further analysis" (§III-C); `repro --csv DIR` writes the reproduction's
+//! data the same way: one file per table/figure, plus the raw PCA feature
+//! matrix.
+
+use crate::experiments::{figure1, figure3, figure5, table4, table5};
+use crate::report::Table;
+use mlperf_sim::SimError;
+use mlperf_telemetry::csv::characteristics_to_csv;
+use std::collections::BTreeMap;
+
+/// Build every export as `(file name, CSV contents)` pairs.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the underlying experiments.
+pub fn build_all() -> Result<BTreeMap<&'static str, String>, SimError> {
+    let mut out = BTreeMap::new();
+
+    // Table IV rows.
+    let t4 = table4::run()?;
+    let mut csv = Table::new(
+        "",
+        [
+            "benchmark",
+            "p100_min",
+            "v100_1_min",
+            "speedup_2",
+            "speedup_4",
+            "speedup_8",
+        ],
+    );
+    for row in &t4.rows {
+        csv.add_row([
+            row.name().to_string(),
+            format!("{:.2}", row.p100_minutes()),
+            format!("{:.2}", row.v100_minutes(1).expect("anchor measured")),
+            format!("{:.4}", row.speedup(2).expect("measured")),
+            format!("{:.4}", row.speedup(4).expect("measured")),
+            format!("{:.4}", row.speedup(8).expect("measured")),
+        ]);
+    }
+    out.insert("table4_scaling.csv", csv.to_csv());
+
+    // Table V rows.
+    let t5 = table5::run()?;
+    let mut csv = Table::new(
+        "",
+        [
+            "workload",
+            "gpus",
+            "cpu_pct",
+            "gpu_pct",
+            "dram_mb",
+            "hbm_mb",
+            "pcie_mbps",
+            "nvlink_mbps",
+        ],
+    );
+    for r in &t5.runs {
+        csv.add_row([
+            r.name.clone(),
+            r.n_gpus.to_string(),
+            format!("{:.3}", r.usage.cpu_util_pct),
+            format!("{:.3}", r.usage.gpu_util_pct),
+            format!("{:.1}", r.usage.dram_mb),
+            format!("{:.1}", r.usage.hbm_mb),
+            format!("{:.1}", r.usage.pcie_mbps),
+            format!("{:.1}", r.usage.nvlink_mbps),
+        ]);
+    }
+    out.insert("table5_resources.csv", csv.to_csv());
+
+    // Figure 1: both the raw feature matrix and the projections.
+    let runs = figure1::collect_runs()?;
+    let chars: Vec<_> = runs.iter().map(|r| r.characteristics()).collect();
+    out.insert("figure1_features.csv", characteristics_to_csv(&chars));
+    let f1 = figure1::run()?;
+    let mut csv = Table::new("", ["workload", "suite", "pc1", "pc2", "pc3", "pc4"]);
+    for (name, suite, p) in &f1.projections {
+        csv.add_row([
+            name.clone(),
+            suite.clone(),
+            format!("{:.4}", p[0]),
+            format!("{:.4}", p[1]),
+            format!("{:.4}", p[2]),
+            format!("{:.4}", p[3]),
+        ]);
+    }
+    out.insert("figure1_projections.csv", csv.to_csv());
+
+    // Figure 3 speedups.
+    let f3 = figure3::run()?;
+    let mut csv = Table::new(
+        "",
+        ["benchmark", "amp_samples_s", "fp32_samples_s", "speedup"],
+    );
+    for s in &f3.speedups {
+        csv.add_row([
+            s.id.abbreviation().to_string(),
+            format!("{:.1}", s.amp_throughput),
+            format!("{:.1}", s.fp32_throughput),
+            format!("{:.4}", s.speedup()),
+        ]);
+    }
+    out.insert("figure3_amp.csv", csv.to_csv());
+
+    // Figure 5 matrix.
+    let f5 = figure5::run()?;
+    let mut headers = vec!["benchmark".to_string()];
+    headers.extend(
+        mlperf_hw::SystemId::FOUR_GPU_PLATFORMS
+            .iter()
+            .map(|s| s.name().replace(' ', "_")),
+    );
+    let mut csv = Table::new("", headers);
+    for row in &f5.rows {
+        let mut cells = vec![row.id.abbreviation().to_string()];
+        for sys in mlperf_hw::SystemId::FOUR_GPU_PLATFORMS {
+            cells.push(format!("{:.2}", row.on(sys)));
+        }
+        csv.add_row(cells);
+    }
+    out.insert("figure5_topology.csv", csv.to_csv());
+
+    Ok(out)
+}
+
+/// Write every export into a directory (created if absent).
+///
+/// # Errors
+///
+/// Returns simulation errors as [`SimError`]; I/O failures are returned as
+/// strings in the error position of the outer result.
+pub fn write_all(dir: &std::path::Path) -> Result<Result<Vec<String>, String>, SimError> {
+    let exports = build_all()?;
+    let mut written = Vec::new();
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        return Ok(Err(format!("creating {}: {e}", dir.display())));
+    }
+    for (name, contents) in exports {
+        let path = dir.join(name);
+        if let Err(e) = std::fs::write(&path, contents) {
+            return Ok(Err(format!("writing {}: {e}", path.display())));
+        }
+        written.push(path.display().to_string());
+    }
+    Ok(Ok(written))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exports_cover_the_artifacts() {
+        let all = build_all().unwrap();
+        for name in [
+            "table4_scaling.csv",
+            "table5_resources.csv",
+            "figure1_features.csv",
+            "figure1_projections.csv",
+            "figure3_amp.csv",
+            "figure5_topology.csv",
+        ] {
+            let csv = all.get(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert!(csv.lines().count() > 1, "{name} has no data rows");
+        }
+    }
+
+    #[test]
+    fn csv_rows_parse_back_numerically() {
+        let all = build_all().unwrap();
+        let t4 = &all["table4_scaling.csv"];
+        for line in t4.lines().skip(1) {
+            let cols: Vec<&str> = line.split(',').collect();
+            assert_eq!(cols.len(), 6);
+            for c in &cols[1..] {
+                let v: f64 = c.parse().expect("numeric cell");
+                assert!(v > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn write_all_creates_files() {
+        let dir = std::env::temp_dir().join("mlperf_csv_export_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let written = write_all(&dir).unwrap().unwrap();
+        assert_eq!(written.len(), 6);
+        for path in &written {
+            assert!(std::path::Path::new(path).exists());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

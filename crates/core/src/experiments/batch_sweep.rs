@@ -1,0 +1,130 @@
+//! Extension: batch-size sensitivity sweep.
+//!
+//! §IV-D attributes NCF's scaling ceiling to "the small dataset \[that\]
+//! limits the maximum batch size which as a result restricts the
+//! scalability". This ablation makes the batch-size axis explicit: sweep a
+//! benchmark's per-GPU batch over powers of two and report step time,
+//! throughput, device-memory footprint, and the epochs the convergence
+//! model charges — up to the OOM wall.
+
+use crate::benchmark::BenchmarkId;
+use crate::report::Table;
+use mlperf_hw::systems::SystemId;
+use mlperf_sim::{SimError, Simulator};
+
+/// One batch point of the sweep.
+#[derive(Debug, Clone)]
+pub struct BatchPoint {
+    /// Per-GPU batch size.
+    pub batch: u64,
+    /// Steady-state step milliseconds.
+    pub step_ms: f64,
+    /// Samples per second.
+    pub throughput: f64,
+    /// Device memory per GPU, GiB.
+    pub hbm_gib: f64,
+    /// Epochs-to-target at this global batch.
+    pub epochs: f64,
+}
+
+/// The sweep result.
+#[derive(Debug, Clone)]
+pub struct BatchSweep {
+    /// Benchmark swept.
+    pub id: BenchmarkId,
+    /// Feasible points, ascending batch.
+    pub points: Vec<BatchPoint>,
+    /// The first power-of-two batch that no longer fits, if reached.
+    pub oom_at: Option<u64>,
+}
+
+/// Sweep `id` on a single GPU of the C4140 (K) from batch 16 upward.
+///
+/// # Errors
+///
+/// Propagates non-OOM [`SimError`]s from the engine.
+pub fn run(id: BenchmarkId) -> Result<BatchSweep, SimError> {
+    let system = SystemId::C4140K.spec();
+    let sim = Simulator::new(&system);
+    let base = id.job();
+    let mut points = Vec::new();
+    let mut oom_at = None;
+    let mut batch = 16u64;
+    while batch <= 1 << 14 {
+        let job = base.with_per_gpu_batch(batch);
+        match sim.run_on_first(&job, 1) {
+            Ok(step) => {
+                let epochs = job.convergence().epochs_at(batch);
+                points.push(BatchPoint {
+                    batch,
+                    step_ms: step.step_time.as_secs() * 1e3,
+                    throughput: step.throughput_samples_per_sec(),
+                    hbm_gib: step.hbm_per_gpu.as_gib(),
+                    epochs,
+                });
+            }
+            Err(SimError::OutOfMemory { .. }) => {
+                oom_at = Some(batch);
+                break;
+            }
+            Err(e) => return Err(e),
+        }
+        batch *= 2;
+    }
+    Ok(BatchSweep { id, points, oom_at })
+}
+
+/// Render the sweep as a table.
+pub fn render(s: &BatchSweep) -> String {
+    let mut t = Table::new(
+        format!("Batch-size sweep: {} on one V100-SXM2 (C4140 K)", s.id),
+        ["Batch", "Step (ms)", "Samples/s", "HBM (GiB)", "Epochs"],
+    );
+    for p in &s.points {
+        t.add_row([
+            p.batch.to_string(),
+            format!("{:.1}", p.step_ms),
+            format!("{:.0}", p.throughput),
+            format!("{:.2}", p.hbm_gib),
+            format!("{:.1}", p.epochs),
+        ]);
+    }
+    let tail = match s.oom_at {
+        Some(b) => format!("batch {b} exceeds the 16 GB HBM2 (OOM)\n"),
+        None => "sweep ended within memory\n".to_string(),
+    };
+    format!("{t}{tail}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet_sweep_hits_the_memory_wall() {
+        let s = run(BenchmarkId::MlpfRes50Mx).unwrap();
+        assert!(s.points.len() >= 3);
+        assert!(s.oom_at.is_some(), "ResNet-50 must eventually OOM on 16 GB");
+        // Footprint grows monotonically with batch.
+        assert!(s.points.windows(2).all(|w| w[1].hbm_gib > w[0].hbm_gib));
+        // Throughput improves (weakly) with batch: fixed overhead amortizes.
+        assert!(s
+            .points
+            .windows(2)
+            .all(|w| w[1].throughput >= w[0].throughput * 0.98));
+    }
+
+    #[test]
+    fn epochs_charge_grows_past_reference_batch() {
+        let s = run(BenchmarkId::MlpfRes50Mx).unwrap();
+        let last = s.points.last().expect("non-empty");
+        let first = s.points.first().expect("non-empty");
+        assert!(last.epochs >= first.epochs);
+    }
+
+    #[test]
+    fn render_reports_the_wall() {
+        let s = run(BenchmarkId::MlpfRes50Mx).unwrap();
+        assert!(render(&s).contains("OOM"));
+    }
+}

@@ -1,0 +1,15 @@
+//! Reproduction of "Demystifying the MLPerf Training Benchmark Suite"
+//! (ISPASS 2020) on a simulated multi-GPU substrate.
+
+pub mod benchmark;
+pub mod csv_export;
+pub mod experiments;
+pub mod report;
+pub mod report_gen;
+pub mod sensitivity;
+pub mod validation;
+pub mod workloads;
+
+pub use benchmark::{BenchmarkId, Suite};
+pub use report::Table;
+pub use workloads::{deepbench_run, trainable_run, DeepBenchId, WorkloadRun};

@@ -1,0 +1,187 @@
+//! Plain-text table rendering for experiment reports.
+//!
+//! Every experiment renders its result the way the paper prints it — as a
+//! table of labelled rows — so `repro`'s output can be eyeballed against
+//! the publication directly.
+
+use std::fmt;
+
+/// A simple aligned ASCII table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with a title and column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(
+        title: impl Into<String>,
+        headers: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        assert!(!headers.is_empty(), "table needs at least one column");
+        Table {
+            title: title.into(),
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn add_row(&mut self, cells: impl IntoIterator<Item = impl Into<String>>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render as a GitHub-flavored markdown table (title as a heading).
+    pub fn to_markdown(&self) -> String {
+        let esc = |s: &str| s.replace('|', "\\|").replace('\n', " ");
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str("| ");
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(" | "),
+        );
+        out.push_str(" |\n|");
+        out.push_str(&"---|".repeat(self.headers.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str("| ");
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(" | "));
+            out.push_str(" |\n");
+        }
+        out
+    }
+
+    /// Render as RFC-4180-style CSV (header row first; cells containing
+    /// commas, quotes, or newlines are quoted with doubled quotes).
+    pub fn to_csv(&self) -> String {
+        fn cell(s: &str) -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        let header: Vec<String> = self.headers.iter().map(|h| cell(h)).collect();
+        out.push_str(&header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|c| cell(c)).collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        let sep: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
+        writeln!(f, "+{sep}+")?;
+        let fmt_row = |row: &[String]| -> String {
+            let cells: Vec<String> = (0..cols)
+                .map(|i| format!(" {:<width$} ", row[i], width = widths[i]))
+                .collect();
+            format!("|{}|", cells.join("|"))
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        writeln!(f, "+{sep}+")?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        writeln!(f, "+{sep}+")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_grid() {
+        let mut t = Table::new("Demo", ["name", "value"]);
+        t.add_row(["short", "1"]);
+        t.add_row(["much longer name", "23456"]);
+        let s = t.to_string();
+        assert!(s.starts_with("Demo\n"));
+        assert!(s.contains("| name             | value |"));
+        assert!(s.contains("| much longer name | 23456 |"));
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new("t", ["a", "b"]);
+        t.add_row(["only one"]);
+    }
+
+    #[test]
+    fn empty_table_prints_header_only() {
+        let t = Table::new("Empty", ["col"]);
+        assert!(t.to_string().contains("| col |"));
+    }
+
+    #[test]
+    fn markdown_escapes_pipes() {
+        let mut t = Table::new("MD", ["name", "value"]);
+        t.add_row(["a|b", "1"]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("### MD\n"));
+        assert!(md.contains("| name | value |"));
+        assert!(md.contains("a\\|b"));
+        assert!(md.contains("|---|---|"));
+    }
+
+    #[test]
+    fn csv_quotes_awkward_cells() {
+        let mut t = Table::new("q", ["a", "b"]);
+        t.add_row(["plain", "with,comma"]);
+        t.add_row(["has \"quote\"", "multi\nline"]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.split('\n').collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "plain,\"with,comma\"");
+        assert!(lines[2].starts_with("\"has \"\"quote\"\"\","));
+    }
+}

@@ -1,0 +1,287 @@
+//! Quantitative validation against the paper's published numbers.
+//!
+//! Collects every numeric cell the paper prints that this reproduction
+//! also produces, computes per-cell relative errors and per-artifact
+//! aggregate metrics (MAPE, worst cell), and reports which cells were
+//! *calibrated* (fitted by construction) versus *derived* (free
+//! predictions of the simulator). `repro --validate` prints the report;
+//! EXPERIMENTS.md narrates it.
+
+use crate::benchmark::BenchmarkId;
+use crate::experiments::{figure5, table4, table5};
+use crate::report::Table;
+use mlperf_sim::SimError;
+use std::fmt;
+
+/// Whether a compared cell was fitted or predicted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellKind {
+    /// Fitted during calibration (matches by construction).
+    Calibrated,
+    /// A free prediction of the simulator.
+    Derived,
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellKind::Calibrated => f.write_str("calibrated"),
+            CellKind::Derived => f.write_str("derived"),
+        }
+    }
+}
+
+/// One compared cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Which artifact the cell belongs to.
+    pub artifact: &'static str,
+    /// Human-readable cell label (benchmark + column).
+    pub label: String,
+    /// The paper's value.
+    pub paper: f64,
+    /// The simulated value.
+    pub simulated: f64,
+    /// Fitted or predicted.
+    pub kind: CellKind,
+}
+
+impl Cell {
+    /// Relative error |sim − paper| / |paper|.
+    pub fn relative_error(&self) -> f64 {
+        (self.simulated - self.paper).abs() / self.paper.abs()
+    }
+}
+
+/// The validation corpus.
+#[derive(Debug, Clone)]
+pub struct Validation {
+    /// All compared cells.
+    pub cells: Vec<Cell>,
+}
+
+/// Paper Table V single-GPU anchor cells we calibrate CPU utilization
+/// against, under the row reconstruction of DESIGN.md.
+const PAPER_TABLE_V_CPU_1GPU: [(BenchmarkId, f64); 7] = [
+    (BenchmarkId::MlpfRes50Tf, 10.76),
+    (BenchmarkId::MlpfRes50Mx, 4.56),
+    (BenchmarkId::MlpfSsdPy, 3.89),
+    (BenchmarkId::MlpfMrcnnPy, 2.45),
+    (BenchmarkId::MlpfXfmrPy, 1.80),
+    (BenchmarkId::MlpfGnmtPy, 1.91),
+    (BenchmarkId::MlpfNcfPy, 0.76),
+];
+
+/// Paper Figure 5 NVLink-vs-worst improvements quoted in §V-E.
+const PAPER_FIG5_IMPROVEMENT: [(BenchmarkId, f64); 4] = [
+    (BenchmarkId::MlpfXfmrPy, 0.42),
+    (BenchmarkId::MlpfGnmtPy, 0.17),
+    (BenchmarkId::MlpfMrcnnPy, 0.30),
+    (BenchmarkId::MlpfRes50Tf, 0.11),
+];
+
+/// Run every comparable experiment and assemble the corpus.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+pub fn run() -> Result<Validation, SimError> {
+    let mut cells = Vec::new();
+
+    // --- Table IV ---------------------------------------------------------
+    let t4 = table4::run()?;
+    for ((id, p100, v100, s2, s4, s8), row) in table4::PAPER_TABLE_IV.iter().zip(&t4.rows) {
+        cells.push(Cell {
+            artifact: "Table IV",
+            label: format!("{id} 1xP100 min"),
+            paper: *p100,
+            simulated: row.p100_minutes(),
+            kind: CellKind::Calibrated,
+        });
+        cells.push(Cell {
+            artifact: "Table IV",
+            label: format!("{id} 1xV100 min"),
+            paper: *v100,
+            simulated: row.v100_minutes(1).expect("anchor measured"),
+            kind: CellKind::Calibrated,
+        });
+        for (n, paper) in [(2u64, s2), (4, s4), (8, s8)] {
+            cells.push(Cell {
+                artifact: "Table IV",
+                label: format!("{id} 1-to-{n} speedup"),
+                paper: *paper,
+                simulated: row.speedup(n).expect("measured"),
+                kind: CellKind::Derived,
+            });
+        }
+    }
+
+    // --- Table V (single-GPU CPU utilization anchors) ----------------------
+    let t5 = table5::run()?;
+    for (id, paper) in PAPER_TABLE_V_CPU_1GPU {
+        let run = t5
+            .runs
+            .iter()
+            .find(|r| r.name == id.abbreviation() && r.n_gpus == 1)
+            .expect("Table V covers every MLPerf benchmark at 1 GPU");
+        cells.push(Cell {
+            artifact: "Table V",
+            label: format!("{id} CPU% @1 GPU"),
+            paper,
+            simulated: run.usage.cpu_util_pct,
+            kind: CellKind::Calibrated,
+        });
+    }
+    // Multi-GPU CPU growth is derived: compare the 4-GPU/1-GPU ratio for
+    // the rows the paper gives us (Res50_TF: 29.06/10.76).
+    let tf1 = t5
+        .runs
+        .iter()
+        .find(|r| r.name == "MLPf_Res50_TF" && r.n_gpus == 1)
+        .expect("row present");
+    let tf4 = t5
+        .runs
+        .iter()
+        .find(|r| r.name == "MLPf_Res50_TF" && r.n_gpus == 4)
+        .expect("row present");
+    cells.push(Cell {
+        artifact: "Table V",
+        label: "Res50_TF CPU% growth 1→4".into(),
+        paper: 29.06 / 10.76,
+        simulated: tf4.usage.cpu_util_pct / tf1.usage.cpu_util_pct,
+        kind: CellKind::Derived,
+    });
+
+    // --- Figure 5 (NVLink improvements, §V-E prose) -------------------------
+    let f5 = figure5::run()?;
+    for (id, paper) in PAPER_FIG5_IMPROVEMENT {
+        let row = f5.rows.iter().find(|r| r.id == id).expect("row present");
+        cells.push(Cell {
+            artifact: "Figure 5",
+            label: format!("{id} NVLink gain"),
+            paper,
+            simulated: row.nvlink_improvement(),
+            kind: CellKind::Derived,
+        });
+    }
+
+    Ok(Validation { cells })
+}
+
+impl Validation {
+    /// Mean absolute percentage error over a subset.
+    pub fn mape(&self, kind: Option<CellKind>, artifact: Option<&str>) -> f64 {
+        let errs: Vec<f64> = self
+            .cells
+            .iter()
+            .filter(|c| kind.is_none_or(|k| c.kind == k))
+            .filter(|c| artifact.is_none_or(|a| c.artifact == a))
+            .map(Cell::relative_error)
+            .collect();
+        assert!(!errs.is_empty(), "no cells match the filter");
+        errs.iter().sum::<f64>() / errs.len() as f64
+    }
+
+    /// The worst cell of a subset.
+    pub fn worst(&self, kind: Option<CellKind>) -> &Cell {
+        self.cells
+            .iter()
+            .filter(|c| kind.is_none_or(|k| c.kind == k))
+            .max_by(|a, b| {
+                a.relative_error()
+                    .partial_cmp(&b.relative_error())
+                    .expect("errors are finite")
+            })
+            .expect("corpus is non-empty")
+    }
+}
+
+/// Render the per-cell table plus the aggregate summary.
+pub fn render(v: &Validation) -> String {
+    let mut t = Table::new(
+        "Validation: simulated vs published cells",
+        [
+            "Artifact",
+            "Cell",
+            "Paper",
+            "Simulated",
+            "Rel. error",
+            "Kind",
+        ],
+    );
+    for c in &v.cells {
+        t.add_row([
+            c.artifact.to_string(),
+            c.label.clone(),
+            format!("{:.2}", c.paper),
+            format!("{:.2}", c.simulated),
+            format!("{:.1}%", c.relative_error() * 100.0),
+            c.kind.to_string(),
+        ]);
+    }
+    let worst = v.worst(Some(CellKind::Derived));
+    format!(
+        "{t}\
+         calibrated cells: MAPE {:.1}% over {} cells\n\
+         derived cells:    MAPE {:.1}% over {} cells\n\
+         worst derived cell: {} ({:.2} vs paper {:.2}, {:.0}% off)\n",
+        v.mape(Some(CellKind::Calibrated), None) * 100.0,
+        v.cells
+            .iter()
+            .filter(|c| c.kind == CellKind::Calibrated)
+            .count(),
+        v.mape(Some(CellKind::Derived), None) * 100.0,
+        v.cells
+            .iter()
+            .filter(|c| c.kind == CellKind::Derived)
+            .count(),
+        worst.label,
+        worst.simulated,
+        worst.paper,
+        worst.relative_error() * 100.0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_covers_all_three_artifacts() {
+        let v = run().unwrap();
+        for artifact in ["Table IV", "Table V", "Figure 5"] {
+            assert!(
+                v.cells.iter().any(|c| c.artifact == artifact),
+                "{artifact} missing"
+            );
+        }
+        // 6 benchmarks x 5 cells + 7 CPU anchors + 1 growth + 4 Fig5.
+        assert_eq!(v.cells.len(), 30 + 7 + 1 + 4);
+    }
+
+    #[test]
+    fn calibrated_cells_are_tight() {
+        let v = run().unwrap();
+        let mape = v.mape(Some(CellKind::Calibrated), None);
+        assert!(mape < 0.10, "calibrated MAPE {:.1}%", mape * 100.0);
+    }
+
+    #[test]
+    fn derived_cells_are_reasonable() {
+        let v = run().unwrap();
+        let mape = v.mape(Some(CellKind::Derived), None);
+        assert!(mape < 0.35, "derived MAPE {:.1}%", mape * 100.0);
+        // Table IV's derived speedups specifically stay tight.
+        let t4 = v.mape(Some(CellKind::Derived), Some("Table IV"));
+        assert!(t4 < 0.12, "Table IV derived MAPE {:.1}%", t4 * 100.0);
+    }
+
+    #[test]
+    fn render_summarizes_both_kinds() {
+        let v = run().unwrap();
+        let s = render(&v);
+        assert!(s.contains("calibrated cells"));
+        assert!(s.contains("derived cells"));
+        assert!(s.contains("worst derived cell"));
+    }
+}

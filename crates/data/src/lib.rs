@@ -1,0 +1,29 @@
+//! Dataset and input-pipeline substrate.
+//!
+//! The study's corpora ([`dataset`]) are modeled by the four attributes its
+//! measurements depend on (sample count, staged size, host preprocessing
+//! cost, device bytes); [`loader`] composes them into the host→GPU input
+//! pipeline the simulator overlaps with compute; [`synthetic`] generates
+//! reproducible stand-in records for code paths that want real bytes.
+//!
+//! # Examples
+//!
+//! ```
+//! use mlperf_data::{DatasetId, InputPipeline};
+//! use mlperf_hw::units::Bytes;
+//!
+//! let pipe = InputPipeline::new(DatasetId::ImageNet, Bytes::new(224 * 224 * 3 * 4));
+//! assert_eq!(pipe.h2d_bytes_per_batch(2).as_u64(), 2 * 224 * 224 * 3 * 4);
+//! ```
+
+pub mod dataset;
+pub mod loader;
+pub mod shards;
+pub mod storage;
+pub mod synthetic;
+
+pub use dataset::{DatasetId, DatasetSpec};
+pub use loader::InputPipeline;
+pub use shards::{plan_shards, shuffle_order, EpochReader, Shard, ShardError};
+pub use storage::{ReadPattern, StagingPlan, StorageDevice};
+pub use synthetic::{Record, SyntheticDataset};

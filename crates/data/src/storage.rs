@@ -1,0 +1,247 @@
+//! Storage staging: can the disk and DRAM keep the training run fed?
+//!
+//! §V-C: "in an extreme case, the dataset can be too large to be stored
+//! inside the system memory. Thus the disk storage is used ... and the CPU
+//! is responsible for coordinating the switching between each part of the
+//! dataset." This module models that tier: device read rates, the
+//! DRAM-cacheable fraction, and the sustained read rate one epoch demands.
+
+use crate::dataset::DatasetId;
+use mlperf_hw::units::{Bandwidth, Bytes, Seconds};
+use std::fmt;
+
+/// Storage device classes of the study's era.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageDevice {
+    /// 7.2k-RPM SATA hard drive.
+    Hdd,
+    /// SATA solid-state drive.
+    SataSsd,
+    /// NVMe solid-state drive.
+    NvmeSsd,
+}
+
+impl StorageDevice {
+    /// Sustained sequential read bandwidth.
+    pub fn sequential_read(self) -> Bandwidth {
+        match self {
+            StorageDevice::Hdd => Bandwidth::from_mb_per_sec(180.0),
+            StorageDevice::SataSsd => Bandwidth::from_mb_per_sec(520.0),
+            StorageDevice::NvmeSsd => Bandwidth::from_gb_per_sec(3.2),
+        }
+    }
+
+    /// Sustained random-read bandwidth at training-record sizes.
+    pub fn random_read(self) -> Bandwidth {
+        match self {
+            // Seek-dominated: two orders below sequential.
+            StorageDevice::Hdd => Bandwidth::from_mb_per_sec(2.0),
+            StorageDevice::SataSsd => Bandwidth::from_mb_per_sec(320.0),
+            StorageDevice::NvmeSsd => Bandwidth::from_gb_per_sec(2.4),
+        }
+    }
+}
+
+impl fmt::Display for StorageDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StorageDevice::Hdd => "HDD",
+            StorageDevice::SataSsd => "SATA SSD",
+            StorageDevice::NvmeSsd => "NVMe SSD",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How the input pipeline reads the staged dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReadPattern {
+    /// Sequential shard sweeps (TFRecord-style, shuffled at shard level).
+    SequentialShards,
+    /// Fully random per-record access.
+    RandomRecords,
+}
+
+/// The verdict on one (dataset, DRAM, device) staging configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StagingPlan {
+    /// Dataset staged.
+    pub dataset: DatasetId,
+    /// Bytes of the dataset resident in the page cache at steady state.
+    pub cached: Bytes,
+    /// Bytes re-read from the device every epoch.
+    pub disk_bytes_per_epoch: Bytes,
+    /// The sustained device read rate one epoch of the given length needs.
+    pub required: Bandwidth,
+    /// What the device supplies under the chosen pattern.
+    pub supplied: Bandwidth,
+}
+
+impl StagingPlan {
+    /// Plan staging for `dataset` on a host with `dram_for_cache` available
+    /// page-cache bytes, reading with `pattern` from `device`, given the
+    /// epoch wall-clock the accelerator side achieves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_time` is zero.
+    pub fn new(
+        dataset: DatasetId,
+        dram_for_cache: Bytes,
+        device: StorageDevice,
+        pattern: ReadPattern,
+        epoch_time: Seconds,
+    ) -> Self {
+        assert!(epoch_time.as_secs() > 0.0, "epoch time must be positive");
+        let total = dataset.spec().on_disk();
+        let cached = if dram_for_cache >= total {
+            total
+        } else {
+            dram_for_cache
+        };
+        let disk_bytes_per_epoch = total - cached;
+        let required = if disk_bytes_per_epoch == Bytes::ZERO {
+            Bandwidth::ZERO
+        } else {
+            disk_bytes_per_epoch / epoch_time
+        };
+        let supplied = match pattern {
+            ReadPattern::SequentialShards => device.sequential_read(),
+            ReadPattern::RandomRecords => device.random_read(),
+        };
+        StagingPlan {
+            dataset,
+            cached,
+            disk_bytes_per_epoch,
+            required,
+            supplied,
+        }
+    }
+
+    /// Whether the device keeps up (no input-bound stall from storage).
+    pub fn keeps_up(&self) -> bool {
+        self.required.as_bytes_per_sec() <= self.supplied.as_bytes_per_sec()
+    }
+
+    /// The factor by which the epoch stretches when the device is the
+    /// bottleneck (1.0 when it keeps up).
+    pub fn slowdown(&self) -> f64 {
+        if self.keeps_up() || self.required == Bandwidth::ZERO {
+            1.0
+        } else {
+            self.required.as_bytes_per_sec() / self.supplied.as_bytes_per_sec()
+        }
+    }
+}
+
+impl fmt::Display for StagingPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} cached, {} from disk/epoch; needs {}, device gives {} ({})",
+            self.dataset,
+            self.cached,
+            self.disk_bytes_per_epoch,
+            self.required,
+            self.supplied,
+            if self.keeps_up() {
+                "keeps up"
+            } else {
+                "storage-bound"
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_datasets_cache_entirely() {
+        // CIFAR10 (150 MB) fits in any host: zero disk traffic.
+        let plan = StagingPlan::new(
+            DatasetId::Cifar10,
+            Bytes::from_gib(64),
+            StorageDevice::Hdd,
+            ReadPattern::RandomRecords,
+            Seconds::from_minutes(1.0),
+        );
+        assert_eq!(plan.disk_bytes_per_epoch, Bytes::ZERO);
+        assert!(plan.keeps_up());
+        assert_eq!(plan.slowdown(), 1.0);
+    }
+
+    #[test]
+    fn imagenet_overflows_the_c4140_dram() {
+        // 300 GB dataset vs ~150 GB of cacheable DRAM: half re-reads from
+        // disk every epoch — the §V-C scenario.
+        let plan = StagingPlan::new(
+            DatasetId::ImageNet,
+            Bytes::from_gib(150),
+            StorageDevice::NvmeSsd,
+            ReadPattern::SequentialShards,
+            Seconds::from_minutes(13.0), // ~a ResNet-50 epoch on 8 GPUs
+        );
+        assert_eq!(plan.disk_bytes_per_epoch, Bytes::from_gib(150));
+        // 150 GiB / 13 min ≈ 207 MB/s: NVMe keeps up comfortably.
+        assert!(plan.keeps_up());
+        assert!(plan.required.as_gb_per_sec() > 0.15);
+    }
+
+    #[test]
+    fn hdd_random_reads_are_hopeless_for_imagenet() {
+        let plan = StagingPlan::new(
+            DatasetId::ImageNet,
+            Bytes::from_gib(150),
+            StorageDevice::Hdd,
+            ReadPattern::RandomRecords,
+            Seconds::from_minutes(13.0),
+        );
+        assert!(!plan.keeps_up());
+        assert!(plan.slowdown() > 50.0, "slowdown {}", plan.slowdown());
+    }
+
+    #[test]
+    fn sequential_sharding_rescues_the_hdd_sometimes() {
+        let slow = StagingPlan::new(
+            DatasetId::ImageNet,
+            Bytes::from_gib(150),
+            StorageDevice::Hdd,
+            ReadPattern::RandomRecords,
+            Seconds::from_hours(2.0),
+        );
+        let fast = StagingPlan::new(
+            DatasetId::ImageNet,
+            Bytes::from_gib(150),
+            StorageDevice::Hdd,
+            ReadPattern::SequentialShards,
+            Seconds::from_hours(2.0),
+        );
+        assert!(fast.slowdown() < slow.slowdown());
+    }
+
+    #[test]
+    fn device_rate_ordering() {
+        for pattern in [ReadPattern::SequentialShards, ReadPattern::RandomRecords] {
+            let rate = |d: StorageDevice| match pattern {
+                ReadPattern::SequentialShards => d.sequential_read().as_bytes_per_sec(),
+                ReadPattern::RandomRecords => d.random_read().as_bytes_per_sec(),
+            };
+            assert!(rate(StorageDevice::Hdd) < rate(StorageDevice::SataSsd));
+            assert!(rate(StorageDevice::SataSsd) < rate(StorageDevice::NvmeSsd));
+        }
+    }
+
+    #[test]
+    fn display_reports_verdict() {
+        let plan = StagingPlan::new(
+            DatasetId::Coco,
+            Bytes::from_gib(4),
+            StorageDevice::SataSsd,
+            ReadPattern::SequentialShards,
+            Seconds::from_minutes(5.0),
+        );
+        assert!(plan.to_string().contains("Microsoft COCO"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the dataset/pipeline substrate.
+
+use mlperf_data::{DatasetId, InputPipeline, SyntheticDataset};
+use mlperf_hw::units::Bytes;
+use mlperf_hw::CpuModel;
+use proptest::prelude::*;
+
+fn arb_dataset() -> impl Strategy<Value = DatasetId> {
+    prop_oneof![
+        Just(DatasetId::ImageNet),
+        Just(DatasetId::Coco),
+        Just(DatasetId::Wmt17),
+        Just(DatasetId::MovieLens20M),
+        Just(DatasetId::Cifar10),
+        Just(DatasetId::Squad),
+    ]
+}
+
+proptest! {
+    /// Host batch time and H2D volume are exactly linear in batch size.
+    #[test]
+    fn pipeline_linear_in_batch(
+        ds in arb_dataset(),
+        sample_bytes in 1u64..1 << 22,
+        batch in 1u64..4096,
+    ) {
+        let p = InputPipeline::new(ds, Bytes::new(sample_bytes));
+        let cpu = CpuModel::XeonGold6148.spec();
+        let t1 = p.host_time_per_batch(&cpu, batch).as_secs();
+        let t2 = p.host_time_per_batch(&cpu, 2 * batch).as_secs();
+        prop_assert!((t2 - 2.0 * t1).abs() <= t1 * 1e-9 + 1e-15);
+        prop_assert_eq!(
+            p.h2d_bytes_per_batch(batch).as_u64(),
+            batch * sample_bytes
+        );
+    }
+
+    /// The cost multiplier scales host work proportionally and leaves the
+    /// H2D volume untouched.
+    #[test]
+    fn multiplier_touches_only_host_work(
+        ds in arb_dataset(),
+        mult in 0.1f64..10.0,
+        batch in 1u64..512,
+    ) {
+        let base = InputPipeline::new(ds, Bytes::new(1024));
+        let scaled = InputPipeline::new(ds, Bytes::new(1024)).with_host_cost_multiplier(mult);
+        let ratio = scaled.host_core_secs_per_batch(batch) / base.host_core_secs_per_batch(batch);
+        prop_assert!((ratio - mult).abs() < 1e-9);
+        prop_assert_eq!(base.h2d_bytes_per_batch(batch), scaled.h2d_bytes_per_batch(batch));
+    }
+
+    /// Staging never exceeds the dataset and grows monotonically with
+    /// prefetch depth until the cap.
+    #[test]
+    fn staging_bounded_and_monotone(
+        ds in arb_dataset(),
+        batch in 1u64..4096,
+        depth in 1u64..16,
+    ) {
+        let p = InputPipeline::new(ds, Bytes::new(4096));
+        let a = p.staging_footprint(batch, depth);
+        let b = p.staging_footprint(batch, depth + 1);
+        prop_assert!(a <= b);
+        prop_assert!(b <= ds.spec().on_disk());
+    }
+
+    /// Synthetic generation is deterministic per seed and payload sizes
+    /// stay within the documented ±25 % envelope.
+    #[test]
+    fn synthetic_records_are_reproducible(ds in arb_dataset(), seed in 0u64..1000, idx in 0u64..100) {
+        let mut a = SyntheticDataset::new(ds, seed);
+        let mut b = SyntheticDataset::new(ds, seed);
+        let ra = a.record(idx);
+        let rb = b.record(idx);
+        prop_assert_eq!(&ra, &rb);
+        let mean = ds.spec().bytes_per_sample().as_u64().max(1);
+        let len = ra.payload.len() as u64;
+        prop_assert!(len >= mean - mean / 4 && len <= mean + mean / 4);
+    }
+}

@@ -1,0 +1,105 @@
+//! NUMA memory-access modelling.
+//!
+//! §V-C: "in a case when a CPU needs a part of the dataset stored in the
+//! other CPU's memory, the performance of data transfer will be
+//! significantly reduced (i.e., 128GBps direct access for local DRAM v.s.
+//! 20.8GBps neighbor DRAM access via UPI)." This module prices exactly
+//! that: effective read bandwidth as a function of how much of a working
+//! set is remote.
+
+use crate::cpu::CpuSpec;
+use crate::interconnect::Link;
+use crate::units::{Bandwidth, Bytes, Seconds};
+
+/// Where a page lives relative to the reading socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// In the reading socket's own DIMMs.
+    Local,
+    /// In the neighbour socket's DIMMs (crosses UPI).
+    Remote,
+}
+
+/// Bandwidth one socket sees reading memory at a placement.
+pub fn read_bandwidth(cpu: &CpuSpec, placement: Placement) -> Bandwidth {
+    match placement {
+        Placement::Local => cpu.local_memory_bandwidth(),
+        // Remote reads are capped by the UPI link, not the DIMMs.
+        Placement::Remote => Link::UPI_X1.theoretical_bandwidth(),
+    }
+}
+
+/// Effective bandwidth reading a working set of which `remote_fraction`
+/// lives on the neighbour socket (harmonic blend — time adds, not rates).
+///
+/// # Panics
+///
+/// Panics if `remote_fraction` is outside `[0, 1]`.
+pub fn blended_bandwidth(cpu: &CpuSpec, remote_fraction: f64) -> Bandwidth {
+    assert!(
+        (0.0..=1.0).contains(&remote_fraction),
+        "remote fraction must be in [0, 1]"
+    );
+    let local = read_bandwidth(cpu, Placement::Local).as_bytes_per_sec();
+    let remote = read_bandwidth(cpu, Placement::Remote).as_bytes_per_sec();
+    let inv = (1.0 - remote_fraction) / local + remote_fraction / remote;
+    Bandwidth::new(1.0 / inv)
+}
+
+/// Time to sweep a working set once at a remote fraction.
+pub fn sweep_time(cpu: &CpuSpec, working_set: Bytes, remote_fraction: f64) -> Seconds {
+    working_set / blended_bandwidth(cpu, remote_fraction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuModel;
+
+    #[test]
+    fn paper_quote_reproduced() {
+        // "128GBps direct access ... v.s. 20.8GBps neighbor DRAM access".
+        let cpu = CpuModel::XeonGold6148.spec();
+        let local = read_bandwidth(&cpu, Placement::Local);
+        let remote = read_bandwidth(&cpu, Placement::Remote);
+        assert!((local.as_gb_per_sec() - 127.8).abs() < 1.0);
+        assert!((remote.as_gb_per_sec() - 20.8).abs() < 1e-9);
+        assert!(local.as_bytes_per_sec() / remote.as_bytes_per_sec() > 6.0);
+    }
+
+    #[test]
+    fn blend_interpolates_harmonically() {
+        let cpu = CpuModel::XeonGold6148.spec();
+        let all_local = blended_bandwidth(&cpu, 0.0);
+        let all_remote = blended_bandwidth(&cpu, 1.0);
+        let half = blended_bandwidth(&cpu, 0.5);
+        let close = |a: Bandwidth, b: Bandwidth| {
+            (a.as_bytes_per_sec() - b.as_bytes_per_sec()).abs() < 1e-6 * b.as_bytes_per_sec()
+        };
+        assert!(close(all_local, read_bandwidth(&cpu, Placement::Local)));
+        assert!(close(all_remote, read_bandwidth(&cpu, Placement::Remote)));
+        // Harmonic: the slow half dominates; well below the arithmetic mean.
+        let arithmetic = (all_local.as_bytes_per_sec() + all_remote.as_bytes_per_sec()) / 2.0;
+        assert!(half.as_bytes_per_sec() < 0.6 * arithmetic);
+    }
+
+    #[test]
+    fn sweep_time_grows_with_remote_fraction() {
+        let cpu = CpuModel::XeonGold6148.spec();
+        let ws = Bytes::from_gib(96);
+        let t0 = sweep_time(&cpu, ws, 0.0);
+        let t5 = sweep_time(&cpu, ws, 0.5);
+        let t10 = sweep_time(&cpu, ws, 1.0);
+        assert!(t0.as_secs() < t5.as_secs());
+        assert!(t5.as_secs() < t10.as_secs());
+        // Fully remote is >6x slower than fully local.
+        assert!(t10.as_secs() > 6.0 * t0.as_secs());
+    }
+
+    #[test]
+    #[should_panic(expected = "remote fraction")]
+    fn bad_fraction_rejected() {
+        let cpu = CpuModel::XeonGold6148.spec();
+        let _ = blended_bandwidth(&cpu, 1.5);
+    }
+}

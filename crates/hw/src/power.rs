@@ -1,0 +1,76 @@
+//! Power models: board/package TDPs and utilization-scaled draw.
+//!
+//! An extension beyond the paper toward DAWNBench's second metric
+//! (cost-to-train): device and host power ratings let a simulated run be
+//! priced in joules and dollars. Draw scales affinely with utilization
+//! between an idle floor and the rated TDP, the standard first-order model.
+
+use crate::cpu::CpuModel;
+use crate::gpu::GpuModel;
+
+/// Fraction of TDP a device draws while idle but powered.
+const IDLE_FRACTION: f64 = 0.15;
+
+/// Rated board power of a GPU SKU, watts.
+pub fn gpu_tdp_watts(model: GpuModel) -> f64 {
+    match model {
+        GpuModel::TeslaV100Sxm2_16 | GpuModel::TeslaV100Sxm2_32 => 300.0,
+        GpuModel::TeslaV100Pcie16 | GpuModel::TeslaV100Pcie32 => 250.0,
+        GpuModel::TeslaP100Pcie16 => 250.0,
+    }
+}
+
+/// Rated package power of a CPU SKU, watts.
+pub fn cpu_tdp_watts(model: CpuModel) -> f64 {
+    match model {
+        CpuModel::XeonGold6148 => 150.0,
+        CpuModel::XeonGold6142 => 150.0,
+    }
+}
+
+/// Average draw of a device at a utilization in `[0, 1]`: the idle floor
+/// plus the utilization-proportional remainder.
+///
+/// # Panics
+///
+/// Panics if `utilization` is outside `[0, 1]` or `tdp_watts` is not
+/// finite and positive.
+pub fn draw_watts(tdp_watts: f64, utilization: f64) -> f64 {
+    assert!(
+        tdp_watts.is_finite() && tdp_watts > 0.0,
+        "TDP must be finite and positive"
+    );
+    assert!(
+        (0.0..=1.0).contains(&utilization),
+        "utilization must be in [0, 1], got {utilization}"
+    );
+    tdp_watts * (IDLE_FRACTION + (1.0 - IDLE_FRACTION) * utilization)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sxm2_is_hotter_than_pcie() {
+        assert!(
+            gpu_tdp_watts(GpuModel::TeslaV100Sxm2_16) > gpu_tdp_watts(GpuModel::TeslaV100Pcie16)
+        );
+    }
+
+    #[test]
+    fn draw_is_affine_in_utilization() {
+        let idle = draw_watts(300.0, 0.0);
+        let full = draw_watts(300.0, 1.0);
+        let half = draw_watts(300.0, 0.5);
+        assert!((idle - 45.0).abs() < 1e-9);
+        assert!((full - 300.0).abs() < 1e-9);
+        assert!((half - (idle + full) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization must be in")]
+    fn utilization_out_of_range_rejected() {
+        let _ = draw_watts(300.0, 1.5);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests for the hardware substrate.
+
+use mlperf_hw::cpu::CpuModel;
+use mlperf_hw::gpu::{GpuModel, Precision};
+use mlperf_hw::interconnect::Link;
+use mlperf_hw::topology::Topology;
+use mlperf_hw::units::{Bandwidth, Bytes, FlopRate, Flops, Seconds};
+use proptest::prelude::*;
+
+proptest! {
+    /// Byte addition is associative and commutative.
+    #[test]
+    fn bytes_addition_laws(a in 0u64..1 << 40, b in 0u64..1 << 40, c in 0u64..1 << 40) {
+        let (a, b, c) = (Bytes::new(a), Bytes::new(b), Bytes::new(c));
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    /// Scaling bytes by a factor then its inverse round-trips within 1 byte
+    /// per unit of magnitude.
+    #[test]
+    fn bytes_scale_round_trip(raw in 1u64..1 << 40, factor in 0.01f64..100.0) {
+        let b = Bytes::new(raw);
+        let there = b.scale(factor);
+        let back = there.scale(1.0 / factor);
+        let tolerance = (factor.max(1.0 / factor)).ceil() as u64 + 1;
+        prop_assert!(back.as_u64().abs_diff(raw) <= tolerance);
+    }
+
+    /// Transfer time is monotone: more bytes or less bandwidth never
+    /// finishes sooner.
+    #[test]
+    fn transfer_time_monotone(
+        small in 1u64..1 << 30,
+        extra in 0u64..1 << 30,
+        bw_gb in 0.1f64..500.0,
+        bw_extra in 0.0f64..500.0,
+    ) {
+        let slow = Bandwidth::from_gb_per_sec(bw_gb);
+        let fast = Bandwidth::from_gb_per_sec(bw_gb + bw_extra);
+        let less = Bytes::new(small);
+        let more = Bytes::new(small + extra);
+        prop_assert!((more / slow).as_secs() >= (less / slow).as_secs());
+        prop_assert!((less / fast).as_secs() <= (less / slow).as_secs());
+    }
+
+    /// Rate-from-observation inverts transfer-time: (B / t) * t == B.
+    #[test]
+    fn rate_inverts_time(bytes in 1u64..1 << 40, secs in 0.001f64..1e6) {
+        let b = Bytes::new(bytes);
+        let t = Seconds::new(secs);
+        let bw = b / t;
+        let t2 = b / bw;
+        prop_assert!((t2.as_secs() - secs).abs() / secs < 1e-9);
+    }
+
+    /// Compute time scales inversely with the rate.
+    #[test]
+    fn compute_time_scales(flops in 1u64..1 << 50, rate_gf in 0.001f64..200_000.0) {
+        let f = Flops::new(flops);
+        let r = FlopRate::from_gflops(rate_gf);
+        let t1 = f / r;
+        let t2 = f / r.scale(2.0);
+        prop_assert!((t1.as_secs() / t2.as_secs() - 2.0).abs() < 1e-9);
+    }
+
+    /// Seconds::max/min agree with ordering.
+    #[test]
+    fn seconds_lattice(a in 0.0f64..1e9, b in 0.0f64..1e9) {
+        let (x, y) = (Seconds::new(a), Seconds::new(b));
+        prop_assert!(x.max(y).as_secs() >= x.min(y).as_secs());
+        prop_assert_eq!(x.max(y).as_secs() + x.min(y).as_secs(), a + b);
+    }
+
+    /// Every GPU model's ridge point is positive and ordered by precision
+    /// speed.
+    #[test]
+    fn ridge_points_ordered(idx in 0usize..4) {
+        let model = [
+            GpuModel::TeslaV100Sxm2_16,
+            GpuModel::TeslaV100Pcie16,
+            GpuModel::TeslaV100Pcie32,
+            GpuModel::TeslaP100Pcie16,
+        ][idx];
+        let spec = model.spec();
+        let mut last = 0.0;
+        for p in [Precision::Double, Precision::Single, Precision::TensorCore] {
+            let ridge = spec.ridge_point(p);
+            prop_assert!(ridge >= last);
+            last = ridge;
+        }
+    }
+
+    /// PCIe bandwidth is linear in lane count.
+    #[test]
+    fn pcie_linear_in_lanes(lanes in 1u32..=16) {
+        let one = Link::PcieGen3 { lanes: 1 }.theoretical_bandwidth().as_bytes_per_sec();
+        let many = Link::PcieGen3 { lanes }.theoretical_bandwidth().as_bytes_per_sec();
+        prop_assert!((many - one * lanes as f64).abs() < 1.0);
+    }
+
+    /// In any random star topology (GPUs hanging off one CPU), every
+    /// GPU-GPU route exists, is classified through-CPU, and its bottleneck
+    /// bandwidth never exceeds the narrowest attached link.
+    #[test]
+    fn star_topology_routes(lane_choices in proptest::collection::vec(0usize..3, 2..6)) {
+        let widths = [4u32, 8, 16];
+        let mut t = Topology::new("star");
+        let cpu = t.add_cpu(CpuModel::XeonGold6148);
+        let mut gpu_bw = Vec::new();
+        for &c in &lane_choices {
+            let g = t.add_gpu(GpuModel::TeslaV100Pcie16);
+            let link = Link::PcieGen3 { lanes: widths[c] };
+            gpu_bw.push(link.effective_bandwidth().as_bytes_per_sec());
+            t.connect(cpu, g, link);
+        }
+        let n = lane_choices.len() as u32;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let p = t.gpu_peer_path(a, b).expect("star is connected");
+                prop_assert_eq!(p.class, mlperf_hw::P2pClass::ThroughCpu);
+                // The route's bottleneck is the slower of the two legs.
+                let expect = gpu_bw[a as usize].min(gpu_bw[b as usize]);
+                prop_assert!((p.bandwidth.as_bytes_per_sec() - expect).abs() < 1.0);
+                prop_assert_eq!(p.path.hops(), 2);
+            }
+        }
+    }
+
+    /// Route bottleneck bandwidth equals the minimum over traversed links,
+    /// and latency is the sum — on a random chain topology.
+    #[test]
+    fn chain_route_composition(widths in proptest::collection::vec(1u32..=16, 1..6)) {
+        let mut t = Topology::new("chain");
+        let first = t.add_gpu(GpuModel::TeslaV100Pcie16);
+        let mut prev = first;
+        let mut min_bw = f64::INFINITY;
+        let mut total_lat = 0.0;
+        for &w in &widths {
+            let sw = t.add_switch();
+            let link = Link::PcieGen3 { lanes: w };
+            min_bw = min_bw.min(link.effective_bandwidth().as_bytes_per_sec());
+            total_lat += link.latency().as_secs();
+            t.connect(prev, sw, link);
+            prev = sw;
+        }
+        let last = t.add_gpu(GpuModel::TeslaV100Pcie16);
+        t.connect(prev, last, Link::PCIE3_X16);
+        min_bw = min_bw.min(Link::PCIE3_X16.effective_bandwidth().as_bytes_per_sec());
+        total_lat += Link::PCIE3_X16.latency().as_secs();
+
+        let p = t.gpu_peer_path(0, 1).expect("chain is connected");
+        prop_assert!((p.bandwidth.as_bytes_per_sec() - min_bw).abs() < 1.0);
+        prop_assert!((p.latency.as_secs() - total_lat).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,101 @@
+//! Optimizer update-step cost models.
+//!
+//! The weight update is bandwidth-bound bookkeeping over every parameter.
+//! Its cost matters for small models with tiny iterations (NCF) where the
+//! update is a visible slice of step time, and it contributes the per-step
+//! parameter traffic the HBM counters see.
+
+use mlperf_hw::units::{Bytes, Flops};
+use std::fmt;
+
+/// The optimizers used by the MLPerf v0.5 submissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Optimizer {
+    /// Stochastic gradient descent with momentum (ResNet, SSD, Mask R-CNN).
+    SgdMomentum,
+    /// Adam (Transformer, NCF, DrQA).
+    Adam,
+    /// Adam variant with GNMT's update schedule — same per-param cost as Adam.
+    AdamGnmt,
+}
+
+impl Optimizer {
+    /// FLOPs per parameter per update step.
+    pub fn flops_per_param(self) -> u64 {
+        match self {
+            // v += m*v - lr*g ; w += v
+            Optimizer::SgdMomentum => 4,
+            // two moment updates, bias correction, rsqrt, update
+            Optimizer::Adam | Optimizer::AdamGnmt => 12,
+        }
+    }
+
+    /// Optimizer-state elements per parameter (momentum buffers etc.).
+    pub fn state_elems_per_param(self) -> u64 {
+        match self {
+            Optimizer::SgdMomentum => 1,
+            Optimizer::Adam | Optimizer::AdamGnmt => 2,
+        }
+    }
+
+    /// Total FLOPs of one update step over `params` parameters.
+    pub fn step_flops(self, params: u64) -> Flops {
+        Flops::new(self.flops_per_param() * params)
+    }
+
+    /// Device-memory traffic of one update step: read gradient + weights +
+    /// state, write weights + state, at 4 bytes each (masters stay FP32).
+    pub fn step_bytes(self, params: u64) -> Bytes {
+        let state = self.state_elems_per_param();
+        // reads: grad + weight + state; writes: weight + state.
+        let elems = params * (2 + 2 * state + 1);
+        Bytes::new(elems * 4)
+    }
+
+    /// Resident optimizer-state footprint (FP32 state).
+    pub fn state_bytes(self, params: u64) -> Bytes {
+        Bytes::new(self.state_elems_per_param() * params * 4)
+    }
+}
+
+impl fmt::Display for Optimizer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Optimizer::SgdMomentum => "SGD+momentum",
+            Optimizer::Adam => "Adam",
+            Optimizer::AdamGnmt => "Adam (GNMT schedule)",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_costs_more_than_sgd() {
+        let p = 25_000_000;
+        assert!(
+            Optimizer::Adam.step_flops(p).as_u64() > Optimizer::SgdMomentum.step_flops(p).as_u64()
+        );
+        assert!(
+            Optimizer::Adam.step_bytes(p).as_u64() > Optimizer::SgdMomentum.step_bytes(p).as_u64()
+        );
+        assert_eq!(Optimizer::Adam.state_bytes(p), Bytes::new(2 * p * 4));
+    }
+
+    #[test]
+    fn sgd_step_math() {
+        let p = 1000;
+        assert_eq!(Optimizer::SgdMomentum.step_flops(p).as_u64(), 4000);
+        // grad + weight + 1 state read, weight + 1 state write = 5 elems.
+        assert_eq!(Optimizer::SgdMomentum.step_bytes(p), Bytes::new(5 * 4 * p));
+    }
+
+    #[test]
+    fn zero_params_cost_nothing() {
+        assert_eq!(Optimizer::Adam.step_flops(0), Flops::ZERO);
+        assert_eq!(Optimizer::Adam.step_bytes(0), Bytes::ZERO);
+    }
+}

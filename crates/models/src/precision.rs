@@ -1,0 +1,113 @@
+//! Training numeric policy: single precision vs. automatic mixed precision.
+//!
+//! Section IV-C of the paper measures 1.5×–3.3× speedups from NVIDIA AMP,
+//! which (a) routes eligible matrix math to Tensor Cores and (b) halves the
+//! memory traffic of the tensors kept in FP16. The policy here captures both
+//! effects; per-op eligibility comes from [`Op::tensor_core_eligible`]
+//! (convolutions, GEMMs, attention, recurrent cells — the cuDNN/cuBLAS paths
+//! AMP lists as allow-listed).
+//!
+//! [`Op::tensor_core_eligible`]: crate::op::Op::tensor_core_eligible
+
+use mlperf_hw::Precision;
+use std::fmt;
+
+/// The numeric policy of a training run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PrecisionPolicy {
+    /// Everything in FP32 on the SIMT pipeline.
+    #[default]
+    Fp32,
+    /// Automatic mixed precision: allow-listed ops in FP16 on Tensor Cores,
+    /// FP32 master weights, loss scaling.
+    Amp,
+}
+
+impl PrecisionPolicy {
+    /// The device precision an op with the given eligibility executes at.
+    pub fn execution_precision(self, tensor_core_eligible: bool) -> Precision {
+        match (self, tensor_core_eligible) {
+            (PrecisionPolicy::Amp, true) => Precision::TensorCore,
+            // AMP keeps non-allow-listed math in FP32.
+            _ => Precision::Single,
+        }
+    }
+
+    /// Bytes per activation element for an op under this policy.
+    pub fn activation_bytes(self, tensor_core_eligible: bool) -> u64 {
+        self.execution_precision(tensor_core_eligible)
+            .element_bytes()
+    }
+
+    /// Bytes per gradient element exchanged in the all-reduce.
+    ///
+    /// AMP submissions all-reduce FP16 gradients (half the wire volume);
+    /// FP32 training exchanges 4-byte gradients.
+    pub fn gradient_bytes_per_param(self) -> u64 {
+        match self {
+            PrecisionPolicy::Fp32 => 4,
+            PrecisionPolicy::Amp => 2,
+        }
+    }
+
+    /// Bytes per parameter for the resident master copy of the weights
+    /// (AMP keeps FP32 masters *plus* an FP16 working copy).
+    pub fn weight_bytes_per_param(self) -> u64 {
+        match self {
+            PrecisionPolicy::Fp32 => 4,
+            PrecisionPolicy::Amp => 6,
+        }
+    }
+}
+
+impl fmt::Display for PrecisionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrecisionPolicy::Fp32 => f.write_str("FP32"),
+            PrecisionPolicy::Amp => f.write_str("AMP (mixed)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amp_routes_eligible_ops_to_tensor_cores() {
+        assert_eq!(
+            PrecisionPolicy::Amp.execution_precision(true),
+            Precision::TensorCore
+        );
+        assert_eq!(
+            PrecisionPolicy::Amp.execution_precision(false),
+            Precision::Single
+        );
+        assert_eq!(
+            PrecisionPolicy::Fp32.execution_precision(true),
+            Precision::Single
+        );
+    }
+
+    #[test]
+    fn amp_halves_activation_and_gradient_bytes() {
+        assert_eq!(PrecisionPolicy::Amp.activation_bytes(true), 2);
+        assert_eq!(PrecisionPolicy::Fp32.activation_bytes(true), 4);
+        assert_eq!(PrecisionPolicy::Amp.gradient_bytes_per_param(), 2);
+        assert_eq!(PrecisionPolicy::Fp32.gradient_bytes_per_param(), 4);
+    }
+
+    #[test]
+    fn amp_weights_cost_more_residency() {
+        // FP32 master + FP16 copy.
+        assert!(
+            PrecisionPolicy::Amp.weight_bytes_per_param()
+                > PrecisionPolicy::Fp32.weight_bytes_per_param()
+        );
+    }
+
+    #[test]
+    fn default_is_fp32() {
+        assert_eq!(PrecisionPolicy::default(), PrecisionPolicy::Fp32);
+    }
+}

@@ -1,0 +1,183 @@
+//! DeepBench micro-kernels: raw GEMM, convolution, recurrent-layer, and
+//! all-reduce benchmarks (Baidu Research, 2017).
+//!
+//! DeepBench sits below any framework: it times individual library calls.
+//! The study used four of its NVIDIA training benchmarks — `gemm_bench`,
+//! `conv_bench`, `rnn_bench` (the six Table II configurations), and
+//! `nccl_single_all_reduce` — and aggregated over kernel sizes. This module
+//! reproduces those kernel lists so the telemetry and PCA layers can treat
+//! them as workloads alongside the end-to-end suites.
+
+use crate::graph::ModelGraph;
+use crate::op::{Op, RecurrentCell};
+use mlperf_hw::units::Bytes;
+
+/// One DeepBench kernel invocation: an operator at a fixed batch size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeepBenchKernel {
+    /// Kernel label, e.g. `"gemm_1760x128x1760"`.
+    pub name: String,
+    /// The operator executed.
+    pub op: Op,
+    /// The batch ("N") dimension the kernel runs at.
+    pub batch: u64,
+}
+
+impl DeepBenchKernel {
+    /// Wrap this kernel as a one-op model graph (for reuse of graph-level
+    /// costing and telemetry).
+    pub fn as_graph(&self) -> ModelGraph {
+        let mut g = ModelGraph::new(self.name.clone());
+        g.push(self.op.clone());
+        g
+    }
+}
+
+/// The `gemm_bench` training problem set (M, N, K), a representative slice
+/// of the published kernel list across DeepSpeech, translation, and
+/// language-model shapes.
+pub fn gemm_kernels() -> Vec<DeepBenchKernel> {
+    const SHAPES: [(usize, usize, usize); 12] = [
+        (1760, 16, 1760),
+        (1760, 32, 1760),
+        (1760, 64, 1760),
+        (1760, 128, 1760),
+        (1760, 7000, 1760),
+        (2048, 16, 2048),
+        (2048, 32, 2048),
+        (2048, 128, 2048),
+        (2048, 7000, 2048),
+        (2560, 64, 2560),
+        (4096, 128, 4096),
+        (5124, 9136, 2560),
+    ];
+    SHAPES
+        .iter()
+        .map(|&(m, n, k)| DeepBenchKernel {
+            name: format!("gemm_{m}x{n}x{k}"),
+            op: Op::gemm(format!("gemm_{m}x{n}x{k}"), m, n, k),
+            batch: 1,
+        })
+        .collect()
+}
+
+/// The `conv_bench` training problem set: (W, H, C, N, K, R/S, pad, stride).
+pub fn conv_kernels() -> Vec<DeepBenchKernel> {
+    /// (width, height, in_ch, batch, out_ch, kernel, pad, stride)
+    type ConvShape = (usize, usize, usize, u64, usize, usize, usize, usize);
+    const SHAPES: [ConvShape; 8] = [
+        (700, 161, 1, 4, 32, 5, 0, 2),   // DeepSpeech front-end
+        (341, 79, 32, 4, 32, 5, 0, 2),   // DeepSpeech layer 2
+        (224, 224, 3, 16, 64, 7, 3, 2),  // vision stem
+        (112, 112, 64, 8, 128, 3, 1, 1), // vision stage
+        (56, 56, 128, 8, 256, 3, 1, 1),
+        (28, 28, 256, 16, 512, 3, 1, 1),
+        (14, 14, 512, 16, 512, 3, 1, 1),
+        (7, 7, 832, 16, 256, 1, 0, 1), // GoogLeNet tail
+    ];
+    SHAPES
+        .iter()
+        .map(|&(w, h, c, n, k, r, pad, stride)| {
+            let name = format!("conv_{w}x{h}x{c}_k{k}r{r}s{stride}");
+            DeepBenchKernel {
+                op: Op::conv2d(name.clone(), c, k, r, stride, pad, h, w),
+                name,
+                batch: n,
+            }
+        })
+        .collect()
+}
+
+/// The six `rnn_bench` configurations of Table II.
+pub fn rnn_kernels() -> Vec<DeepBenchKernel> {
+    /// Timesteps DeepBench sweeps its recurrent kernels over.
+    const T: usize = 50;
+    let configs: [(&str, RecurrentCell, usize, usize, u64); 6] = [
+        ("rnn_vanilla_1760", RecurrentCell::Vanilla, 1760, 1760, 16), // DeepSpeech
+        ("rnn_gru_2816", RecurrentCell::Gru, 2816, 2816, 32),
+        ("rnn_gru_1024", RecurrentCell::Gru, 1024, 1024, 32), // Speaker ID
+        ("rnn_lstm_512", RecurrentCell::Lstm, 512, 512, 16),  // Machine Translation
+        ("rnn_lstm_4096", RecurrentCell::Lstm, 4096, 4096, 16), // Language Modeling
+        ("rnn_lstm_256", RecurrentCell::Lstm, 256, 256, 16),  // Char LM
+    ];
+    configs
+        .iter()
+        .map(|&(name, cell, input, hidden, n)| DeepBenchKernel {
+            name: name.to_string(),
+            op: Op::recurrent(name, cell, input, hidden, T),
+            batch: n,
+        })
+        .collect()
+}
+
+/// The `nccl_single_all_reduce` payload sizes (FP32 element counts from the
+/// published problem set).
+pub fn allreduce_sizes() -> Vec<Bytes> {
+    const ELEMS: [u64; 7] = [
+        100_000, 3_097_600, 4_194_304, 6_553_600, 16_777_217, 38_360_000, 64_500_000,
+    ];
+    ELEMS.iter().map(|&e| Bytes::new(e * 4)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_sets_are_nonempty_and_named() {
+        for k in gemm_kernels()
+            .iter()
+            .chain(&conv_kernels())
+            .chain(&rnn_kernels())
+        {
+            assert!(!k.name.is_empty());
+            assert!(k.batch >= 1);
+            assert!(k.op.fwd_flops(k.batch).as_u64() > 0);
+        }
+        assert_eq!(
+            rnn_kernels().len(),
+            6,
+            "Table II lists six rnn_bench configs"
+        );
+    }
+
+    #[test]
+    fn gemm_kernels_have_no_trainable_params() {
+        for k in gemm_kernels() {
+            assert_eq!(k.op.params(), 0, "{}", k.name);
+        }
+    }
+
+    #[test]
+    fn rnn_configs_match_table_ii() {
+        let rnns = rnn_kernels();
+        assert!(rnns[0].name.contains("vanilla") && rnns[0].batch == 16);
+        assert!(rnns[1].name.contains("gru_2816") && rnns[1].batch == 32);
+        assert!(rnns[3].name.contains("lstm_512") && rnns[3].batch == 16);
+    }
+
+    #[test]
+    fn allreduce_sizes_span_kb_to_hundreds_of_mb() {
+        let sizes = allreduce_sizes();
+        assert!(sizes.first().unwrap().as_mib() < 1.0);
+        assert!(sizes.last().unwrap().as_mib() > 200.0);
+        // Monotonically increasing.
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn kernel_graph_roundtrip() {
+        let k = &gemm_kernels()[0];
+        let g = k.as_graph();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.fwd_flops(1), k.op.fwd_flops(1));
+    }
+
+    #[test]
+    fn big_gemm_dwarfs_small_gemm() {
+        let ks = gemm_kernels();
+        let small = ks.iter().find(|k| k.name == "gemm_1760x16x1760").unwrap();
+        let large = ks.iter().find(|k| k.name == "gemm_5124x9136x2560").unwrap();
+        assert!(large.op.fwd_flops(1).as_u64() > 100 * small.op.fwd_flops(1).as_u64());
+    }
+}

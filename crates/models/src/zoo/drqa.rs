@@ -1,0 +1,124 @@
+//! DrQA document reader — DAWNBench's SQuAD question-answering entry.
+//!
+//! The Chen et al. reader encodes a ~400-token paragraph and a ~30-token
+//! question with stacked bidirectional LSTMs over 300-d GloVe embeddings,
+//! then predicts answer spans with bilinear attention. Feature engineering
+//! (tokenization, TF, exact-match, POS/NER features) happens on the host,
+//! which is why the paper's Table V shows DrQA with ~49 % CPU and only
+//! ~20 % GPU utilization — that split is configured at the workload level.
+
+use crate::graph::ModelGraph;
+use crate::op::{Op, OpKind, RecurrentCell};
+
+/// Paragraph length (tokens) used for per-sample costing.
+pub const DOC_LEN: usize = 400;
+/// Question length (tokens) used for per-sample costing.
+pub const Q_LEN: usize = 30;
+/// GloVe vocabulary rows kept by the DAWNBench submission.
+pub const VOCAB: usize = 118_655;
+/// GloVe embedding width.
+pub const EMBED_DIM: usize = 300;
+/// LSTM hidden width per direction.
+pub const HIDDEN: usize = 128;
+
+/// The DrQA document-reader graph.
+pub fn drqa() -> ModelGraph {
+    let mut g = ModelGraph::new("DrQA");
+
+    // One shared GloVe table serves both document and question lookups.
+    g.push(Op::embedding("embed", VOCAB, EMBED_DIM, DOC_LEN + Q_LEN));
+
+    // Aligned question embedding: doc-to-question soft attention.
+    let score_macs = (DOC_LEN * Q_LEN * EMBED_DIM) as u64;
+    g.push(Op::custom(
+        "aligned_attn",
+        OpKind::Attention,
+        2 * 2 * score_macs, // scores + weighted sum
+        (DOC_LEN * Q_LEN) as u64 + (DOC_LEN * EMBED_DIM) as u64,
+        (EMBED_DIM * EMBED_DIM) as u64,
+        true,
+        2.0,
+        2.0,
+    ));
+
+    // Document encoder: 3 stacked BiLSTMs (input = embed + aligned = 600).
+    let mut in_dim = 2 * EMBED_DIM;
+    for layer in 0..3 {
+        for dir in ["fwd", "bwd"] {
+            g.push(Op::recurrent(
+                format!("doc_lstm{layer}_{dir}"),
+                RecurrentCell::Lstm,
+                in_dim,
+                HIDDEN,
+                DOC_LEN,
+            ));
+        }
+        in_dim = 2 * HIDDEN;
+    }
+
+    // Question encoder: 3 stacked BiLSTMs.
+    let mut in_dim = EMBED_DIM;
+    for layer in 0..3 {
+        for dir in ["fwd", "bwd"] {
+            g.push(Op::recurrent(
+                format!("q_lstm{layer}_{dir}"),
+                RecurrentCell::Lstm,
+                in_dim,
+                HIDDEN,
+                Q_LEN,
+            ));
+        }
+        in_dim = 2 * HIDDEN;
+    }
+
+    // Question self-attention pooling + bilinear start/end span scores.
+    let h2 = 2 * HIDDEN;
+    g.push(Op::dense("q_self_attn", h2, 1));
+    for which in ["start", "end"] {
+        g.push(Op::custom(
+            format!("span_{which}"),
+            OpKind::Attention,
+            2 * (h2 * h2 + DOC_LEN * h2) as u64,
+            (DOC_LEN * h2) as u64,
+            (h2 * h2) as u64,
+            true,
+            2.0,
+            2.0,
+        ));
+    }
+    g.push(Op::softmax("span_softmax", 2 * DOC_LEN as u64));
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embeddings_dominate_parameters() {
+        let g = drqa();
+        let emb = (VOCAB * EMBED_DIM) as f64;
+        assert!(g.params() as f64 > emb, "params include the GloVe table");
+        let m = g.params() as f64 / 1e6;
+        assert!((35.0..45.0).contains(&m), "DrQA params = {m} M");
+    }
+
+    #[test]
+    fn per_sample_compute_modest() {
+        let gf = drqa().fwd_flops(1).as_gflops();
+        // A few hundred MFLOP to ~2 GFLOP per QA pair.
+        assert!((0.1..4.0).contains(&gf), "DrQA fwd = {gf} GFLOP");
+    }
+
+    #[test]
+    fn document_encoder_is_the_big_piece() {
+        use crate::op::OpKind;
+        let g = drqa();
+        let rec = g
+            .kind_breakdown(1)
+            .get(&OpKind::Recurrent)
+            .copied()
+            .unwrap_or_default();
+        assert!(rec.as_f64() > 0.5 * g.training_flops(1).as_f64());
+    }
+}

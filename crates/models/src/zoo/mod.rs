@@ -1,0 +1,20 @@
+//! The model zoo: analytical graphs for every network the study trains.
+//!
+//! | Builder | Benchmark | Suite |
+//! |---|---|---|
+//! | [`resnet::resnet50`] | Image classification (ImageNet) | MLPerf |
+//! | [`detection::ssd300`] | Object detection, light-weight (COCO) | MLPerf |
+//! | [`detection::mask_rcnn`] | Object detection, heavy-weight (COCO) | MLPerf |
+//! | [`translation::transformer_big`] | Translation (WMT17) | MLPerf |
+//! | [`translation::gnmt`] | Translation (WMT17) | MLPerf |
+//! | [`ncf::ncf`] | Recommendation (MovieLens-20M) | MLPerf |
+//! | [`resnet::resnet18_cifar`] | Image classification (CIFAR10) | DAWNBench |
+//! | [`drqa::drqa`] | Question answering (SQuAD) | DAWNBench |
+//! | [`deepbench`] | GEMM/conv/RNN/all-reduce kernels | DeepBench |
+
+pub mod deepbench;
+pub mod detection;
+pub mod drqa;
+pub mod ncf;
+pub mod resnet;
+pub mod translation;

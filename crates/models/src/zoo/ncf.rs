@@ -1,0 +1,81 @@
+//! Neural Collaborative Filtering (NeuMF) on MovieLens-20M — MLPerf v0.5's
+//! recommendation benchmark.
+//!
+//! NeuMF fuses a generalized-matrix-factorization (GMF) branch with an MLP
+//! branch; both own user and item embedding tables. One "sample" is one
+//! (user, item) interaction, which makes the per-sample compute minuscule —
+//! the property behind the paper's NCF observations (tiny training time,
+//! poor multi-GPU scaling, all-reduce-dominated steps).
+
+use crate::graph::ModelGraph;
+use crate::op::Op;
+
+/// MovieLens-20M user count.
+pub const USERS: usize = 138_493;
+/// MovieLens-20M item count.
+pub const ITEMS: usize = 26_744;
+/// GMF embedding width.
+pub const MF_DIM: usize = 64;
+/// MLP tower widths (first entry is the concatenated embedding width).
+pub const MLP_LAYERS: [usize; 4] = [256, 256, 128, 64];
+
+/// NeuMF as configured by the MLPerf v0.5 NCF reference.
+pub fn ncf() -> ModelGraph {
+    let mut g = ModelGraph::new("NCF-NeuMF");
+    let mlp_emb = MLP_LAYERS[0] / 2;
+
+    // GMF branch: user ⊙ item.
+    g.push(Op::embedding("gmf_user_embed", USERS, MF_DIM, 1));
+    g.push(Op::embedding("gmf_item_embed", ITEMS, MF_DIM, 1));
+    g.push(Op::elementwise("gmf_mul", MF_DIM as u64, 1));
+
+    // MLP branch: concat(user, item) through the tower.
+    g.push(Op::embedding("mlp_user_embed", USERS, mlp_emb, 1));
+    g.push(Op::embedding("mlp_item_embed", ITEMS, mlp_emb, 1));
+    for w in MLP_LAYERS.windows(2) {
+        g.push(Op::dense(format!("mlp_fc_{}x{}", w[0], w[1]), w[0], w[1]));
+        g.push(Op::activation(format!("mlp_relu_{}", w[1]), w[1] as u64));
+    }
+
+    // Fusion: concat(GMF out, MLP out) -> score.
+    g.push(Op::dense("predict", MF_DIM + MLP_LAYERS[3], 1));
+    g.push(Op::activation("sigmoid", 1));
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_dominated_by_embeddings() {
+        let g = ncf();
+        let m = g.params() as f64 / 1e6;
+        // (USERS+ITEMS) * (64 + 128) ≈ 31.7 M plus small MLP weights.
+        assert!((30.0..34.0).contains(&m), "NCF params = {m} M");
+    }
+
+    #[test]
+    fn per_sample_compute_is_tiny() {
+        let g = ncf();
+        let mflop = g.fwd_flops(1).as_f64() / 1e6;
+        // Sub-MFLOP per interaction: the benchmark is all-reduce bound.
+        assert!(mflop < 1.0, "NCF fwd = {mflop} MFLOP/sample");
+    }
+
+    #[test]
+    fn flops_to_params_ratio_is_extreme() {
+        // NCF's defining trait: gradient volume (params) dwarfs per-sample
+        // compute, unlike every other MLPerf model.
+        let g = ncf();
+        let flops_per_param = g.fwd_flops(1).as_f64() / g.params() as f64;
+        assert!(flops_per_param < 0.1, "ratio = {flops_per_param}");
+    }
+
+    #[test]
+    fn mostly_not_tensor_core_bound() {
+        // Embedding gathers dominate; the MLP is a rounding error.
+        let g = ncf();
+        assert!(g.tensor_core_fraction(1) > 0.0);
+    }
+}

@@ -1,0 +1,281 @@
+//! Residual networks: ResNet-50 (MLPerf image classification) and the
+//! modified CIFAR ResNet-18 of the DAWNBench `bkj` submission.
+//!
+//! Built block-by-block from He et al.'s published configurations, so the
+//! parameter and FLOP totals fall out of the architecture rather than being
+//! transcribed (ResNet-50 lands at ≈25.6 M parameters and ≈4 GFLOP/image at
+//! 224², the figures the literature quotes).
+
+use crate::graph::ModelGraph;
+use crate::op::Op;
+use crate::tensor::conv_out_dim;
+
+/// Running spatial/channel state while stacking layers.
+struct Stacker {
+    graph: ModelGraph,
+    ch: usize,
+    h: usize,
+    w: usize,
+    layer: usize,
+}
+
+impl Stacker {
+    fn new(name: &str, in_ch: usize, h: usize, w: usize) -> Self {
+        Stacker {
+            graph: ModelGraph::new(name),
+            ch: in_ch,
+            h,
+            w,
+            layer: 0,
+        }
+    }
+
+    fn next_name(&mut self, kind: &str) -> String {
+        self.layer += 1;
+        format!("{kind}{}", self.layer)
+    }
+
+    /// conv → batch-norm → ReLU.
+    fn conv_bn_relu(&mut self, out_ch: usize, kernel: usize, stride: usize, padding: usize) {
+        self.conv_bn(out_ch, kernel, stride, padding);
+        let elems = (self.ch * self.h * self.w) as u64;
+        let name = self.next_name("relu");
+        self.graph.push(Op::activation(name, elems));
+    }
+
+    /// conv → batch-norm (no activation — used before residual adds).
+    fn conv_bn(&mut self, out_ch: usize, kernel: usize, stride: usize, padding: usize) {
+        let name = self.next_name("conv");
+        self.graph.push(Op::conv2d(
+            name, self.ch, out_ch, kernel, stride, padding, self.h, self.w,
+        ));
+        self.h = conv_out_dim(self.h, kernel, stride, padding);
+        self.w = conv_out_dim(self.w, kernel, stride, padding);
+        self.ch = out_ch;
+        let name = self.next_name("bn");
+        self.graph
+            .push(Op::batch_norm(name, self.ch, self.h * self.w));
+    }
+
+    fn max_pool(&mut self, kernel: usize, stride: usize, padding: usize) {
+        let in_elems = (self.ch * self.h * self.w) as u64;
+        self.h = conv_out_dim(self.h, kernel, stride, padding);
+        self.w = conv_out_dim(self.w, kernel, stride, padding);
+        let out_elems = (self.ch * self.h * self.w) as u64;
+        let name = self.next_name("maxpool");
+        self.graph.push(Op::pool(name, kernel, out_elems, in_elems));
+    }
+
+    fn residual_add(&mut self) {
+        let elems = (self.ch * self.h * self.w) as u64;
+        let name = self.next_name("add");
+        self.graph.push(Op::elementwise(name, elems, 1));
+    }
+
+    fn global_avg_pool(&mut self) {
+        let in_elems = (self.ch * self.h * self.w) as u64;
+        let name = self.next_name("avgpool");
+        self.graph.push(Op::pool(name, 1, self.ch as u64, in_elems));
+        self.h = 1;
+        self.w = 1;
+    }
+
+    fn classifier(&mut self, classes: usize) {
+        let name = self.next_name("fc");
+        self.graph.push(Op::dense(name, self.ch, classes));
+        let name = self.next_name("softmax");
+        self.graph.push(Op::softmax(name, classes as u64));
+    }
+}
+
+/// A bottleneck residual block (1×1 reduce, 3×3, 1×1 expand).
+fn bottleneck(s: &mut Stacker, mid_ch: usize, stride: usize, project: bool) {
+    let in_ch = s.ch;
+    let in_h = s.h;
+    let in_w = s.w;
+    s.conv_bn_relu(mid_ch, 1, 1, 0);
+    s.conv_bn_relu(mid_ch, 3, stride, 1);
+    s.conv_bn(mid_ch * 4, 1, 1, 0);
+    if project {
+        // Projection shortcut runs on the block's *input*.
+        let name = s.next_name("proj_conv");
+        s.graph.push(Op::conv2d(
+            name,
+            in_ch,
+            mid_ch * 4,
+            1,
+            stride,
+            0,
+            in_h,
+            in_w,
+        ));
+        let name = s.next_name("proj_bn");
+        s.graph.push(Op::batch_norm(name, mid_ch * 4, s.h * s.w));
+    }
+    s.residual_add();
+    let elems = (s.ch * s.h * s.w) as u64;
+    let name = s.next_name("relu");
+    s.graph.push(Op::activation(name, elems));
+}
+
+/// A basic residual block (two 3×3 convolutions).
+fn basic_block(s: &mut Stacker, out_ch: usize, stride: usize, project: bool) {
+    let in_ch = s.ch;
+    let in_h = s.h;
+    let in_w = s.w;
+    s.conv_bn_relu(out_ch, 3, stride, 1);
+    s.conv_bn(out_ch, 3, 1, 1);
+    if project {
+        let name = s.next_name("proj_conv");
+        s.graph
+            .push(Op::conv2d(name, in_ch, out_ch, 1, stride, 0, in_h, in_w));
+        let name = s.next_name("proj_bn");
+        s.graph.push(Op::batch_norm(name, out_ch, s.h * s.w));
+    }
+    s.residual_add();
+    let elems = (s.ch * s.h * s.w) as u64;
+    let name = s.next_name("relu");
+    s.graph.push(Op::activation(name, elems));
+}
+
+/// ResNet-50 for 224×224 ImageNet classification (He et al. 2015).
+///
+/// # Examples
+///
+/// ```
+/// let g = mlperf_models::zoo::resnet::resnet50();
+/// let m_params = g.params() as f64 / 1e6;
+/// assert!(m_params > 25.0 && m_params < 26.0);
+/// ```
+pub fn resnet50() -> ModelGraph {
+    let mut s = Stacker::new("ResNet-50", 3, 224, 224);
+    s.conv_bn_relu(64, 7, 2, 3);
+    s.max_pool(3, 2, 1);
+    let stages: [(usize, usize); 4] = [(64, 3), (128, 4), (256, 6), (512, 3)];
+    for (stage_idx, (mid_ch, blocks)) in stages.into_iter().enumerate() {
+        for block in 0..blocks {
+            let stride = if stage_idx > 0 && block == 0 { 2 } else { 1 };
+            let project = block == 0;
+            bottleneck(&mut s, mid_ch, stride, project);
+        }
+    }
+    s.global_avg_pool();
+    s.classifier(1000);
+    s.graph
+}
+
+/// ResNet-34 backbone truncated for SSD detection: stages 1–3 kept at
+/// full resolution behaviour (stage 3 stride removed per the MLPerf SSD
+/// reference), returning the graph and its output feature-map geometry.
+pub fn resnet34_ssd_backbone(input: usize) -> (ModelGraph, usize, usize) {
+    let mut s = Stacker::new("ResNet-34-SSD-backbone", 3, input, input);
+    s.conv_bn_relu(64, 7, 2, 3);
+    s.max_pool(3, 2, 1);
+    let stages: [(usize, usize, usize); 3] = [(64, 3, 1), (128, 4, 2), (256, 6, 1)];
+    for (out_ch, blocks, first_stride) in stages {
+        for block in 0..blocks {
+            let stride = if block == 0 { first_stride } else { 1 };
+            let project = block == 0 && (out_ch != s.ch || stride != 1);
+            basic_block(&mut s, out_ch, stride, project);
+        }
+    }
+    let (ch, hw) = (s.ch, s.h);
+    (s.graph, ch, hw)
+}
+
+/// The DAWNBench `bkj` entry: a CIFAR-10 ResNet-18 variant (basic blocks,
+/// 3×3 stem, 32×32 input).
+pub fn resnet18_cifar() -> ModelGraph {
+    let mut s = Stacker::new("ResNet-18-CIFAR", 3, 32, 32);
+    s.conv_bn_relu(64, 3, 1, 1);
+    let stages: [(usize, usize); 4] = [(64, 2), (128, 2), (256, 2), (512, 2)];
+    for (stage_idx, (out_ch, blocks)) in stages.into_iter().enumerate() {
+        for block in 0..blocks {
+            let stride = if stage_idx > 0 && block == 0 { 2 } else { 1 };
+            let project = block == 0 && stage_idx > 0;
+            basic_block(&mut s, out_ch, stride, project);
+        }
+    }
+    s.global_avg_pool();
+    s.classifier(10);
+    s.graph
+}
+
+/// ResNet-50 backbone at detection resolution (used by Mask R-CNN).
+/// Returns the graph plus the stage-4 output geometry.
+pub fn resnet50_fpn_backbone(h: usize, w: usize) -> (ModelGraph, usize, usize, usize) {
+    let mut s = Stacker::new("ResNet-50-FPN-backbone", 3, h, w);
+    s.conv_bn_relu(64, 7, 2, 3);
+    s.max_pool(3, 2, 1);
+    let stages: [(usize, usize); 4] = [(64, 3), (128, 4), (256, 6), (512, 3)];
+    for (stage_idx, (mid_ch, blocks)) in stages.into_iter().enumerate() {
+        for block in 0..blocks {
+            let stride = if stage_idx > 0 && block == 0 { 2 } else { 1 };
+            bottleneck(&mut s, mid_ch, stride, block == 0);
+        }
+    }
+    let (ch, oh, ow) = (s.ch, s.h, s.w);
+    (s.graph, ch, oh, ow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_parameter_count_matches_literature() {
+        let g = resnet50();
+        let m = g.params() as f64 / 1e6;
+        assert!(
+            (25.0..26.0).contains(&m),
+            "ResNet-50 params = {m} M, expected ~25.6 M"
+        );
+    }
+
+    #[test]
+    fn resnet50_forward_flops_match_literature() {
+        let g = resnet50();
+        let gf = g.fwd_flops(1).as_gflops();
+        // Literature: ~4.1 GMAC per 224x224 image = ~8.2 GFLOP at the
+        // 2-ops-per-MAC convention nvprof uses.
+        assert!((7.5..9.0).contains(&gf), "ResNet-50 fwd = {gf} GFLOP");
+    }
+
+    #[test]
+    fn resnet18_cifar_counts() {
+        let g = resnet18_cifar();
+        let m = g.params() as f64 / 1e6;
+        assert!((10.5..11.5).contains(&m), "CIFAR ResNet-18 params = {m} M");
+        let gf = g.fwd_flops(1).as_gflops();
+        // ~0.56 GMAC = ~1.1 GFLOP at 32x32.
+        assert!((0.8..1.4).contains(&gf), "CIFAR ResNet-18 fwd = {gf} GFLOP");
+    }
+
+    #[test]
+    fn resnet50_is_mostly_tensor_core_eligible() {
+        let g = resnet50();
+        assert!(g.tensor_core_fraction(32) > 0.9);
+    }
+
+    #[test]
+    fn ssd_backbone_keeps_38x38_maps() {
+        // 300x300 input: stem /2, pool /2, stage2 /2 => 38x38 (stage 3
+        // stride removed per the MLPerf reference).
+        let (_, ch, hw) = resnet34_ssd_backbone(300);
+        assert_eq!(ch, 256);
+        assert_eq!(hw, 38);
+    }
+
+    #[test]
+    fn fpn_backbone_reduces_by_32() {
+        let (_, ch, oh, ow) = resnet50_fpn_backbone(800, 1344);
+        assert_eq!(ch, 2048);
+        assert_eq!(oh, 25);
+        assert_eq!(ow, 42);
+    }
+
+    #[test]
+    fn deeper_nets_cost_more() {
+        assert!(resnet50().fwd_flops(1).as_u64() > resnet18_cifar().fwd_flops(1).as_u64());
+    }
+}

@@ -1,0 +1,235 @@
+//! Translation models: the Transformer ("big") and GNMT, MLPerf v0.5's two
+//! WMT17 English-German benchmarks.
+//!
+//! A "sample" for both models is one sentence pair at the average WMT17
+//! training length (`SRC_LEN`/`TGT_LEN` tokens), so per-sample costs compose
+//! with batch sizes the same way the image models do.
+
+use crate::graph::ModelGraph;
+use crate::op::{Op, OpKind, RecurrentCell};
+
+/// Average source-sentence token count used for per-sample costing.
+pub const SRC_LEN: usize = 32;
+/// Average target-sentence token count used for per-sample costing.
+pub const TGT_LEN: usize = 32;
+/// Shared sub-word vocabulary size of the MLPerf WMT17 setup.
+pub const VOCAB: usize = 32_768;
+
+/// A dense layer applied at every position of a length-`seq` sequence.
+fn seq_dense(name: &str, seq: usize, in_f: usize, out_f: usize) -> Op {
+    let macs = (seq * in_f * out_f) as u64;
+    Op::custom(
+        name,
+        OpKind::Gemm,
+        2 * macs,
+        (seq * (in_f + out_f)) as u64,
+        (in_f * out_f + out_f) as u64,
+        true,
+        2.0,
+        2.0,
+    )
+}
+
+/// The output-vocabulary projection (weights shared with the embedding, so
+/// zero *new* parameters, but the full GEMM cost).
+fn logits(name: &str, seq: usize, d_model: usize, vocab: usize) -> Op {
+    let macs = (seq * d_model * vocab) as u64;
+    Op::custom(
+        name,
+        OpKind::Gemm,
+        2 * macs,
+        (seq * (d_model + vocab)) as u64,
+        0,
+        true,
+        2.0,
+        2.0,
+    )
+}
+
+/// Transformer "big" (Vaswani et al. 2017): 6 encoder + 6 decoder layers,
+/// d_model = 1024, d_ff = 4096, 16 heads, shared 32 k sub-word vocabulary.
+pub fn transformer_big() -> ModelGraph {
+    let d = 1024;
+    let dff = 4096;
+    let mut g = ModelGraph::new("Transformer-big");
+
+    // Shared source/target embedding table; both sequences look up rows.
+    g.push(Op::embedding("embed", VOCAB, d, SRC_LEN + TGT_LEN));
+
+    for layer in 0..6 {
+        g.push(Op::attention(format!("enc{layer}_self_attn"), SRC_LEN, d));
+        g.push(Op::layer_norm(format!("enc{layer}_ln1"), d, SRC_LEN));
+        g.push(seq_dense(&format!("enc{layer}_ffn_up"), SRC_LEN, d, dff));
+        g.push(Op::activation(
+            format!("enc{layer}_ffn_act"),
+            (SRC_LEN * dff) as u64,
+        ));
+        g.push(seq_dense(&format!("enc{layer}_ffn_down"), SRC_LEN, dff, d));
+        g.push(Op::layer_norm(format!("enc{layer}_ln2"), d, SRC_LEN));
+    }
+    for layer in 0..6 {
+        g.push(Op::attention(format!("dec{layer}_self_attn"), TGT_LEN, d));
+        g.push(Op::layer_norm(format!("dec{layer}_ln1"), d, TGT_LEN));
+        // Cross attention: queries from target, keys/values from source.
+        // Cost ~ self-attention at the target length.
+        g.push(Op::attention(format!("dec{layer}_cross_attn"), TGT_LEN, d));
+        g.push(Op::layer_norm(format!("dec{layer}_ln2"), d, TGT_LEN));
+        g.push(seq_dense(&format!("dec{layer}_ffn_up"), TGT_LEN, d, dff));
+        g.push(Op::activation(
+            format!("dec{layer}_ffn_act"),
+            (TGT_LEN * dff) as u64,
+        ));
+        g.push(seq_dense(&format!("dec{layer}_ffn_down"), TGT_LEN, dff, d));
+        g.push(Op::layer_norm(format!("dec{layer}_ln3"), d, TGT_LEN));
+    }
+    g.push(logits("logits", TGT_LEN, d, VOCAB));
+    g.push(Op::softmax("softmax", (TGT_LEN * VOCAB) as u64));
+    g
+}
+
+/// GNMT (Wu et al. 2016) as configured for MLPerf v0.5: 1024-wide LSTMs,
+/// a 4-layer encoder whose first layer is bidirectional, a 4-layer decoder
+/// with additive attention, separate 32 k vocabularies.
+pub fn gnmt() -> ModelGraph {
+    let h = 1024;
+    let mut g = ModelGraph::new("GNMT");
+
+    g.push(Op::embedding("src_embed", VOCAB, h, SRC_LEN));
+    g.push(Op::embedding("tgt_embed", VOCAB, h, TGT_LEN));
+
+    // Encoder: bidirectional first layer (two sweeps), then 3 unidirectional.
+    g.push(Op::recurrent(
+        "enc0_fwd",
+        RecurrentCell::Lstm,
+        h,
+        h,
+        SRC_LEN,
+    ));
+    g.push(Op::recurrent(
+        "enc0_bwd",
+        RecurrentCell::Lstm,
+        h,
+        h,
+        SRC_LEN,
+    ));
+    // Layer 1 consumes the concatenated 2h bidirectional output.
+    g.push(Op::recurrent(
+        "enc1",
+        RecurrentCell::Lstm,
+        2 * h,
+        h,
+        SRC_LEN,
+    ));
+    for layer in 2..4 {
+        g.push(Op::recurrent(
+            format!("enc{layer}"),
+            RecurrentCell::Lstm,
+            h,
+            h,
+            SRC_LEN,
+        ));
+    }
+
+    // Decoder: 4 LSTM layers; the first also ingests the attention context.
+    g.push(Op::recurrent(
+        "dec0",
+        RecurrentCell::Lstm,
+        2 * h,
+        h,
+        TGT_LEN,
+    ));
+    for layer in 1..4 {
+        g.push(Op::recurrent(
+            format!("dec{layer}"),
+            RecurrentCell::Lstm,
+            h,
+            h,
+            TGT_LEN,
+        ));
+    }
+
+    // Additive (Bahdanau) attention: for every target step, score every
+    // source position through a tanh MLP.
+    let score_macs = (TGT_LEN * SRC_LEN) as u64 * (2 * h + h) as u64;
+    g.push(Op::custom(
+        "attention",
+        OpKind::Attention,
+        2 * score_macs,
+        (TGT_LEN * SRC_LEN) as u64 + (TGT_LEN * h) as u64 * 2,
+        (2 * h * h + h) as u64,
+        true,
+        2.0,
+        2.0,
+    ));
+
+    g.push(logits("logits", TGT_LEN, h, VOCAB));
+    // GNMT does not share its projection with the embedding: count weights.
+    g.push(Op::custom(
+        "logits_weights",
+        OpKind::ElementWise,
+        0,
+        0,
+        (h * VOCAB) as u64,
+        false,
+        0.0,
+        0.0,
+    ));
+    g.push(Op::softmax("softmax", (TGT_LEN * VOCAB) as u64));
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transformer_big_parameter_count() {
+        let m = transformer_big().params() as f64 / 1e6;
+        // Vaswani et al. report 213 M for the big model.
+        assert!(
+            (170.0..240.0).contains(&m),
+            "Transformer-big params = {m} M"
+        );
+    }
+
+    #[test]
+    fn gnmt_parameter_count() {
+        let m = gnmt().params() as f64 / 1e6;
+        // MLPerf GNMT is ~160 M parameters.
+        assert!((120.0..200.0).contains(&m), "GNMT params = {m} M");
+    }
+
+    #[test]
+    fn both_models_cost_gigaflops_per_pair() {
+        let xf = transformer_big().fwd_flops(1).as_gflops();
+        let gn = gnmt().fwd_flops(1).as_gflops();
+        assert!(xf > 5.0, "Transformer fwd = {xf} GFLOP");
+        assert!(gn > 5.0, "GNMT fwd = {gn} GFLOP");
+    }
+
+    #[test]
+    fn recurrence_dominates_gnmt_attention_dominates_transformer() {
+        use crate::op::OpKind;
+        let gn = gnmt();
+        let breakdown = gn.kind_breakdown(1);
+        let rec = breakdown
+            .get(&OpKind::Recurrent)
+            .copied()
+            .unwrap_or_default();
+        assert!(rec.as_f64() > 0.3 * gn.training_flops(1).as_f64());
+
+        let xf = transformer_big();
+        let breakdown = xf.kind_breakdown(1);
+        let attn = breakdown
+            .get(&OpKind::Attention)
+            .copied()
+            .unwrap_or_default();
+        assert!(attn.as_f64() > 0.15 * xf.training_flops(1).as_f64());
+    }
+
+    #[test]
+    fn high_tensor_core_eligibility() {
+        assert!(transformer_big().tensor_core_fraction(1) > 0.9);
+        assert!(gnmt().tensor_core_fraction(1) > 0.9);
+    }
+}

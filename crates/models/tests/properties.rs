@@ -1,0 +1,130 @@
+//! Property-based tests for the operator/graph cost models.
+
+use mlperf_models::zoo::resnet::resnet18_cifar;
+use mlperf_models::{ModelGraph, Op, Optimizer, PrecisionPolicy};
+use proptest::prelude::*;
+
+/// A strategy producing small random-but-valid operator graphs.
+fn arb_graph() -> impl Strategy<Value = ModelGraph> {
+    let op = prop_oneof![
+        (1usize..64, 1usize..64).prop_map(|(i, o)| Op::dense(format!("fc{i}x{o}"), i, o)),
+        (1usize..16, 1usize..16, 8usize..32).prop_map(|(ci, co, hw)| Op::conv2d(
+            format!("c{ci}x{co}"),
+            ci,
+            co,
+            3,
+            1,
+            1,
+            hw,
+            hw
+        )),
+        (1u64..10_000).prop_map(|e| Op::activation(format!("act{e}"), e)),
+        (1usize..64, 1usize..128).prop_map(|(c, s)| Op::batch_norm(format!("bn{c}"), c, s)),
+        (100usize..5000, 4usize..64, 1usize..8).prop_map(|(v, d, l)| Op::embedding(
+            format!("emb{v}"),
+            v,
+            d,
+            l
+        )),
+    ];
+    proptest::collection::vec(op, 1..12).prop_map(|ops| {
+        let mut g = ModelGraph::new("random");
+        g.extend(ops);
+        g
+    })
+}
+
+proptest! {
+    /// FLOPs and activation traffic are exactly linear in the batch size.
+    #[test]
+    fn costs_linear_in_batch(g in arb_graph(), batch in 1u64..64) {
+        prop_assert_eq!(
+            g.fwd_flops(batch).as_u64(),
+            batch * g.fwd_flops(1).as_u64()
+        );
+        prop_assert_eq!(
+            g.training_flops(batch).as_u64(),
+            batch * g.training_flops(1).as_u64()
+        );
+    }
+
+    /// Backward work never undercuts forward work for standard ops.
+    #[test]
+    fn training_at_least_forward(g in arb_graph(), batch in 1u64..32) {
+        prop_assert!(g.training_flops(batch).as_u64() >= g.fwd_flops(batch).as_u64());
+    }
+
+    /// AMP never moves more bytes than FP32 and never changes total FLOPs.
+    #[test]
+    fn amp_dominates_fp32_on_traffic(g in arb_graph(), batch in 1u64..32) {
+        let amp = g.pass_cost(batch, PrecisionPolicy::Amp);
+        let fp32 = g.pass_cost(batch, PrecisionPolicy::Fp32);
+        prop_assert!(amp.mem_bytes <= fp32.mem_bytes);
+        prop_assert!(amp.gradient_bytes <= fp32.gradient_bytes);
+        prop_assert_eq!(amp.total_flops(), fp32.total_flops());
+        // All FP32 flops stay on the SIMT pipeline.
+        prop_assert_eq!(fp32.tensor_flops.as_u64(), 0);
+    }
+
+    /// The iteration cost equals pass cost plus the optimizer step.
+    #[test]
+    fn iteration_decomposes(g in arb_graph(), batch in 1u64..32) {
+        for opt in [Optimizer::SgdMomentum, Optimizer::Adam] {
+            let pass = g.pass_cost(batch, PrecisionPolicy::Amp);
+            let iter = g.iteration_cost(batch, PrecisionPolicy::Amp, opt);
+            prop_assert_eq!(
+                iter.simt_flops.as_u64(),
+                pass.simt_flops.as_u64() + opt.step_flops(g.params()).as_u64()
+            );
+            prop_assert_eq!(iter.tensor_flops, pass.tensor_flops);
+            prop_assert_eq!(
+                iter.mem_bytes.as_u64(),
+                pass.mem_bytes.as_u64() + opt.step_bytes(g.params()).as_u64()
+            );
+        }
+    }
+
+    /// Replica footprint is monotone in batch size and in optimizer state.
+    #[test]
+    fn footprint_monotonicity(g in arb_graph(), batch in 1u64..64) {
+        let small = g.replica_footprint(batch, PrecisionPolicy::Amp, Optimizer::SgdMomentum);
+        let large = g.replica_footprint(batch + 1, PrecisionPolicy::Amp, Optimizer::SgdMomentum);
+        prop_assert!(large >= small);
+        let adam = g.replica_footprint(batch, PrecisionPolicy::Amp, Optimizer::Adam);
+        prop_assert!(adam >= small, "Adam carries more state than SGD");
+    }
+
+    /// Kind breakdown always partitions the training FLOPs.
+    #[test]
+    fn breakdown_partitions(g in arb_graph(), batch in 1u64..16) {
+        let total: u64 = g.kind_breakdown(batch).values().map(|f| f.as_u64()).sum();
+        prop_assert_eq!(total, g.training_flops(batch).as_u64());
+    }
+
+    /// Tensor-core fraction is a fraction.
+    #[test]
+    fn tc_fraction_bounded(g in arb_graph()) {
+        let f = g.tensor_core_fraction(4);
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+
+    /// Gradient bytes track parameters exactly at both precisions.
+    #[test]
+    fn gradients_track_params(g in arb_graph(), batch in 1u64..16) {
+        let amp = g.pass_cost(batch, PrecisionPolicy::Amp);
+        let fp32 = g.pass_cost(batch, PrecisionPolicy::Fp32);
+        prop_assert_eq!(amp.gradient_bytes.as_u64(), 2 * g.params());
+        prop_assert_eq!(fp32.gradient_bytes.as_u64(), 4 * g.params());
+    }
+}
+
+/// A fixed-model anchor: the CIFAR ResNet-18 obeys the same laws at a
+/// realistic size (guards against the strategy only covering tiny ops).
+#[test]
+fn realistic_model_obeys_linearity() {
+    let g = resnet18_cifar();
+    assert_eq!(g.fwd_flops(256).as_u64(), 256 * g.fwd_flops(1).as_u64());
+    let amp = g.pass_cost(128, PrecisionPolicy::Amp);
+    let fp32 = g.pass_cost(128, PrecisionPolicy::Fp32);
+    assert!(amp.mem_bytes < fp32.mem_bytes);
+}

@@ -1,0 +1,608 @@
+//! The training-pipeline simulation engine.
+//!
+//! One training step is a pipeline: host workers preprocess the next batch
+//! (shared CPU loader), the tensors cross the host link (shared PCIe
+//! uplinks where the topology has them), each GPU runs forward+backward
+//! (roofline-priced), the replicas all-reduce gradients (partially hidden
+//! behind backward), and the optimizer updates. The engine executes this
+//! pipeline iteration-by-iteration over shared [`FifoResource`]s with
+//! prefetching, then reports the steady-state step time and the phase and
+//! resource accounting the telemetry layer turns into Table V.
+//!
+//! Scaling behaviour is *emergent* here: adding GPUs grows the all-reduce,
+//! queues more work on the loader and shared uplinks, and (for capped-batch
+//! jobs) shrinks the per-GPU batch — the three mechanisms §IV-D and §V
+//! attribute the observed scaling curves to.
+
+use crate::allreduce::plan_allreduce;
+use crate::des::FifoResource;
+use crate::job::TrainingJob;
+use crate::kernel::KernelTimer;
+use mlperf_hw::systems::SystemSpec;
+use mlperf_hw::topology::{NodeId, P2pClass};
+use mlperf_hw::units::{Bytes, Seconds};
+use mlperf_models::IterationCost;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Iterations simulated before measurement starts (pipeline fill).
+const WARMUP_ITERS: u64 = 8;
+/// Iterations measured for the steady-state averages.
+const MEASURE_ITERS: u64 = 32;
+
+/// Fraction of the compute phase that is the backward pass (the window
+/// bucketed all-reduce can hide under).
+const BWD_FRACTION: f64 = 2.0 / 3.0;
+
+/// Errors from a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The GPU set is empty or names ordinals outside the system.
+    BadGpuSet(String),
+    /// The training replica does not fit in device memory.
+    OutOfMemory {
+        /// Bytes the replica needs.
+        required: Bytes,
+        /// Bytes the device has.
+        available: Bytes,
+    },
+    /// Topology routing failed.
+    Topology(mlperf_hw::TopologyError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BadGpuSet(msg) => write!(f, "bad GPU set: {msg}"),
+            SimError::OutOfMemory {
+                required,
+                available,
+            } => {
+                write!(f, "replica needs {required} but device has {available}")
+            }
+            SimError::Topology(e) => write!(f, "topology error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Topology(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mlperf_hw::TopologyError> for SimError {
+    fn from(e: mlperf_hw::TopologyError) -> Self {
+        SimError::Topology(e)
+    }
+}
+
+/// Steady-state accounting for one training step of one job on one system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepReport {
+    /// GPUs used.
+    pub n_gpus: u64,
+    /// Effective per-GPU batch after any global cap.
+    pub per_gpu_batch: u64,
+    /// Steady-state wall-clock time per step.
+    pub step_time: Seconds,
+    /// Forward+backward device time per step.
+    pub compute_time: Seconds,
+    /// Optimizer update time per step.
+    pub opt_time: Seconds,
+    /// Full (pre-overlap) gradient all-reduce time per step.
+    pub allreduce_time: Seconds,
+    /// All-reduce time left exposed after overlap with backward.
+    pub exposed_comm: Seconds,
+    /// Average per-step time a GPU waits on the input pipeline.
+    pub data_stall: Seconds,
+    /// Fraction of the step each GPU spends with kernels resident.
+    pub gpu_busy_fraction: f64,
+    /// Host CPU busy time per step (reference-core-seconds, whole chassis).
+    pub cpu_core_secs_per_step: f64,
+    /// Host-to-device input bytes per step, summed over GPUs.
+    pub h2d_bytes_per_step: Bytes,
+    /// All-reduce wire bytes per step, summed over GPUs.
+    pub wire_bytes_per_step: Bytes,
+    /// The classification of the worst peer path the collective crosses
+    /// (`None` on a single GPU).
+    pub comm_class: Option<P2pClass>,
+    /// Device-memory footprint per GPU.
+    pub hbm_per_gpu: Bytes,
+    /// Host DRAM footprint for the whole job.
+    pub dram_footprint: Bytes,
+    /// The iteration cost that was priced (for roofline/telemetry reuse).
+    pub iteration_cost: IterationCost,
+}
+
+impl StepReport {
+    /// Samples per second of wall-clock at steady state.
+    pub fn throughput_samples_per_sec(&self) -> f64 {
+        (self.per_gpu_batch * self.n_gpus) as f64 / self.step_time.as_secs()
+    }
+}
+
+/// The simulation engine for one platform.
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    system: &'a SystemSpec,
+    warmup_iters: u64,
+    measure_iters: u64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Create an engine bound to a platform with the default simulation
+    /// window (8 warmup + 32 measured iterations).
+    pub fn new(system: &'a SystemSpec) -> Self {
+        Simulator {
+            system,
+            warmup_iters: WARMUP_ITERS,
+            measure_iters: MEASURE_ITERS,
+        }
+    }
+
+    /// Override the simulation window. Steady-state results are invariant
+    /// to the measurement length (tested), so this mainly trades fidelity
+    /// of the warmup transient against runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both counts are at least 1.
+    pub fn with_window(mut self, warmup_iters: u64, measure_iters: u64) -> Self {
+        assert!(
+            warmup_iters >= 1 && measure_iters >= 1,
+            "window must be non-empty"
+        );
+        self.warmup_iters = warmup_iters;
+        self.measure_iters = measure_iters;
+        self
+    }
+
+    /// The platform this engine simulates.
+    pub fn system(&self) -> &SystemSpec {
+        self.system
+    }
+
+    /// Simulate `job` on the GPU ordinals `gpus` and report the steady
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::BadGpuSet`] — empty set, duplicate or unknown ordinals;
+    /// * [`SimError::OutOfMemory`] — replica + overhead exceeds HBM;
+    /// * [`SimError::Topology`] — no route between required endpoints.
+    pub fn run(&self, job: &TrainingJob, gpus: &[u32]) -> Result<StepReport, SimError> {
+        self.run_inner(job, gpus, false).map(|(report, _)| report)
+    }
+
+    /// As [`Simulator::run`], additionally returning the full per-iteration
+    /// phase timeline (for the high-fidelity telemetry loggers).
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::run`].
+    pub fn run_traced(
+        &self,
+        job: &TrainingJob,
+        gpus: &[u32],
+    ) -> Result<(StepReport, crate::trace::RunTrace), SimError> {
+        self.run_inner(job, gpus, true)
+            .map(|(report, trace)| (report, trace.expect("tracing was requested")))
+    }
+
+    fn run_inner(
+        &self,
+        job: &TrainingJob,
+        gpus: &[u32],
+        record_trace: bool,
+    ) -> Result<(StepReport, Option<crate::trace::RunTrace>), SimError> {
+        let topo = self.system.topology();
+        if gpus.is_empty() {
+            return Err(SimError::BadGpuSet("empty GPU set".into()));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &g in gpus {
+            if (g as usize) >= topo.gpu_count() {
+                return Err(SimError::BadGpuSet(format!(
+                    "GPU {g} not present (system has {})",
+                    topo.gpu_count()
+                )));
+            }
+            if !seen.insert(g) {
+                return Err(SimError::BadGpuSet(format!("GPU {g} listed twice")));
+            }
+        }
+        let n = gpus.len() as u64;
+        let batch = job.effective_per_gpu_batch(n);
+
+        // --- price the device phases ------------------------------------
+        let gpu_spec = self.system.gpu_model().spec();
+        let timer = KernelTimer::new(gpu_spec.clone(), job.efficiency());
+        let pass = job.model().pass_cost(batch, job.precision());
+        // Fixed launch/dispatch overhead is part of the device phase but
+        // batch-independent — the small-batch underutilization mechanism.
+        let launch_overhead = job.gpu_step_overhead();
+        let compute_time = timer.step_time(&pass) + launch_overhead;
+        let params = job.model().params();
+        let opt_cost = IterationCost {
+            simt_flops: job.optimizer().step_flops(params),
+            tensor_flops: mlperf_hw::Flops::ZERO,
+            mem_bytes: job.optimizer().step_bytes(params),
+            gradient_bytes: Bytes::ZERO,
+        };
+        let opt_time = timer.step_time(&opt_cost);
+
+        // --- memory check -------------------------------------------------
+        let replica = job
+            .model()
+            .replica_footprint(batch, job.precision(), job.optimizer());
+        let hbm_per_gpu = replica
+            + job.hbm_overhead()
+            + job.pipeline().h2d_bytes_per_batch(batch) * job.prefetch_depth();
+        if hbm_per_gpu > gpu_spec.hbm_capacity() {
+            return Err(SimError::OutOfMemory {
+                required: hbm_per_gpu,
+                available: gpu_spec.hbm_capacity(),
+            });
+        }
+
+        // --- communication phase ------------------------------------------
+        // Gradient accumulation amortizes the exchange over `period` steps.
+        let period = job.allreduce_period() as f64;
+        let (ar_full, comm_class, wire_per_gpu) = if n > 1 {
+            let plan = plan_allreduce(topo, gpus, job.allreduce(), pass.gradient_bytes)?;
+            (
+                plan.time.scale(1.0 / period),
+                Some(plan.worst_class),
+                plan.wire_bytes_per_gpu.scale(1.0 / period),
+            )
+        } else {
+            (Seconds::ZERO, None, Bytes::ZERO)
+        };
+        // Bucketed overlap hides reduction behind backward, but the final
+        // bucket (and NCCL's SM interference) always leaves a floor of the
+        // collective exposed. On paths without GPUDirect P2P the staged
+        // host copies serialize poorly with compute, degrading overlap.
+        const MIN_EXPOSED_FRACTION: f64 = 0.25;
+        const STAGED_OVERLAP_QUALITY: f64 = 0.0;
+        let overlap = match comm_class {
+            Some(c) if !c.supports_p2p() => job.comm_overlap() * STAGED_OVERLAP_QUALITY,
+            _ => job.comm_overlap(),
+        };
+        let hideable = compute_time.scale(BWD_FRACTION * overlap);
+        let exposed_comm = if ar_full.as_secs() > hideable.as_secs() {
+            ar_full - hideable
+        } else {
+            ar_full.scale(MIN_EXPOSED_FRACTION)
+        };
+
+        // --- host pipeline resources --------------------------------------
+        let cpu = self.system.cpu_model().spec();
+        let sockets = self.system.cpu_count() as f64;
+        // One chassis-wide loader; multi-socket hosts preprocess faster.
+        let prep_service = job
+            .pipeline()
+            .host_time_per_batch(&cpu, batch)
+            .scale(1.0 / sockets);
+        let mut loader = FifoResource::new();
+
+        // H2D link: each GPU charges its host path's bottleneck edge.
+        let h2d_bytes = job.pipeline().h2d_bytes_per_batch(batch);
+        let mut links: HashMap<(NodeId, NodeId), FifoResource> = HashMap::new();
+        let mut gpu_edges = Vec::with_capacity(gpus.len());
+        let mut h2d_services = Vec::with_capacity(gpus.len());
+        for &g in gpus {
+            let path = topo.gpu_host_path(g)?;
+            // Identify the bottleneck edge (slowest link on the path).
+            let (idx, link) = path
+                .links
+                .iter()
+                .enumerate()
+                .min_by(|a, b| {
+                    a.1.effective_bandwidth()
+                        .as_bytes_per_sec()
+                        .partial_cmp(&b.1.effective_bandwidth().as_bytes_per_sec())
+                        .expect("bandwidths are finite")
+                })
+                .expect("host path has at least one link");
+            let key = (
+                path.nodes[idx].min(path.nodes[idx + 1]),
+                path.nodes[idx].max(path.nodes[idx + 1]),
+            );
+            links.entry(key).or_default();
+            gpu_edges.push(key);
+            h2d_services.push(h2d_bytes / link.effective_bandwidth());
+        }
+
+        // --- iterate the pipeline -----------------------------------------
+        let warmup_iters = self.warmup_iters;
+        let measure_iters = self.measure_iters;
+        let total_iters = warmup_iters + measure_iters;
+        let depth = job.prefetch_depth();
+        let k = gpus.len();
+        let mut step_done = Seconds::ZERO;
+        let mut step_done_history: Vec<Seconds> = Vec::with_capacity(total_iters as usize);
+        let mut measured_stall = Seconds::ZERO;
+        let mut warmup_end = Seconds::ZERO;
+
+        let mut trace_records = record_trace.then(|| Vec::with_capacity(total_iters as usize));
+        for iter in 0..total_iters {
+            // Prefetch slot: batch `iter` may be prepped once batch
+            // `iter - depth` has fully completed.
+            let slot_free = if iter >= depth {
+                step_done_history[(iter - depth) as usize]
+            } else {
+                Seconds::ZERO
+            };
+            let mut iter_compute_done = Seconds::ZERO;
+            let mut iter_stall = Seconds::ZERO;
+            let mut phases = record_trace.then(|| Vec::with_capacity(k));
+            for g in 0..k {
+                let prep_done = loader.serve(slot_free, prep_service);
+                let link = links.get_mut(&gpu_edges[g]).expect("edge registered");
+                let data_ready = link.serve(prep_done, h2d_services[g]);
+                let start = data_ready.max(step_done);
+                iter_stall += start - step_done;
+                let done = start + compute_time;
+                iter_compute_done = iter_compute_done.max(done);
+                if let Some(ps) = phases.as_mut() {
+                    ps.push(crate::trace::GpuPhases {
+                        prep_done,
+                        data_ready,
+                        compute_start: start,
+                        compute_done: done,
+                    });
+                }
+            }
+            let done = iter_compute_done + exposed_comm + opt_time;
+            if let (Some(records), Some(ps)) = (trace_records.as_mut(), phases) {
+                records.push(crate::trace::IterationRecord {
+                    iter,
+                    gpus: ps,
+                    sync: iter_compute_done,
+                    allreduce_done: iter_compute_done + exposed_comm,
+                    step_done: done,
+                });
+            }
+            step_done_history.push(done);
+            step_done = done;
+            if iter == warmup_iters - 1 {
+                warmup_end = done;
+            }
+            if iter >= warmup_iters {
+                measured_stall += iter_stall.scale(1.0 / k as f64);
+            }
+        }
+
+        let measured_span = step_done - warmup_end;
+        let step_time = measured_span.scale(1.0 / measure_iters as f64);
+        let data_stall = measured_stall.scale(1.0 / measure_iters as f64);
+
+        // --- derived accounting --------------------------------------------
+        // Launch gaps leave SMs idle ~40% of the time (dmon counts a GPU
+        // busy whenever any kernel is resident).
+        const OVERHEAD_BUSY_FRACTION: f64 = 0.25;
+        let busy_per_gpu = (compute_time - launch_overhead)
+            + launch_overhead.scale(OVERHEAD_BUSY_FRACTION)
+            + opt_time
+            + exposed_comm;
+        let gpu_busy_fraction = (busy_per_gpu.as_secs() / step_time.as_secs()).min(1.0);
+
+        // Polling threads spin only when there is a collective to progress.
+        let poll = if n > 1 {
+            job.host_poll_cores() * n as f64 * step_time.as_secs() * 2.4
+        } else {
+            0.0
+        };
+        let cpu_core_secs_per_step = job.host_fixed_core_secs()
+            + job.pipeline().host_core_secs_per_batch(batch) * n as f64
+            + job.host_step_core_secs() * n as f64
+            + poll;
+
+        let dram_footprint = job.dram_base()
+            + job
+                .pipeline()
+                .staging_footprint(batch, depth)
+                .scale(n as f64);
+
+        let trace = trace_records.map(|iterations| crate::trace::RunTrace {
+            iterations,
+            warmup: warmup_iters,
+        });
+        Ok((
+            StepReport {
+                n_gpus: n,
+                per_gpu_batch: batch,
+                step_time,
+                compute_time,
+                opt_time,
+                allreduce_time: ar_full,
+                exposed_comm,
+                data_stall,
+                gpu_busy_fraction,
+                cpu_core_secs_per_step,
+                h2d_bytes_per_step: h2d_bytes * n,
+                wire_bytes_per_step: wire_per_gpu * n,
+                comm_class,
+                hbm_per_gpu,
+                dram_footprint,
+                iteration_cost: job
+                    .model()
+                    .iteration_cost(batch, job.precision(), job.optimizer()),
+            },
+            trace,
+        ))
+    }
+
+    /// Convenience: run on the first `n` GPUs of the system.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::run`].
+    pub fn run_on_first(&self, job: &TrainingJob, n: u32) -> Result<StepReport, SimError> {
+        let gpus: Vec<u32> = (0..n).collect();
+        self.run(job, &gpus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{ConvergenceModel, TrainingJob};
+    use mlperf_data::{DatasetId, InputPipeline};
+    use mlperf_hw::systems::SystemId;
+    use mlperf_models::zoo::resnet::resnet50;
+
+    fn resnet_job() -> TrainingJob {
+        let pipeline = InputPipeline::new(DatasetId::ImageNet, Bytes::new(224 * 224 * 3 * 2));
+        TrainingJob::builder(
+            "resnet50",
+            resnet50(),
+            pipeline,
+            96,
+            ConvergenceModel::new(63.0, 768, 0.0),
+        )
+        .build()
+    }
+
+    #[test]
+    fn single_gpu_run_reports_sane_numbers() {
+        let system = SystemId::C4140K.spec();
+        let sim = Simulator::new(&system);
+        let r = sim.run(&resnet_job(), &[0]).unwrap();
+        assert_eq!(r.n_gpus, 1);
+        assert!(r.step_time.as_secs() > 0.0);
+        assert_eq!(r.allreduce_time, Seconds::ZERO);
+        assert_eq!(r.comm_class, None);
+        assert!(r.gpu_busy_fraction > 0.3 && r.gpu_busy_fraction <= 1.0);
+        assert!(r.throughput_samples_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn multi_gpu_steps_slower_but_more_throughput() {
+        let system = SystemId::C4140K.spec();
+        let sim = Simulator::new(&system);
+        let r1 = sim.run_on_first(&resnet_job(), 1).unwrap();
+        let r4 = sim.run_on_first(&resnet_job(), 4).unwrap();
+        assert!(r4.step_time.as_secs() >= r1.step_time.as_secs());
+        // Scaling is sub-linear (all-reduce + host loader saturation) but
+        // ResNet-50 should still land well past 2.5x on NVLink.
+        assert!(r4.throughput_samples_per_sec() > 2.5 * r1.throughput_samples_per_sec());
+        assert_eq!(r4.comm_class, Some(P2pClass::NvLinkDirect));
+        assert!(r4.wire_bytes_per_step > Bytes::ZERO);
+    }
+
+    #[test]
+    fn nvlink_system_beats_upi_system_on_step_time() {
+        let job = resnet_job();
+        let k = SystemId::C4140K.spec();
+        let t640 = SystemId::T640.spec();
+        let rk = Simulator::new(&k).run_on_first(&job, 4).unwrap();
+        let rt = Simulator::new(&t640).run_on_first(&job, 4).unwrap();
+        assert!(
+            rk.step_time.as_secs() < rt.step_time.as_secs(),
+            "NVLink {} vs UPI {}",
+            rk.step_time,
+            rt.step_time
+        );
+    }
+
+    #[test]
+    fn empty_and_bogus_gpu_sets_error() {
+        let system = SystemId::C4140K.spec();
+        let sim = Simulator::new(&system);
+        assert!(matches!(
+            sim.run(&resnet_job(), &[]),
+            Err(SimError::BadGpuSet(_))
+        ));
+        assert!(matches!(
+            sim.run(&resnet_job(), &[9]),
+            Err(SimError::BadGpuSet(_))
+        ));
+        assert!(matches!(
+            sim.run(&resnet_job(), &[0, 0]),
+            Err(SimError::BadGpuSet(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_batch_oomse() {
+        let system = SystemId::C4140K.spec(); // 16 GB HBM
+        let sim = Simulator::new(&system);
+        let pipeline = InputPipeline::new(DatasetId::ImageNet, Bytes::new(224 * 224 * 3 * 2));
+        let job = TrainingJob::builder(
+            "resnet50-huge",
+            resnet50(),
+            pipeline,
+            4096,
+            ConvergenceModel::new(63.0, 768, 0.0),
+        )
+        .build();
+        assert!(matches!(
+            sim.run(&job, &[0]),
+            Err(SimError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn cpu_work_scales_with_gpu_count() {
+        let system = SystemId::C4140K.spec();
+        let sim = Simulator::new(&system);
+        let job = resnet_job();
+        let r1 = sim.run_on_first(&job, 1).unwrap();
+        let r4 = sim.run_on_first(&job, 4).unwrap();
+        assert!((r4.cpu_core_secs_per_step / r1.cpu_core_secs_per_step - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fp32_step_is_slower_than_amp() {
+        use mlperf_models::PrecisionPolicy;
+        let system = SystemId::Dss8440.spec();
+        let sim = Simulator::new(&system);
+        let amp = resnet_job();
+        let fp32 = amp.with_precision(PrecisionPolicy::Fp32);
+        // Use a smaller batch so FP32 activations fit in 16 GB.
+        let r_amp = sim.run_on_first(&amp, 1).unwrap();
+        let r_fp32 = sim.run_on_first(&fp32, 1).unwrap();
+        assert!(r_fp32.step_time.as_secs() > 1.4 * r_amp.step_time.as_secs());
+    }
+
+    #[test]
+    fn steady_state_is_window_invariant() {
+        // The measured step time must not depend on how long we measure:
+        // warmup absorbs the pipeline-fill transient.
+        let system = SystemId::C4140K.spec();
+        let job = resnet_job();
+        let short = Simulator::new(&system)
+            .with_window(4, 8)
+            .run_on_first(&job, 4)
+            .unwrap();
+        let long = Simulator::new(&system)
+            .with_window(16, 128)
+            .run_on_first(&job, 4)
+            .unwrap();
+        let rel =
+            (short.step_time.as_secs() - long.step_time.as_secs()).abs() / long.step_time.as_secs();
+        assert!(rel < 1e-6, "step time drifted {rel} with the window");
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-empty")]
+    fn empty_window_rejected() {
+        let system = SystemId::C4140K.spec();
+        let _ = Simulator::new(&system).with_window(0, 8);
+    }
+
+    #[test]
+    fn dram_footprint_grows_with_gpus() {
+        let system = SystemId::C4140K.spec();
+        let sim = Simulator::new(&system);
+        let job = resnet_job();
+        let r1 = sim.run_on_first(&job, 1).unwrap();
+        let r4 = sim.run_on_first(&job, 4).unwrap();
+        assert!(r4.dram_footprint > r1.dram_footprint);
+    }
+}

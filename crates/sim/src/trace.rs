@@ -1,0 +1,188 @@
+//! Execution traces: the per-iteration phase timeline of a simulated run.
+//!
+//! The engine's [`StepReport`](crate::StepReport) is a steady-state summary;
+//! a [`RunTrace`] keeps the raw schedule — for every measured iteration and
+//! every GPU, when its batch was staged, when compute ran, and when the
+//! synchronized step completed. The high-fidelity `dmon`/`dstat` loggers in
+//! `mlperf-telemetry` replay these instead of reconstructing phases
+//! analytically, and the `training_timeline` example renders them.
+
+use mlperf_hw::units::Seconds;
+use std::fmt;
+
+/// One GPU's phases within one iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuPhases {
+    /// When the host finished preprocessing this GPU's batch.
+    pub prep_done: Seconds,
+    /// When the H2D copy delivered the batch to device memory.
+    pub data_ready: Seconds,
+    /// When forward+backward began (after data and the previous step).
+    pub compute_start: Seconds,
+    /// When forward+backward finished.
+    pub compute_done: Seconds,
+}
+
+impl GpuPhases {
+    /// Time this GPU sat idle waiting for input this iteration.
+    pub fn stall(&self, prev_step_done: Seconds) -> Seconds {
+        if self.compute_start.as_secs() > prev_step_done.as_secs() {
+            self.compute_start - prev_step_done
+        } else {
+            Seconds::ZERO
+        }
+    }
+}
+
+/// One synchronized training iteration across all GPUs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationRecord {
+    /// Iteration ordinal (includes warmup iterations).
+    pub iter: u64,
+    /// Per-GPU phases, indexed like the run's GPU list.
+    pub gpus: Vec<GpuPhases>,
+    /// When the slowest GPU finished compute (the all-reduce sync point).
+    pub sync: Seconds,
+    /// When the exposed all-reduce finished.
+    pub allreduce_done: Seconds,
+    /// When the optimizer step finished (the iteration boundary).
+    pub step_done: Seconds,
+}
+
+impl IterationRecord {
+    /// Wall-clock span of this iteration, measured from the previous
+    /// iteration's completion.
+    pub fn span(&self, prev_step_done: Seconds) -> Seconds {
+        self.step_done - prev_step_done
+    }
+}
+
+/// The complete timeline of a simulated run window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunTrace {
+    /// All iterations, warmup included, in order.
+    pub iterations: Vec<IterationRecord>,
+    /// How many leading iterations are pipeline warmup.
+    pub warmup: u64,
+}
+
+impl RunTrace {
+    /// The measured (post-warmup) iterations.
+    pub fn measured(&self) -> &[IterationRecord] {
+        &self.iterations[self.warmup as usize..]
+    }
+
+    /// Total simulated time covered by the trace.
+    pub fn end(&self) -> Seconds {
+        self.iterations
+            .last()
+            .map(|r| r.step_done)
+            .unwrap_or(Seconds::ZERO)
+    }
+
+    /// Whether a GPU had compute resident at absolute time `t`
+    /// (compute phase, exposed collective, or optimizer — the window dmon
+    /// counts as busy).
+    pub fn gpu_busy_at(&self, gpu: usize, t: Seconds) -> bool {
+        let tv = t.as_secs();
+        self.iterations.iter().any(|rec| {
+            rec.gpus.get(gpu).is_some_and(|p| {
+                // Busy from compute start through the step boundary
+                // (collective + optimizer keep kernels resident).
+                tv >= p.compute_start.as_secs() && tv < rec.step_done.as_secs()
+            })
+        })
+    }
+
+    /// The iteration in flight at time `t`, if any.
+    pub fn iteration_at(&self, t: Seconds) -> Option<&IterationRecord> {
+        let tv = t.as_secs();
+        let mut prev_end = 0.0;
+        for rec in &self.iterations {
+            if tv >= prev_end && tv < rec.step_done.as_secs() {
+                return Some(rec);
+            }
+            prev_end = rec.step_done.as_secs();
+        }
+        None
+    }
+}
+
+impl fmt::Display for RunTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} iterations ({} warmup) over {}",
+            self.iterations.len(),
+            self.warmup,
+            self.end()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_iter_trace() -> RunTrace {
+        let mk = |base: f64| IterationRecord {
+            iter: 0,
+            gpus: vec![GpuPhases {
+                prep_done: Seconds::new(base + 0.01),
+                data_ready: Seconds::new(base + 0.02),
+                compute_start: Seconds::new(base + 0.02),
+                compute_done: Seconds::new(base + 0.10),
+            }],
+            sync: Seconds::new(base + 0.10),
+            allreduce_done: Seconds::new(base + 0.11),
+            step_done: Seconds::new(base + 0.12),
+        };
+        RunTrace {
+            iterations: vec![mk(0.0), mk(0.12)],
+            warmup: 1,
+        }
+    }
+
+    #[test]
+    fn measured_excludes_warmup() {
+        let t = two_iter_trace();
+        assert_eq!(t.measured().len(), 1);
+        assert_eq!(t.end(), Seconds::new(0.24));
+    }
+
+    #[test]
+    fn busy_windows_are_half_open() {
+        let t = two_iter_trace();
+        assert!(!t.gpu_busy_at(0, Seconds::new(0.01))); // staging
+        assert!(t.gpu_busy_at(0, Seconds::new(0.05))); // compute
+        assert!(t.gpu_busy_at(0, Seconds::new(0.115))); // optimizer
+        assert!(!t.gpu_busy_at(0, Seconds::new(0.121))); // next staging
+        assert!(!t.gpu_busy_at(1, Seconds::new(0.05))); // no such GPU
+    }
+
+    #[test]
+    fn iteration_lookup() {
+        let t = two_iter_trace();
+        assert_eq!(
+            t.iteration_at(Seconds::new(0.05)).unwrap().step_done,
+            Seconds::new(0.12)
+        );
+        assert_eq!(
+            t.iteration_at(Seconds::new(0.13)).unwrap().step_done,
+            Seconds::new(0.24)
+        );
+        assert!(t.iteration_at(Seconds::new(0.25)).is_none());
+    }
+
+    #[test]
+    fn stall_is_positive_only_when_waiting() {
+        let p = GpuPhases {
+            prep_done: Seconds::new(0.5),
+            data_ready: Seconds::new(0.6),
+            compute_start: Seconds::new(0.6),
+            compute_done: Seconds::new(1.0),
+        };
+        assert!((p.stall(Seconds::new(0.2)).as_secs() - 0.4).abs() < 1e-12);
+        assert_eq!(p.stall(Seconds::new(0.8)), Seconds::ZERO);
+    }
+}

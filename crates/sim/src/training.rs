@@ -1,0 +1,145 @@
+//! End-to-end training runs: steady-state step time × steps-to-quality.
+//!
+//! MLPerf's metric is wall-clock time to a quality target. The engine
+//! supplies the steady-state step time; this module multiplies through the
+//! convergence model (epochs at the effective global batch × steps per
+//! epoch) to produce the training times Tables IV and Figure 5 report.
+
+use crate::engine::{SimError, Simulator, StepReport};
+use crate::job::TrainingJob;
+use mlperf_hw::units::Seconds;
+use std::fmt;
+
+/// The outcome of one complete training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingOutcome {
+    /// Wall-clock time to the quality target.
+    pub total_time: Seconds,
+    /// Epochs needed at the run's global batch.
+    pub epochs: f64,
+    /// Optimizer steps per epoch.
+    pub steps_per_epoch: u64,
+    /// The steady-state step accounting.
+    pub step: StepReport,
+}
+
+impl TrainingOutcome {
+    /// Total optimizer steps over the run.
+    pub fn total_steps(&self) -> u64 {
+        (self.epochs * self.steps_per_epoch as f64).ceil() as u64
+    }
+}
+
+impl fmt::Display for TrainingOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} min ({:.1} epochs x {} steps @ {:.1} ms/step on {} GPUs)",
+            self.total_time.as_minutes(),
+            self.epochs,
+            self.steps_per_epoch,
+            self.step.step_time.as_secs() * 1e3,
+            self.step.n_gpus,
+        )
+    }
+}
+
+/// Run `job` to its quality target on the given GPUs of a system.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+pub fn train(
+    sim: &Simulator<'_>,
+    job: &TrainingJob,
+    gpus: &[u32],
+) -> Result<TrainingOutcome, SimError> {
+    let step = sim.run(job, gpus)?;
+    let global_batch = step.per_gpu_batch * step.n_gpus;
+    let samples = job.pipeline().dataset().spec().samples();
+    let steps_per_epoch = samples.div_ceil(global_batch);
+    let epochs = job.convergence().epochs_at(global_batch);
+    let total_steps = epochs * steps_per_epoch as f64;
+    let total_time = step.step_time.scale(total_steps);
+    Ok(TrainingOutcome {
+        total_time,
+        epochs,
+        steps_per_epoch,
+        step,
+    })
+}
+
+/// Run `job` on the first `n` GPUs.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+pub fn train_on_first(
+    sim: &Simulator<'_>,
+    job: &TrainingJob,
+    n: u32,
+) -> Result<TrainingOutcome, SimError> {
+    let gpus: Vec<u32> = (0..n).collect();
+    train(sim, job, &gpus)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::ConvergenceModel;
+    use mlperf_data::{DatasetId, InputPipeline};
+    use mlperf_hw::systems::SystemId;
+    use mlperf_hw::units::Bytes;
+    use mlperf_models::zoo::ncf::ncf;
+
+    fn ncf_job() -> TrainingJob {
+        let pipeline = InputPipeline::new(DatasetId::MovieLens20M, Bytes::new(16));
+        TrainingJob::builder(
+            "ncf",
+            ncf(),
+            pipeline,
+            1 << 20,
+            ConvergenceModel::new(13.0, 1 << 20, 0.0),
+        )
+        .max_global_batch(1 << 20)
+        .optimizer(mlperf_models::Optimizer::Adam)
+        .build()
+    }
+
+    #[test]
+    fn outcome_composes_epochs_and_steps() {
+        let system = SystemId::C4140K.spec();
+        let sim = Simulator::new(&system);
+        let out = train_on_first(&sim, &ncf_job(), 1).unwrap();
+        assert!(out.total_time.as_secs() > 0.0);
+        assert_eq!(
+            out.steps_per_epoch,
+            DatasetId::MovieLens20M
+                .spec()
+                .samples()
+                .div_ceil(out.step.per_gpu_batch)
+        );
+        assert!((out.epochs - 13.0).abs() < 1e-9);
+        assert!(out.total_steps() >= out.steps_per_epoch * 13);
+    }
+
+    #[test]
+    fn capped_job_scales_poorly() {
+        // NCF's global batch cap: 4 GPUs do not get 4x the throughput.
+        let system = SystemId::C4140K.spec();
+        let sim = Simulator::new(&system);
+        let t1 = train_on_first(&sim, &ncf_job(), 1).unwrap().total_time;
+        let t4 = train_on_first(&sim, &ncf_job(), 4).unwrap().total_time;
+        let speedup = t1.as_secs() / t4.as_secs();
+        assert!(speedup < 3.0, "capped NCF sped up {speedup}x");
+    }
+
+    #[test]
+    fn display_mentions_minutes_and_gpus() {
+        let system = SystemId::C4140K.spec();
+        let sim = Simulator::new(&system);
+        let out = train_on_first(&sim, &ncf_job(), 2).unwrap();
+        let s = out.to_string();
+        assert!(s.contains("min") && s.contains("2 GPUs"));
+    }
+}

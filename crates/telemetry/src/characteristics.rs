@@ -1,0 +1,114 @@
+//! The 8-dimensional workload-characteristics vector of the PCA study.
+//!
+//! Section IV-A reduces each workload to eight measured features — PCIe
+//! utilization, GPU utilization, CPU utilization, DDR memory footprint,
+//! HBM2 footprint, FLOP throughput, memory throughput, and number of
+//! epochs — and runs PCA over the suite. [`WorkloadCharacteristics`]
+//! assembles that exact vector from a run's telemetry.
+
+use crate::nvprof::KernelProfile;
+use crate::usage::ResourceUsage;
+use std::fmt;
+
+/// Names of the eight features, in vector order.
+pub const FEATURE_NAMES: [&str; 8] = [
+    "PCIe util (Mbps)",
+    "GPU util (%)",
+    "CPU util (%)",
+    "DDR footprint (MB)",
+    "HBM2 footprint (MB)",
+    "FLOP throughput (GFLOP/s)",
+    "Memory throughput (GB/s)",
+    "Epochs",
+];
+
+/// One workload's eight measured characteristics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadCharacteristics {
+    /// Workload label (e.g. `"MLPf_Res50_TF"`).
+    pub name: String,
+    /// Which suite the workload belongs to (for plot grouping).
+    pub suite: String,
+    /// The eight features, ordered as [`FEATURE_NAMES`].
+    pub features: [f64; 8],
+}
+
+impl WorkloadCharacteristics {
+    /// Assemble the vector from a usage row, a kernel profile, the measured
+    /// step time, and the epoch count.
+    pub fn from_telemetry(
+        name: impl Into<String>,
+        suite: impl Into<String>,
+        usage: &ResourceUsage,
+        profile: &KernelProfile,
+        step_secs: f64,
+        epochs: f64,
+    ) -> Self {
+        assert!(step_secs > 0.0, "step time must be positive");
+        let flop_tp = profile.total_flops().as_f64() / step_secs / 1e9;
+        let mem_tp = profile.total_bytes().as_f64() / step_secs / 1e9;
+        WorkloadCharacteristics {
+            name: name.into(),
+            suite: suite.into(),
+            features: [
+                usage.pcie_mbps + usage.nvlink_mbps,
+                usage.gpu_util_pct,
+                usage.cpu_util_pct,
+                usage.dram_mb,
+                usage.hbm_mb,
+                flop_tp,
+                mem_tp,
+                epochs,
+            ],
+        }
+    }
+
+    /// Build directly from raw feature values (DeepBench kernels have no
+    /// training loop, so some features are synthesized).
+    pub fn from_raw(name: impl Into<String>, suite: impl Into<String>, features: [f64; 8]) -> Self {
+        assert!(
+            features.iter().all(|f| f.is_finite()),
+            "all features must be finite"
+        );
+        WorkloadCharacteristics {
+            name: name.into(),
+            suite: suite.into(),
+            features,
+        }
+    }
+}
+
+impl fmt::Display for WorkloadCharacteristics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]:", self.name, self.suite)?;
+        for (n, v) in FEATURE_NAMES.iter().zip(self.features) {
+            write!(f, " {n}={v:.1}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_construction_validates() {
+        let w = WorkloadCharacteristics::from_raw("k", "DeepBench", [1.0; 8]);
+        assert_eq!(w.features, [1.0; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_feature_rejected() {
+        let _ = WorkloadCharacteristics::from_raw("k", "s", [f64::NAN; 8]);
+    }
+
+    #[test]
+    fn feature_names_cover_the_vector() {
+        assert_eq!(FEATURE_NAMES.len(), 8);
+        let w = WorkloadCharacteristics::from_raw("k", "s", [2.0; 8]);
+        let s = w.to_string();
+        assert!(s.contains("Epochs=2.0"));
+    }
+}

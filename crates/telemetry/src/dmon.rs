@@ -1,0 +1,204 @@
+//! `nvidia-smi dmon` analogue: per-GPU periodic device monitoring.
+//!
+//! Where [`Sampler`](crate::Sampler) reconstructs one aggregate phase cycle,
+//! [`DmonLog`] replays an exact [`RunTrace`] from the engine: each tick
+//! reports, *per GPU*, the fraction of the window with kernels resident
+//! (the `sm` column), the device-memory footprint, and PCIe/NVLink traffic —
+//! formatted like the real tool's output.
+
+use mlperf_hw::topology::P2pClass;
+use mlperf_hw::units::Seconds;
+use mlperf_sim::{RunTrace, StepReport};
+use std::fmt::Write as _;
+
+/// One per-GPU sample row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DmonRow {
+    /// Tick timestamp.
+    pub t: Seconds,
+    /// GPU ordinal.
+    pub gpu: u32,
+    /// SM activity over the tick window, percent.
+    pub sm_pct: f64,
+    /// Device-memory footprint, MB.
+    pub mem_mb: f64,
+    /// PCIe traffic attributed to this GPU, MB/s.
+    pub pcie_mb_s: f64,
+    /// NVLink traffic attributed to this GPU, MB/s.
+    pub nvlink_mb_s: f64,
+}
+
+/// A per-GPU monitoring log over a traced run window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DmonLog {
+    rows: Vec<DmonRow>,
+    n_gpus: u32,
+}
+
+impl DmonLog {
+    /// Sample a traced run every `period`, producing one row per GPU per
+    /// tick, until the trace ends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not positive or the trace is empty.
+    pub fn record(trace: &RunTrace, step: &StepReport, period: Seconds) -> Self {
+        assert!(period.as_secs() > 0.0, "sampling period must be positive");
+        assert!(!trace.iterations.is_empty(), "cannot sample an empty trace");
+        let n_gpus = step.n_gpus as u32;
+        let end = trace.end().as_secs();
+        let ticks = (end / period.as_secs()).floor() as usize;
+
+        // Steady-state per-GPU bus rates (bytes spread over the step).
+        let pcie_per_gpu =
+            step.h2d_bytes_per_step.as_f64() / step.n_gpus as f64 / step.step_time.as_secs() / 1e6;
+        let wire_per_gpu =
+            step.wire_bytes_per_step.as_f64() / step.n_gpus as f64 / step.step_time.as_secs() / 1e6;
+        let (pcie_wire, nvlink_wire) = match step.comm_class {
+            Some(P2pClass::NvLinkDirect) => (0.0, wire_per_gpu),
+            Some(_) => (wire_per_gpu, 0.0),
+            None => (0.0, 0.0),
+        };
+
+        /// Sub-samples per tick window when integrating busy time.
+        const RESOLUTION: u32 = 20;
+        let mut rows = Vec::with_capacity(ticks * n_gpus as usize);
+        for tick in 0..ticks {
+            let t0 = tick as f64 * period.as_secs();
+            for gpu in 0..n_gpus {
+                let busy = (0..RESOLUTION)
+                    .filter(|i| {
+                        let t = t0 + (*i as f64 + 0.5) / RESOLUTION as f64 * period.as_secs();
+                        trace.gpu_busy_at(gpu as usize, Seconds::new(t))
+                    })
+                    .count() as f64
+                    / RESOLUTION as f64;
+                rows.push(DmonRow {
+                    t: Seconds::new(t0),
+                    gpu,
+                    sm_pct: busy * 100.0,
+                    mem_mb: step.hbm_per_gpu.as_f64() / 1e6,
+                    pcie_mb_s: (pcie_per_gpu + pcie_wire) * busy.max(0.1),
+                    nvlink_mb_s: nvlink_wire * busy,
+                });
+            }
+        }
+        DmonLog { rows, n_gpus }
+    }
+
+    /// The sample rows, tick-major then GPU-major.
+    pub fn rows(&self) -> &[DmonRow] {
+        &self.rows
+    }
+
+    /// GPUs monitored.
+    pub fn gpu_count(&self) -> u32 {
+        self.n_gpus
+    }
+
+    /// Mean SM activity of one GPU over the log, percent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the GPU has no samples.
+    pub fn mean_sm_pct(&self, gpu: u32) -> f64 {
+        let xs: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.gpu == gpu)
+            .map(|r| r.sm_pct)
+            .collect();
+        assert!(!xs.is_empty(), "no samples for GPU {gpu}");
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    /// Render in `nvidia-smi dmon`'s column format.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# gpu    sm    mem   rxtxpci  nvlink\n# Idx     %     MB      MB/s    MB/s\n",
+        );
+        for r in &self.rows {
+            writeln!(
+                out,
+                "{:>5} {:>5.0} {:>6.0} {:>9.0} {:>7.0}",
+                r.gpu, r.sm_pct, r.mem_mb, r.pcie_mb_s, r.nvlink_mb_s
+            )
+            .expect("writing to a String cannot fail");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlperf_data::{DatasetId, InputPipeline};
+    use mlperf_hw::systems::SystemId;
+    use mlperf_hw::units::Bytes;
+    use mlperf_models::zoo::resnet::resnet50;
+    use mlperf_sim::{ConvergenceModel, Simulator, TrainingJob};
+
+    fn traced(n: u32) -> (StepReport, RunTrace) {
+        let system = SystemId::C4140K.spec();
+        let job = TrainingJob::builder(
+            "resnet50",
+            resnet50(),
+            InputPipeline::new(DatasetId::ImageNet, Bytes::new(224 * 224 * 3 * 2)),
+            96,
+            ConvergenceModel::new(63.0, 768, 0.0),
+        )
+        .build();
+        let gpus: Vec<u32> = (0..n).collect();
+        Simulator::new(&system).run_traced(&job, &gpus).unwrap()
+    }
+
+    #[test]
+    fn per_gpu_rows_cover_every_tick() {
+        let (step, trace) = traced(2);
+        let period = Seconds::new(step.step_time.as_secs() / 4.0);
+        let log = DmonLog::record(&trace, &step, period);
+        assert_eq!(log.gpu_count(), 2);
+        // Rows come in GPU pairs.
+        assert_eq!(log.rows().len() % 2, 0);
+        assert!(log.rows().len() > 8);
+    }
+
+    #[test]
+    fn mean_sm_tracks_the_busy_fraction() {
+        let (step, trace) = traced(1);
+        let period = Seconds::new(step.step_time.as_secs() / 50.0);
+        let log = DmonLog::record(&trace, &step, period);
+        let mean = log.mean_sm_pct(0);
+        let expected = step.gpu_busy_fraction * 100.0;
+        assert!(
+            (mean - expected).abs() < 15.0,
+            "dmon mean {mean:.0}% vs engine busy {expected:.0}%"
+        );
+    }
+
+    #[test]
+    fn nvlink_column_zero_on_single_gpu() {
+        let (step, trace) = traced(1);
+        let log = DmonLog::record(&trace, &step, Seconds::new(0.01));
+        assert!(log.rows().iter().all(|r| r.nvlink_mb_s == 0.0));
+        let (step4, trace4) = traced(4);
+        let log4 = DmonLog::record(&trace4, &step4, Seconds::new(0.01));
+        assert!(log4.rows().iter().any(|r| r.nvlink_mb_s > 0.0));
+    }
+
+    #[test]
+    fn render_matches_dmon_format() {
+        let (step, trace) = traced(2);
+        let log = DmonLog::record(&trace, &step, Seconds::new(0.05));
+        let s = log.render();
+        assert!(s.starts_with("# gpu"));
+        assert!(s.lines().count() > 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_rejected() {
+        let (step, trace) = traced(1);
+        let _ = DmonLog::record(&trace, &step, Seconds::ZERO);
+    }
+}

@@ -1,0 +1,229 @@
+//! `dstat` analogue: host-side CPU and memory time series.
+//!
+//! The paper samples host statistics with `dstat` (combining vmstat/iostat/
+//! netstat) and exports CSV. [`DstatLog`] replays a traced run: per tick it
+//! reports user/system/idle CPU percentages (split between preprocessing
+//! workers and kernel/driver time) and the DRAM footprint, rendering in
+//! dstat's `--output` CSV shape.
+
+use mlperf_hw::systems::SystemSpec;
+use mlperf_hw::units::Seconds;
+use mlperf_sim::{RunTrace, StepReport};
+use std::fmt::Write as _;
+
+/// Fraction of host busy time spent in kernel/driver space (the `sys`
+/// column): ioctls, page pinning, interrupt handling.
+const SYS_FRACTION: f64 = 0.25;
+
+/// One host sample row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DstatRow {
+    /// Tick timestamp.
+    pub t: Seconds,
+    /// User CPU, percent of all cores.
+    pub usr_pct: f64,
+    /// System CPU, percent of all cores.
+    pub sys_pct: f64,
+    /// Idle CPU, percent of all cores.
+    pub idl_pct: f64,
+    /// Used DRAM, MB.
+    pub used_mb: f64,
+    /// Free DRAM, MB.
+    pub free_mb: f64,
+}
+
+/// A host-statistics log over a traced run window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DstatLog {
+    rows: Vec<DstatRow>,
+}
+
+impl DstatLog {
+    /// Sample a traced run on a system every `period` until the trace ends.
+    ///
+    /// CPU activity concentrates in the *staging* window of each iteration
+    /// (host preprocessing runs ahead of the GPUs), so ticks during staging
+    /// read higher than ticks late in a step — the jitter real dstat logs
+    /// show.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not positive or the trace is empty.
+    pub fn record(
+        system: &SystemSpec,
+        trace: &RunTrace,
+        step: &StepReport,
+        period: Seconds,
+    ) -> Self {
+        assert!(period.as_secs() > 0.0, "sampling period must be positive");
+        assert!(!trace.iterations.is_empty(), "cannot sample an empty trace");
+        let cores = system.cpu_model().spec().cores() as f64 * system.cpu_count() as f64;
+        let freq = system.cpu_model().spec().base_freq_ghz();
+        let total_dram_mb = system.dram_capacity().as_f64() / 1e6;
+        let used_mb = step.dram_footprint.as_f64() / 1e6;
+
+        let mean_busy_frac =
+            (step.cpu_core_secs_per_step / freq) / (step.step_time.as_secs() * cores);
+
+        let end = trace.end().as_secs();
+        let ticks = (end / period.as_secs()).floor() as usize;
+        let mut rows = Vec::with_capacity(ticks);
+        for tick in 0..ticks {
+            let t = Seconds::new(tick as f64 * period.as_secs());
+            // Loader activity concentrates in the first 60% of each step.
+            let phase_boost = match trace.iteration_at(t) {
+                Some(rec) => {
+                    let span = rec.span(prev_done(trace, rec)).as_secs();
+                    let into = t.as_secs() - (rec.step_done.as_secs() - span);
+                    if span > 0.0 && into / span < 0.6 {
+                        1.3
+                    } else {
+                        0.55
+                    }
+                }
+                None => 0.0,
+            };
+            let busy = (mean_busy_frac * phase_boost).min(1.0) * 100.0;
+            rows.push(DstatRow {
+                t,
+                usr_pct: busy * (1.0 - SYS_FRACTION),
+                sys_pct: busy * SYS_FRACTION,
+                idl_pct: 100.0 - busy,
+                used_mb,
+                free_mb: (total_dram_mb - used_mb).max(0.0),
+            });
+        }
+        DstatLog { rows }
+    }
+
+    /// The sample rows.
+    pub fn rows(&self) -> &[DstatRow] {
+        &self.rows
+    }
+
+    /// Mean total CPU over the log, percent.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty log.
+    pub fn mean_cpu_pct(&self) -> f64 {
+        assert!(!self.rows.is_empty(), "empty log");
+        self.rows.iter().map(|r| r.usr_pct + r.sys_pct).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Render as dstat `--output`-style CSV.
+    pub fn render_csv(&self) -> String {
+        let mut out = String::from("\"time\",\"usr\",\"sys\",\"idl\",\"used\",\"free\"\n");
+        for r in &self.rows {
+            writeln!(
+                out,
+                "{:.3},{:.2},{:.2},{:.2},{:.0},{:.0}",
+                r.t.as_secs(),
+                r.usr_pct,
+                r.sys_pct,
+                r.idl_pct,
+                r.used_mb,
+                r.free_mb
+            )
+            .expect("writing to a String cannot fail");
+        }
+        out
+    }
+}
+
+/// The completion time of the iteration before `rec` (0 for the first).
+fn prev_done(trace: &RunTrace, rec: &mlperf_sim::IterationRecord) -> Seconds {
+    trace
+        .iterations
+        .iter()
+        .take_while(|r| r.iter < rec.iter)
+        .last()
+        .map(|r| r.step_done)
+        .unwrap_or(Seconds::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlperf_data::{DatasetId, InputPipeline};
+    use mlperf_hw::systems::SystemId;
+    use mlperf_hw::units::Bytes;
+    use mlperf_models::zoo::resnet::resnet50;
+    use mlperf_sim::{ConvergenceModel, Simulator, TrainingJob};
+
+    fn traced(n: u32) -> (SystemSpec, StepReport, RunTrace) {
+        let system = SystemId::C4140K.spec();
+        let job = TrainingJob::builder(
+            "resnet50",
+            resnet50(),
+            InputPipeline::new(DatasetId::ImageNet, Bytes::new(224 * 224 * 3 * 2)),
+            96,
+            ConvergenceModel::new(63.0, 768, 0.0),
+        )
+        .build();
+        let gpus: Vec<u32> = (0..n).collect();
+        let (step, trace) = Simulator::new(&system).run_traced(&job, &gpus).unwrap();
+        (system, step, trace)
+    }
+
+    #[test]
+    fn rows_partition_cpu_into_usr_sys_idl() {
+        let (system, step, trace) = traced(2);
+        let log = DstatLog::record(&system, &trace, &step, Seconds::new(0.02));
+        for r in log.rows() {
+            assert!((r.usr_pct + r.sys_pct + r.idl_pct - 100.0).abs() < 1e-9);
+            assert!(r.usr_pct >= 0.0 && r.idl_pct >= 0.0);
+            assert!(r.used_mb > 0.0 && r.free_mb >= 0.0);
+        }
+    }
+
+    #[test]
+    fn mean_tracks_the_engine_accounting() {
+        let (system, step, trace) = traced(4);
+        let log = DstatLog::record(&system, &trace, &step, Seconds::new(0.005));
+        let cores = system.cpu_model().spec().cores() as f64 * system.cpu_count() as f64;
+        let expected = step.cpu_core_secs_per_step
+            / system.cpu_model().spec().base_freq_ghz()
+            / (step.step_time.as_secs() * cores)
+            * 100.0;
+        let mean = log.mean_cpu_pct();
+        assert!(
+            (mean - expected).abs() < expected * 0.5 + 1.0,
+            "dstat mean {mean:.1}% vs engine {expected:.1}%"
+        );
+    }
+
+    #[test]
+    fn staging_phase_reads_hotter_than_tail() {
+        let (system, step, trace) = traced(1);
+        let log = DstatLog::record(
+            &system,
+            &trace,
+            &step,
+            Seconds::new(step.step_time.as_secs() / 20.0),
+        );
+        let busiest = log
+            .rows()
+            .iter()
+            .map(|r| r.usr_pct + r.sys_pct)
+            .fold(0.0, f64::max);
+        let calmest = log
+            .rows()
+            .iter()
+            .map(|r| r.usr_pct + r.sys_pct)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            busiest > calmest,
+            "phase structure should show in the series"
+        );
+    }
+
+    #[test]
+    fn csv_renders_header_and_rows() {
+        let (system, step, trace) = traced(1);
+        let log = DstatLog::record(&system, &trace, &step, Seconds::new(0.05));
+        let csv = log.render_csv();
+        assert!(csv.starts_with("\"time\""));
+        assert_eq!(csv.lines().count(), log.rows().len() + 1);
+    }
+}

@@ -1,0 +1,188 @@
+//! `dstat`/`dmon`-style periodic sampling of a simulated run.
+//!
+//! The paper's tooling samples system counters at a fixed period (1 s for
+//! `dstat`, configurable for `dmon`) and exports CSV for analysis. This
+//! sampler reconstructs the within-step phase timeline of a steady-state
+//! [`StepReport`] — input stall, compute, exposed communication, optimizer —
+//! and reads the counters a real sampler would see at each tick.
+
+use mlperf_hw::units::Seconds;
+use mlperf_sim::StepReport;
+
+/// One sampler tick (one `dstat`/`dmon` output row).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Sample timestamp from run start.
+    pub t: Seconds,
+    /// Instantaneous GPU SM activity summed over GPUs, percent.
+    pub gpu_pct: f64,
+    /// Instantaneous PCIe traffic, Mbit/s (summed).
+    pub pcie_mbps: f64,
+    /// Instantaneous NVLink traffic, Mbit/s (summed).
+    pub nvlink_mbps: f64,
+    /// Host DRAM footprint, MB (flat at steady state).
+    pub dram_mb: f64,
+}
+
+/// The phase a GPU is in at an offset within one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Stall,
+    Compute,
+    Comm,
+    Opt,
+}
+
+/// Samples a steady-state step cycle at a fixed period.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    step: StepReport,
+    period: Seconds,
+}
+
+impl Sampler {
+    /// Create a sampler reading a steady-state report every `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(step: StepReport, period: Seconds) -> Self {
+        assert!(period.as_secs() > 0.0, "sampling period must be positive");
+        Sampler { step, period }
+    }
+
+    fn phase_at(&self, offset: Seconds) -> Phase {
+        let stall_end = self.step.data_stall;
+        let compute_end = stall_end + self.step.compute_time;
+        let comm_end = compute_end + self.step.exposed_comm;
+        let o = offset.as_secs();
+        if o < stall_end.as_secs() {
+            Phase::Stall
+        } else if o < compute_end.as_secs() {
+            Phase::Compute
+        } else if o < comm_end.as_secs() {
+            Phase::Comm
+        } else {
+            Phase::Opt
+        }
+    }
+
+    /// Read the counters at absolute time `t` (steady state assumed).
+    pub fn sample_at(&self, t: Seconds) -> Sample {
+        let cycle = self.step.step_time.as_secs();
+        let offset = Seconds::new(t.as_secs() % cycle.max(f64::MIN_POSITIVE));
+        let phase = self.phase_at(offset);
+        let n = self.step.n_gpus as f64;
+        let gpu_pct = match phase {
+            Phase::Stall => 0.0,
+            Phase::Compute | Phase::Opt => 100.0 * n,
+            // NCCL kernels keep SMs partially resident.
+            Phase::Comm => 60.0 * n,
+        };
+        // Prefetched H2D spreads over the whole cycle; gradient wire
+        // traffic bursts during compute (overlapped part) + comm phases.
+        let h2d_mbps = self.step.h2d_bytes_per_step.as_f64() * 8.0 / 1e6 / cycle;
+        let comm_window = (self.step.compute_time + self.step.exposed_comm).as_secs();
+        let wire_mbps = if matches!(phase, Phase::Compute | Phase::Comm) && comm_window > 0.0 {
+            self.step.wire_bytes_per_step.as_f64() * 8.0 / 1e6 / comm_window
+        } else {
+            0.0
+        };
+        let (pcie_wire, nvlink) = match self.step.comm_class {
+            Some(mlperf_hw::P2pClass::NvLinkDirect) => (0.0, wire_mbps),
+            Some(_) => (wire_mbps, 0.0),
+            None => (0.0, 0.0),
+        };
+        Sample {
+            t,
+            gpu_pct,
+            pcie_mbps: h2d_mbps + pcie_wire,
+            nvlink_mbps: nvlink,
+            dram_mb: self.step.dram_footprint.as_f64() / 1e6,
+        }
+    }
+
+    /// Collect `count` samples starting at t = 0.
+    pub fn collect(&self, count: usize) -> Vec<Sample> {
+        (0..count)
+            .map(|i| self.sample_at(Seconds::new(self.period.as_secs() * i as f64)))
+            .collect()
+    }
+
+    /// Time-averaged GPU utilization over a whole cycle, percent (summed
+    /// over GPUs) — converges to the dmon long-run average.
+    pub fn mean_gpu_pct(&self) -> f64 {
+        let cycle = self.step.step_time.as_secs();
+        let busy = self.step.compute_time.as_secs()
+            + self.step.opt_time.as_secs()
+            + 0.6 * self.step.exposed_comm.as_secs();
+        (busy / cycle).min(1.0) * 100.0 * self.step.n_gpus as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlperf_data::{DatasetId, InputPipeline};
+    use mlperf_hw::systems::SystemId;
+    use mlperf_hw::units::Bytes;
+    use mlperf_models::zoo::resnet::resnet50;
+    use mlperf_sim::{ConvergenceModel, Simulator, TrainingJob};
+
+    fn step(n: u32) -> StepReport {
+        let system = SystemId::C4140K.spec();
+        let job = TrainingJob::builder(
+            "resnet50",
+            resnet50(),
+            InputPipeline::new(DatasetId::ImageNet, Bytes::new(224 * 224 * 3 * 2)),
+            96,
+            ConvergenceModel::new(63.0, 768, 0.0),
+        )
+        .build();
+        Simulator::new(&system).run_on_first(&job, n).unwrap()
+    }
+
+    #[test]
+    fn samples_are_periodic_and_bounded() {
+        let s = Sampler::new(step(2), Seconds::new(0.01));
+        let samples = s.collect(50);
+        assert_eq!(samples.len(), 50);
+        for sm in &samples {
+            assert!(sm.gpu_pct >= 0.0 && sm.gpu_pct <= 200.0);
+            assert!(sm.pcie_mbps >= 0.0);
+            assert!(sm.dram_mb > 0.0);
+        }
+    }
+
+    #[test]
+    fn compute_phase_shows_full_gpu_activity() {
+        let report = step(1);
+        let s = Sampler::new(report.clone(), Seconds::new(0.001));
+        // Sample right after the stall window.
+        let t = report.data_stall + Seconds::new(1e-6);
+        assert_eq!(s.sample_at(t).gpu_pct, 100.0);
+    }
+
+    #[test]
+    fn mean_matches_step_report_busy_fraction() {
+        let report = step(4);
+        let s = Sampler::new(report.clone(), Seconds::new(0.01));
+        let mean = s.mean_gpu_pct();
+        let expected = report.gpu_busy_fraction * 100.0 * 4.0;
+        assert!((mean - expected).abs() < 20.0, "{mean} vs {expected}");
+    }
+
+    #[test]
+    fn nvlink_traffic_appears_only_multi_gpu() {
+        let s1 = Sampler::new(step(1), Seconds::new(0.01));
+        assert!(s1.collect(20).iter().all(|s| s.nvlink_mbps == 0.0));
+        let s4 = Sampler::new(step(4), Seconds::new(0.005));
+        assert!(s4.collect(40).iter().any(|s| s.nvlink_mbps > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_rejected() {
+        let _ = Sampler::new(step(1), Seconds::ZERO);
+    }
+}

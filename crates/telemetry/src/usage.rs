@@ -1,0 +1,156 @@
+//! Table V-style resource-usage summaries.
+//!
+//! `dstat` gave the paper CPU utilization and system-memory statistics;
+//! `nvidia-smi dmon` gave per-GPU SM utilization, memory footprint, and
+//! PCIe/NVLink counters. [`ResourceUsage`] assembles the same six columns —
+//! CPU %, GPU % (summed over GPUs), DRAM MB, HBM MB (summed), PCIe Mbps
+//! (summed), NVLink Mbps (summed) — from an engine [`StepReport`].
+
+use mlperf_hw::systems::SystemSpec;
+use mlperf_hw::topology::P2pClass;
+use mlperf_sim::StepReport;
+use std::fmt;
+
+/// One row of Table V: chassis-wide resource usage for one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceUsage {
+    /// GPUs in the run.
+    pub n_gpus: u64,
+    /// Average CPU utilization over all chassis cores, percent.
+    pub cpu_util_pct: f64,
+    /// Summed GPU SM utilization, percent (one GPU maxes at 100).
+    pub gpu_util_pct: f64,
+    /// Host DRAM footprint, MB.
+    pub dram_mb: f64,
+    /// Summed device HBM footprint, MB.
+    pub hbm_mb: f64,
+    /// Summed bidirectional PCIe traffic, Mbit/s.
+    pub pcie_mbps: f64,
+    /// Summed NVLink traffic, Mbit/s.
+    pub nvlink_mbps: f64,
+}
+
+impl ResourceUsage {
+    /// Derive the Table V row for a steady-state step on a system.
+    pub fn from_step(system: &SystemSpec, step: &StepReport) -> Self {
+        let total_cores = system.cpu_model().spec().cores() as f64 * system.cpu_count() as f64;
+        // Reference-core-seconds normalize by frequency; convert to busy
+        // core-seconds on this chassis's cores.
+        let busy_cores = step.cpu_core_secs_per_step / system.cpu_model().spec().base_freq_ghz();
+        let cpu_util_pct =
+            (busy_cores / (step.step_time.as_secs() * total_cores) * 100.0).min(100.0);
+
+        let gpu_util_pct = step.gpu_busy_fraction * 100.0 * step.n_gpus as f64;
+
+        let secs = step.step_time.as_secs();
+        // H2D input always crosses PCIe; gradient exchange lands on NVLink
+        // only when the worst peer path is NVLink, else it shares PCIe.
+        let h2d_mbps = step.h2d_bytes_per_step.as_f64() * 8.0 / 1e6 / secs;
+        let wire_mbps = step.wire_bytes_per_step.as_f64() * 8.0 / 1e6 / secs;
+        let (pcie_extra, nvlink_mbps) = match step.comm_class {
+            Some(P2pClass::NvLinkDirect) => (0.0, wire_mbps),
+            Some(_) => (wire_mbps, 0.0),
+            None => (0.0, 0.0),
+        };
+
+        ResourceUsage {
+            n_gpus: step.n_gpus,
+            cpu_util_pct,
+            gpu_util_pct,
+            dram_mb: step.dram_footprint.as_f64() / 1e6,
+            hbm_mb: step.hbm_per_gpu.as_f64() / 1e6 * step.n_gpus as f64,
+            pcie_mbps: h2d_mbps + pcie_extra,
+            nvlink_mbps,
+        }
+    }
+}
+
+impl fmt::Display for ResourceUsage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} GPU(s): CPU {:.2}%, GPU {:.2}%, DRAM {:.0} MB, HBM {:.0} MB, PCIe {:.0} Mbps, NVLink {:.0} Mbps",
+            self.n_gpus,
+            self.cpu_util_pct,
+            self.gpu_util_pct,
+            self.dram_mb,
+            self.hbm_mb,
+            self.pcie_mbps,
+            self.nvlink_mbps,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlperf_data::{DatasetId, InputPipeline};
+    use mlperf_hw::systems::SystemId;
+    use mlperf_hw::units::Bytes;
+    use mlperf_models::zoo::resnet::resnet50;
+    use mlperf_sim::{ConvergenceModel, Simulator, TrainingJob};
+
+    fn run(n: u32) -> (SystemSpec, StepReport) {
+        let system = SystemId::C4140K.spec();
+        let job = TrainingJob::builder(
+            "resnet50",
+            resnet50(),
+            InputPipeline::new(DatasetId::ImageNet, Bytes::new(224 * 224 * 3 * 2)),
+            96,
+            ConvergenceModel::new(63.0, 768, 0.0),
+        )
+        .build();
+        let step = Simulator::new(&system).run_on_first(&job, n).unwrap();
+        (system, step)
+    }
+
+    #[test]
+    fn single_gpu_row_is_bounded() {
+        let (system, step) = run(1);
+        let u = ResourceUsage::from_step(&system, &step);
+        assert!(u.cpu_util_pct > 0.0 && u.cpu_util_pct < 100.0);
+        assert!(u.gpu_util_pct > 30.0 && u.gpu_util_pct <= 100.0);
+        assert_eq!(u.nvlink_mbps, 0.0, "no peer traffic on one GPU");
+        assert!(u.pcie_mbps > 0.0, "input H2D always crosses PCIe");
+    }
+
+    #[test]
+    fn usage_grows_with_gpu_count() {
+        let (system, s1) = run(1);
+        let (_, s4) = run(4);
+        let u1 = ResourceUsage::from_step(&system, &s1);
+        let u4 = ResourceUsage::from_step(&system, &s4);
+        assert!(u4.cpu_util_pct > 2.0 * u1.cpu_util_pct);
+        assert!(u4.gpu_util_pct > 3.0 * u1.gpu_util_pct);
+        assert!(u4.hbm_mb > 3.5 * u1.hbm_mb);
+        assert!(u4.pcie_mbps > 2.0 * u1.pcie_mbps);
+        // NVLink lights up on the C4140 (K) mesh.
+        assert!(u4.nvlink_mbps > 0.0);
+    }
+
+    #[test]
+    fn upi_platform_routes_gradients_over_pcie() {
+        let system = SystemId::T640.spec();
+        let job = TrainingJob::builder(
+            "resnet50",
+            resnet50(),
+            InputPipeline::new(DatasetId::ImageNet, Bytes::new(224 * 224 * 3 * 2)),
+            96,
+            ConvergenceModel::new(63.0, 768, 0.0),
+        )
+        .build();
+        let step = Simulator::new(&system).run_on_first(&job, 4).unwrap();
+        let u = ResourceUsage::from_step(&system, &step);
+        assert_eq!(u.nvlink_mbps, 0.0);
+        assert!(u.pcie_mbps > 0.0);
+    }
+
+    #[test]
+    fn display_has_all_columns() {
+        let (system, step) = run(2);
+        let s = ResourceUsage::from_step(&system, &step).to_string();
+        for col in ["CPU", "GPU", "DRAM", "HBM", "PCIe", "NVLink"] {
+            assert!(s.contains(col), "missing {col} in {s}");
+        }
+    }
+}

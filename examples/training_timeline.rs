@@ -1,0 +1,102 @@
+//! Training timeline: trace one run, render per-GPU phase bars, and dump
+//! dmon/dstat-style monitoring logs the way the paper's tooling would.
+//!
+//! ```text
+//! cargo run --release --example training_timeline -- MLPf_GNMT_Py 4
+//! ```
+
+use mlperf_hw::systems::SystemId;
+use mlperf_hw::units::Seconds;
+use mlperf_sim::Simulator;
+use mlperf_suite::BenchmarkId;
+use mlperf_telemetry::{DmonLog, DstatLog};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let wanted = args.next().unwrap_or_else(|| "MLPf_GNMT_Py".into());
+    let n: u32 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(4);
+    let benchmark = BenchmarkId::ALL
+        .into_iter()
+        .find(|b| b.abbreviation() == wanted)
+        .ok_or_else(|| format!("unknown benchmark {wanted}"))?;
+
+    let system = SystemId::C4140K.spec();
+    let job = benchmark.job();
+    let gpus: Vec<u32> = (0..n).collect();
+    let (step, trace) = Simulator::new(&system).run_traced(&job, &gpus)?;
+    println!("{benchmark} on {} x{} GPUs: {trace}", system.id(), n);
+    println!(
+        "step {:.1} ms = compute {:.1} + exposed comm {:.1} + optimizer {:.1} (stall {:.1})\n",
+        step.step_time.as_secs() * 1e3,
+        step.compute_time.as_secs() * 1e3,
+        step.exposed_comm.as_secs() * 1e3,
+        step.opt_time.as_secs() * 1e3,
+        step.data_stall.as_secs() * 1e3,
+    );
+
+    // ASCII phase bars for three steady-state iterations:
+    // '.' waiting for data, '#' compute, '+' collective/optimizer tail.
+    let records = &trace.measured()[..3.min(trace.measured().len())];
+    let t0 = records[0].step_done.as_secs()
+        - records[0]
+            .span(prev_done(&trace, records[0].iter))
+            .as_secs();
+    let t1 = records.last().expect("non-empty").step_done.as_secs();
+    let cols = 100usize;
+    let scale = (t1 - t0) / cols as f64;
+    for g in 0..n as usize {
+        let mut bar = String::with_capacity(cols);
+        for c in 0..cols {
+            let t = t0 + (c as f64 + 0.5) * scale;
+            let ch = match records.iter().find(|r| {
+                t < r.step_done.as_secs()
+                    && t >= r.step_done.as_secs() - r.span(prev_done(&trace, r.iter)).as_secs()
+            }) {
+                Some(r) => {
+                    let p = &r.gpus[g];
+                    if t < p.compute_start.as_secs() {
+                        '.'
+                    } else if t < p.compute_done.as_secs() {
+                        '#'
+                    } else {
+                        '+'
+                    }
+                }
+                None => ' ',
+            };
+            bar.push(ch);
+        }
+        println!("GPU{g}: {bar}");
+    }
+    println!("       '.' staging   '#' fwd+bwd   '+' all-reduce/optimizer\n");
+
+    // The monitoring logs the paper's tooling would have produced.
+    let period = Seconds::new(step.step_time.as_secs() / 3.0);
+    let dmon = DmonLog::record(&trace, &step, period);
+    println!("nvidia-smi dmon (first 12 rows):");
+    for line in dmon.render().lines().take(14) {
+        println!("{line}");
+    }
+    let dstat = DstatLog::record(&system, &trace, &step, period);
+    println!("\ndstat --output (first 6 rows):");
+    for line in dstat.render_csv().lines().take(7) {
+        println!("{line}");
+    }
+    println!(
+        "\nmeans: GPU0 sm {:.0}%, host CPU {:.1}%",
+        dmon.mean_sm_pct(0),
+        dstat.mean_cpu_pct()
+    );
+    Ok(())
+}
+
+/// Completion time of the iteration preceding ordinal `iter`.
+fn prev_done(trace: &mlperf_sim::RunTrace, iter: u64) -> Seconds {
+    trace
+        .iterations
+        .iter()
+        .take_while(|r| r.iter < iter)
+        .last()
+        .map(|r| r.step_done)
+        .unwrap_or(Seconds::ZERO)
+}

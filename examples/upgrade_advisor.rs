@@ -1,0 +1,58 @@
+//! Upgrade advisor: a buyer's what-if tool built on the simulator.
+//!
+//! You own a T640 (4× V100 over CPU PCIe). For a given benchmark, how much
+//! training time would each upgrade path buy — a PCIe-switch chassis, an
+//! NVLink chassis, or an 8-GPU box? And what does a year of nightly runs
+//! cost in energy on each?
+//!
+//! ```text
+//! cargo run --release --example upgrade_advisor -- MLPf_XFMR_Py
+//! ```
+
+use mlperf_hw::power::{draw_watts, gpu_tdp_watts};
+use mlperf_hw::systems::SystemId;
+use mlperf_sim::{train_on_first, Simulator};
+use mlperf_suite::BenchmarkId;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let wanted = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "MLPf_XFMR_Py".into());
+    let benchmark = BenchmarkId::ALL
+        .into_iter()
+        .find(|b| b.abbreviation() == wanted)
+        .ok_or_else(|| format!("unknown benchmark {wanted}"))?;
+    let job = benchmark.job();
+
+    let paths: [(SystemId, u32, &str); 5] = [
+        (SystemId::T640, 4, "baseline: CPU-attached PCIe"),
+        (SystemId::C4140B, 4, "PCIe-switch chassis"),
+        (SystemId::C4140K, 4, "NVLink chassis"),
+        (SystemId::Dss8440, 8, "8-GPU PCIe box"),
+        (SystemId::Dgx1V, 8, "8-GPU NVLink cube mesh"),
+    ];
+
+    println!("upgrade paths for {benchmark}:\n");
+    let mut baseline_minutes = None;
+    for (id, gpus, label) in paths {
+        let system = id.spec();
+        let sim = Simulator::new(&system);
+        let outcome = train_on_first(&sim, &job, gpus)?;
+        let minutes = outcome.total_time.as_minutes();
+        let base = *baseline_minutes.get_or_insert(minutes);
+        // A year of one training run per night.
+        let gpu_watts = gpu_tdp_watts(system.gpu_model());
+        let watts = gpus as f64 * draw_watts(gpu_watts, outcome.step.gpu_busy_fraction);
+        let kwh_per_year = watts * outcome.total_time.as_hours() * 365.0 / 1e3;
+        println!(
+            "  {label:28} ({id}, {gpus} GPUs): {minutes:7.1} min  \
+             ({:+5.1}% vs baseline), {kwh_per_year:6.0} kWh/yr nightly",
+            (minutes / base - 1.0) * 100.0,
+        );
+    }
+    println!(
+        "\n(interconnect sensitivity is workload-specific: compare \
+         MLPf_XFMR_Py against MLPf_Res50_MX)"
+    );
+    Ok(())
+}

@@ -1,0 +1,123 @@
+//! Cross-crate integration: registry → simulator → telemetry → analysis.
+
+use mlperf_analysis::pca::Pca;
+use mlperf_analysis::roofline::RooflineModel;
+use mlperf_hw::systems::SystemId;
+use mlperf_hw::units::Seconds;
+use mlperf_sim::{train_on_first, Simulator};
+use mlperf_suite::{trainable_run, BenchmarkId};
+use mlperf_telemetry::{csv, KernelProfile, ResourceUsage, Sampler};
+
+#[test]
+fn every_benchmark_trains_on_every_multi_gpu_platform() {
+    for id in BenchmarkId::MLPERF {
+        let job = id.job();
+        for system_id in SystemId::FOUR_GPU_PLATFORMS {
+            let system = system_id.spec();
+            let sim = Simulator::new(&system);
+            let outcome = train_on_first(&sim, &job, 4)
+                .unwrap_or_else(|e| panic!("{id} on {system_id}: {e}"));
+            assert!(
+                outcome.total_time.as_secs() > 0.0,
+                "{id} on {system_id} finished instantly"
+            );
+        }
+    }
+}
+
+#[test]
+fn telemetry_composes_with_analysis() {
+    // Run two benchmarks, profile them, and feed the roofline + PCA layers.
+    let system = SystemId::C4140K.spec();
+    let roofline = RooflineModel::for_gpu(&system.gpu_model().spec());
+
+    let mut feature_rows = Vec::new();
+    for id in [
+        BenchmarkId::MlpfRes50Mx,
+        BenchmarkId::MlpfNcfPy,
+        BenchmarkId::DawnRes18Py,
+    ] {
+        let run = trainable_run(id, &system, 1).expect("run succeeds");
+        let point = run.roofline_point().expect("training moves bytes");
+        let attain = roofline
+            .attainable(point.intensity, mlperf_hw::Precision::TensorCore)
+            .as_flops_per_sec();
+        assert!(
+            point.throughput.as_flops_per_sec() <= attain * 1.001,
+            "{id} over roof"
+        );
+        feature_rows.push(run.characteristics().features.to_vec());
+    }
+    let pca = Pca::fit(&feature_rows);
+    let total: f64 = pca.explained_variance_ratio().iter().sum();
+    assert!((total - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn sampler_csv_round_trip_has_consistent_averages() {
+    let system = SystemId::C4140K.spec();
+    let job = BenchmarkId::MlpfSsdPy.job();
+    let step = Simulator::new(&system)
+        .run_on_first(&job, 2)
+        .expect("run succeeds");
+    let usage = ResourceUsage::from_step(&system, &step);
+
+    let period = Seconds::new(step.step_time.as_secs() / 50.0);
+    let sampler = Sampler::new(step, period);
+    let samples = sampler.collect(500);
+    let text = csv::samples_to_csv(&samples);
+    assert_eq!(text.lines().count(), 501);
+
+    // The sampled mean GPU activity should approximate the usage row.
+    let mean_gpu: f64 = samples.iter().map(|s| s.gpu_pct).sum::<f64>() / samples.len() as f64;
+    assert!(
+        (mean_gpu - usage.gpu_util_pct).abs() < 25.0,
+        "sampled {mean_gpu:.1} vs usage {:.1}",
+        usage.gpu_util_pct
+    );
+}
+
+#[test]
+fn profiles_price_the_same_model_the_engine_runs() {
+    let id = BenchmarkId::MlpfXfmrPy;
+    let job = id.job();
+    let system = SystemId::Dss8440.spec();
+    let step = Simulator::new(&system)
+        .run_on_first(&job, 1)
+        .expect("run succeeds");
+    let profile = KernelProfile::of_step(job.model(), step.per_gpu_batch, job.precision());
+    // Profile FLOPs equal the engine's pass FLOPs (same graph, same batch).
+    let pass = job.model().pass_cost(step.per_gpu_batch, job.precision());
+    assert_eq!(profile.total_flops(), pass.total_flops());
+}
+
+#[test]
+fn dgx1v_extension_outruns_the_pcie_eight_gpu_box() {
+    // The extension platform: NVLink cube mesh + SXM2 clocks beat the
+    // DSS 8440's PCIe V100s at 8 GPUs for every comm-sensitive benchmark.
+    for id in [BenchmarkId::MlpfRes50Mx, BenchmarkId::MlpfXfmrPy] {
+        let job = id.job();
+        let dgx = SystemId::Dgx1V.spec();
+        let dss = SystemId::Dss8440.spec();
+        let t_dgx = train_on_first(&Simulator::new(&dgx), &job, 8)
+            .expect("run succeeds")
+            .total_time;
+        let t_dss = train_on_first(&Simulator::new(&dss), &job, 8)
+            .expect("run succeeds")
+            .total_time;
+        assert!(
+            t_dgx.as_secs() < t_dss.as_secs(),
+            "{id}: DGX-1V {t_dgx} vs DSS 8440 {t_dss}"
+        );
+    }
+}
+
+#[test]
+fn oom_is_reported_not_masked() {
+    let job = BenchmarkId::MlpfRes50Mx.job().with_per_gpu_batch(1 << 14);
+    let system = SystemId::C4140K.spec();
+    let err = Simulator::new(&system)
+        .run_on_first(&job, 1)
+        .expect_err("64k images cannot fit");
+    assert!(err.to_string().contains("device has"));
+}
