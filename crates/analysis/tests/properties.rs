@@ -4,12 +4,12 @@ use mlperf_analysis::linalg::{symmetric_eigen, Matrix};
 use mlperf_analysis::pca::Pca;
 use mlperf_analysis::scheduling::{lpt_schedule, naive_schedule, optimal_schedule, JobTimes};
 use mlperf_analysis::stats;
-use proptest::prelude::*;
+use mlperf_testkit::prop::*;
 
 /// Random symmetric matrices of size 2..=6.
-fn arb_symmetric() -> impl Strategy<Value = Matrix> {
+fn arb_symmetric() -> impl Gen<Value = Matrix> {
     (2usize..=6).prop_flat_map(|n| {
-        proptest::collection::vec(-10.0f64..10.0, n * (n + 1) / 2).prop_map(move |vals| {
+        vec_of(-10.0f64..10.0, just(n * (n + 1) / 2)).prop_map(move |vals| {
             let mut m = Matrix::zeros(n, n);
             let mut it = vals.into_iter();
             for i in 0..n {
@@ -26,11 +26,11 @@ fn arb_symmetric() -> impl Strategy<Value = Matrix> {
 
 /// Random well-formed job sets: 2..6 jobs, each with times at widths
 /// 1/2/4, weakly improving with width.
-fn arb_jobs() -> impl Strategy<Value = Vec<JobTimes>> {
-    proptest::collection::vec(
+fn arb_jobs() -> impl Gen<Value = Vec<JobTimes>> {
+    vec_of(
         (10.0f64..500.0, 0.5f64..1.0, 0.5f64..1.0)
             .prop_map(|(t1, f2, f4)| (t1, t1 * f2, t1 * f2 * f4)),
-        2..6,
+        2usize..6,
     )
     .prop_map(|specs| {
         specs
@@ -41,7 +41,81 @@ fn arb_jobs() -> impl Strategy<Value = Vec<JobTimes>> {
     })
 }
 
-proptest! {
+/// Shared checker for `scheduling_invariants`, so the pinned regression
+/// case below re-runs exactly the property's logic.
+fn check_scheduling_invariants(jobs: &[JobTimes], g: u64) -> Result<(), String> {
+    let naive = naive_schedule(jobs, g);
+    let lpt = lpt_schedule(jobs, g);
+    let best = optimal_schedule(jobs, g);
+
+    prop_assert!(best.makespan <= lpt.makespan + 1e-9);
+    prop_assert!(best.makespan <= naive.makespan + 1e-9);
+
+    for sched in [&naive, &lpt, &best] {
+        // Every job exactly once.
+        let mut seen = vec![false; jobs.len()];
+        for p in &sched.placements {
+            prop_assert!(!seen[p.job], "job {} placed twice", p.job);
+            seen[p.job] = true;
+            prop_assert!(!p.gpus.is_empty());
+            prop_assert!(p.gpus.len() <= g as usize);
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        // No overlap on any GPU.
+        for row in sched.gantt() {
+            for w in row.windows(2) {
+                prop_assert!(w[0].2 <= w[1].1 + 1e-9, "overlap {w:?}");
+            }
+        }
+        // Makespan equals the max completion.
+        let max_end = sched
+            .placements
+            .iter()
+            .map(|p| p.end())
+            .fold(0.0f64, f64::max);
+        prop_assert!((sched.makespan - max_end).abs() < 1e-9);
+    }
+
+    // Area bound: makespan >= total best-case GPU-minutes / G.
+    let area: f64 = jobs
+        .iter()
+        .map(|j| {
+            j.widths()
+                .filter(|&w| w <= g)
+                .map(|w| w as f64 * j.time_at(w).expect("width present"))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum();
+    prop_assert!(best.makespan >= area / g as f64 - 1e-9);
+
+    // And >= the longest single job at its best feasible width.
+    let longest: f64 = jobs
+        .iter()
+        .map(|j| {
+            j.widths()
+                .filter(|&w| w <= g)
+                .map(|w| j.time_at(w).expect("width present"))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .fold(0.0f64, f64::max);
+    prop_assert!(best.makespan >= longest - 1e-9);
+    Ok(())
+}
+
+/// Pinned counterexample from the proptest era (the old
+/// `properties.proptest-regressions` seed shrank to two identical jobs
+/// with times {1: 10.0, 2: 5.0, 4: 2.5} on g = 3): perfectly-scaling
+/// twins on an odd GPU count stress the width-choice tie-breaking.
+#[test]
+fn regression_scheduling_two_identical_jobs_on_three_gpus() {
+    let jobs = vec![
+        JobTimes::new("job0", [(1, 10.0), (2, 5.0), (4, 2.5)]),
+        JobTimes::new("job1", [(1, 10.0), (2, 5.0), (4, 2.5)]),
+    ];
+    check_scheduling_invariants(&jobs, 3).unwrap();
+}
+
+mlperf_testkit::properties! {
     /// Jacobi: eigenvalues sum to the trace and V·Λ·Vᵀ reconstructs A.
     #[test]
     fn jacobi_reconstructs(m in arb_symmetric()) {
@@ -81,8 +155,7 @@ proptest! {
     /// projecting the fitted rows reproduces the component variances.
     #[test]
     fn pca_variance_laws(
-        rows in proptest::collection::vec(
-            proptest::collection::vec(-100.0f64..100.0, 4), 3..10)
+        rows in vec_of(vec_of(-100.0f64..100.0, just(4)), 3usize..10)
     ) {
         let pca = Pca::fit(&rows);
         let r = pca.explained_variance_ratio();
@@ -101,67 +174,13 @@ proptest! {
     /// the area lower bound.
     #[test]
     fn scheduling_invariants(jobs in arb_jobs(), g in 1u64..=4) {
-        let naive = naive_schedule(&jobs, g);
-        let lpt = lpt_schedule(&jobs, g);
-        let best = optimal_schedule(&jobs, g);
-
-        prop_assert!(best.makespan <= lpt.makespan + 1e-9);
-        prop_assert!(best.makespan <= naive.makespan + 1e-9);
-
-        for sched in [&naive, &lpt, &best] {
-            // Every job exactly once.
-            let mut seen = vec![false; jobs.len()];
-            for p in &sched.placements {
-                prop_assert!(!seen[p.job], "job {} placed twice", p.job);
-                seen[p.job] = true;
-                prop_assert!(!p.gpus.is_empty());
-                prop_assert!(p.gpus.len() <= g as usize);
-            }
-            prop_assert!(seen.iter().all(|&s| s));
-            // No overlap on any GPU.
-            for row in sched.gantt() {
-                for w in row.windows(2) {
-                    prop_assert!(w[0].2 <= w[1].1 + 1e-9, "overlap {w:?}");
-                }
-            }
-            // Makespan equals the max completion.
-            let max_end = sched
-                .placements
-                .iter()
-                .map(|p| p.end())
-                .fold(0.0f64, f64::max);
-            prop_assert!((sched.makespan - max_end).abs() < 1e-9);
-        }
-
-        // Area bound: makespan >= total best-case GPU-minutes / G.
-        let area: f64 = jobs
-            .iter()
-            .map(|j| {
-                j.widths()
-                    .filter(|&w| w <= g)
-                    .map(|w| w as f64 * j.time_at(w).expect("width present"))
-                    .fold(f64::INFINITY, f64::min)
-            })
-            .sum();
-        prop_assert!(best.makespan >= area / g as f64 - 1e-9);
-
-        // And >= the longest single job at its best feasible width.
-        let longest: f64 = jobs
-            .iter()
-            .map(|j| {
-                j.widths()
-                    .filter(|&w| w <= g)
-                    .map(|w| j.time_at(w).expect("width present"))
-                    .fold(f64::INFINITY, f64::min)
-            })
-            .fold(0.0f64, f64::max);
-        prop_assert!(best.makespan >= longest - 1e-9);
+        check_scheduling_invariants(&jobs, g)?;
     }
 
     /// Pearson correlation is bounded and symmetric.
     #[test]
     fn pearson_bounded(
-        pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..40)
+        pairs in vec_of((-1e3f64..1e3, -1e3f64..1e3), 2usize..40)
     ) {
         let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
         let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
@@ -172,7 +191,7 @@ proptest! {
 
     /// Geometric mean lies between min and max.
     #[test]
-    fn geomean_between_extremes(xs in proptest::collection::vec(0.001f64..1e6, 1..30)) {
+    fn geomean_between_extremes(xs in vec_of(0.001f64..1e6, 1usize..30)) {
         let g = stats::geometric_mean(&xs);
         let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = xs.iter().cloned().fold(0.0f64, f64::max);

@@ -4,7 +4,8 @@
 //! and prints the delta alongside the timing, so `cargo bench` doubles as
 //! the ablation report.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mlperf_testkit::bench::Runner;
+use mlperf_testkit::{bench_group, bench_main};
 use mlperf_hw::cpu::CpuModel;
 use mlperf_hw::gpu::GpuModel;
 use mlperf_hw::interconnect::Link;
@@ -18,7 +19,7 @@ use std::hint::black_box;
 
 /// All-reduce algorithm ablation: ring vs tree vs naive on the
 /// communication-heavy Transformer (C4140 K, 4 GPUs).
-fn ablate_allreduce(c: &mut Criterion) {
+fn ablate_allreduce(c: &mut Runner) {
     let system = SystemId::C4140K.spec();
     let sim = Simulator::new(&system);
     let base = BenchmarkId::MlpfXfmrPy.job();
@@ -53,7 +54,7 @@ fn ablate_allreduce(c: &mut Criterion) {
 }
 
 /// Overlap ablation: how much comm/compute overlap buys per benchmark.
-fn ablate_overlap(c: &mut Criterion) {
+fn ablate_overlap(c: &mut Runner) {
     let system = SystemId::Dss8440.spec();
     let sim = Simulator::new(&system);
 
@@ -93,7 +94,7 @@ fn ablate_overlap(c: &mut Criterion) {
 
 /// PCIe lane-width sweep: ring all-reduce cost of 160 MB of gradients on a
 /// single-socket box as the per-GPU link narrows.
-fn ablate_pcie_lanes(c: &mut Criterion) {
+fn ablate_pcie_lanes(c: &mut Runner) {
     println!("\n=== ablation: PCIe lane width (4 GPUs, 160 MB gradients) ===");
     let grads = Bytes::from_mib(160);
     for lanes in [4u32, 8, 16] {
@@ -125,7 +126,7 @@ fn ablate_pcie_lanes(c: &mut Criterion) {
 }
 
 /// Scheduler-policy ablation: naive vs LPT vs exact search makespans.
-fn ablate_scheduler(c: &mut Criterion) {
+fn ablate_scheduler(c: &mut Runner) {
     use mlperf_analysis::scheduling::{lpt_schedule, naive_schedule, optimal_schedule};
     let jobs = mlperf_suite::experiments::figure4::measure_job_times().expect("measured");
 
@@ -149,11 +150,11 @@ fn ablate_scheduler(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
+bench_group!(
     benches,
     ablate_allreduce,
     ablate_overlap,
     ablate_pcie_lanes,
     ablate_scheduler
 );
-criterion_main!(benches);
+bench_main!(benches);

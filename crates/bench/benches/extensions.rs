@@ -1,11 +1,12 @@
 //! Regenerate (and time) the beyond-the-paper extensions.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mlperf_testkit::bench::Runner;
+use mlperf_testkit::{bench_group, bench_main};
 use mlperf_suite::experiments as exp;
 use mlperf_suite::{validation, BenchmarkId};
 use std::hint::black_box;
 
-fn bench_extensions(c: &mut Criterion) {
+fn bench_extensions(c: &mut Runner) {
     let mut g = c.benchmark_group("extensions");
     g.sample_size(10);
 
@@ -42,5 +43,5 @@ fn bench_extensions(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_extensions);
-criterion_main!(benches);
+bench_group!(benches, bench_extensions);
+bench_main!(benches);

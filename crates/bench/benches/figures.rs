@@ -1,10 +1,11 @@
 //! Regenerate (and time) Figures 1-5.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mlperf_testkit::bench::Runner;
+use mlperf_testkit::{bench_group, bench_main};
 use mlperf_suite::experiments as exp;
 use std::hint::black_box;
 
-fn bench_figures(c: &mut Criterion) {
+fn bench_figures(c: &mut Runner) {
     let mut g = c.benchmark_group("figures");
     g.sample_size(10);
 
@@ -41,5 +42,5 @@ fn bench_figures(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);
+bench_group!(benches, bench_figures);
+bench_main!(benches);

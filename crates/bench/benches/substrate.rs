@@ -1,6 +1,7 @@
 //! Micro-benchmarks of the reproduction's machinery.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mlperf_testkit::bench::Runner;
+use mlperf_testkit::{bench_group, bench_main};
 use mlperf_analysis::linalg::{symmetric_eigen, Matrix};
 use mlperf_analysis::pca::Pca;
 use mlperf_hw::systems::SystemId;
@@ -9,7 +10,7 @@ use mlperf_sim::Simulator;
 use mlperf_suite::BenchmarkId;
 use std::hint::black_box;
 
-fn bench_model_builders(c: &mut Criterion) {
+fn bench_model_builders(c: &mut Runner) {
     let mut g = c.benchmark_group("model_builders");
     g.bench_function("resnet50", |b| b.iter(|| black_box(resnet::resnet50())));
     g.bench_function("mask_rcnn", |b| {
@@ -21,7 +22,7 @@ fn bench_model_builders(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_engine_step(c: &mut Criterion) {
+fn bench_engine_step(c: &mut Runner) {
     let system = SystemId::Dss8440.spec();
     let sim = Simulator::new(&system);
     let job = BenchmarkId::MlpfRes50Mx.job();
@@ -41,7 +42,7 @@ fn bench_engine_step(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_analysis(c: &mut Criterion) {
+fn bench_analysis(c: &mut Runner) {
     // A deterministic pseudo-random 13x8 feature matrix.
     let rows: Vec<Vec<f64>> = (0..13)
         .map(|i| {
@@ -68,7 +69,7 @@ fn bench_analysis(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_topology(c: &mut Criterion) {
+fn bench_topology(c: &mut Runner) {
     let spec = SystemId::Dss8440.spec();
     let mut g = c.benchmark_group("topology");
     g.bench_function("worst_peer_path_8gpu", |b| {
@@ -81,11 +82,11 @@ fn bench_topology(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
+bench_group!(
     benches,
     bench_model_builders,
     bench_engine_step,
     bench_analysis,
     bench_topology
 );
-criterion_main!(benches);
+bench_main!(benches);

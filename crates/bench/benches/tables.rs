@@ -3,11 +3,12 @@
 //! Run `cargo bench -p mlperf-bench --bench tables`; the artifacts
 //! themselves are printed by `repro --table N`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mlperf_testkit::bench::Runner;
+use mlperf_testkit::{bench_group, bench_main};
 use mlperf_suite::experiments as exp;
 use std::hint::black_box;
 
-fn bench_tables(c: &mut Criterion) {
+fn bench_tables(c: &mut Runner) {
     let mut g = c.benchmark_group("tables");
     g.sample_size(10);
 
@@ -38,5 +39,5 @@ fn bench_tables(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_tables);
-criterion_main!(benches);
+bench_group!(benches, bench_tables);
+bench_main!(benches);

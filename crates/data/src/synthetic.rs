@@ -6,16 +6,20 @@
 //! the dataset's per-sample mean, contents pseudo-random. Examples and tests
 //! use these to exercise real byte-moving code paths instead of `assume the
 //! data exists` placeholders.
+//!
+//! Record `i` is generated from its own RNG stream ([`Rng::stream`] of
+//! `(seed, i)`), so generation is random-access: the bytes of record `i`
+//! are a pure function of `(dataset, seed, i)` regardless of the order —
+//! or how many times — records are produced.
 
 use crate::dataset::{DatasetId, DatasetSpec};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mlperf_testkit::rng::Rng;
 
 /// A deterministic generator of synthetic records for one dataset.
 #[derive(Debug)]
 pub struct SyntheticDataset {
     spec: DatasetSpec,
-    rng: StdRng,
+    seed: u64,
 }
 
 /// A generated record: an opaque payload plus a label.
@@ -34,7 +38,7 @@ impl SyntheticDataset {
     pub fn new(dataset: DatasetId, seed: u64) -> Self {
         SyntheticDataset {
             spec: dataset.spec(),
-            rng: StdRng::seed_from_u64(seed),
+            seed,
         }
     }
 
@@ -46,16 +50,17 @@ impl SyntheticDataset {
     /// Generate the record at `index`. Payload sizes vary ±25 % around the
     /// dataset's per-sample mean, like real encoded data.
     pub fn record(&mut self, index: u64) -> Record {
+        let mut rng = Rng::stream(self.seed, index);
         let mean = self.spec.bytes_per_sample().as_u64().max(1);
         let lo = mean - mean / 4;
         let hi = mean + mean / 4;
-        let len = self.rng.gen_range(lo..=hi) as usize;
+        let len = rng.gen_range(lo..=hi) as usize;
         let mut payload = vec![0u8; len];
         // Fill a prefix with noise: enough to defeat trivial compression in
         // downstream code without paying for gigabytes of RNG output.
         let noisy = len.min(4096);
-        self.rng.fill(&mut payload[..noisy]);
-        let label = self.rng.gen_range(0..1000);
+        rng.fill_bytes(&mut payload[..noisy]);
+        let label = rng.gen_range(0u32..1000);
         Record {
             index,
             payload,
@@ -86,6 +91,16 @@ mod tests {
         let mut a = SyntheticDataset::new(DatasetId::Cifar10, 1);
         let mut b = SyntheticDataset::new(DatasetId::Cifar10, 2);
         assert_ne!(a.record(0).payload, b.record(0).payload);
+    }
+
+    #[test]
+    fn records_are_random_access() {
+        // Record i depends only on (seed, i), not on generation order.
+        let mut g = SyntheticDataset::new(DatasetId::Wmt17, 9);
+        let forward: Vec<Record> = g.take(8);
+        for i in (0..8).rev() {
+            assert_eq!(g.record(i), forward[i as usize]);
+        }
     }
 
     #[test]

@@ -3,26 +3,26 @@
 use mlperf_data::{DatasetId, InputPipeline, SyntheticDataset};
 use mlperf_hw::units::Bytes;
 use mlperf_hw::CpuModel;
-use proptest::prelude::*;
+use mlperf_testkit::prop::*;
 
-fn arb_dataset() -> impl Strategy<Value = DatasetId> {
-    prop_oneof![
-        Just(DatasetId::ImageNet),
-        Just(DatasetId::Coco),
-        Just(DatasetId::Wmt17),
-        Just(DatasetId::MovieLens20M),
-        Just(DatasetId::Cifar10),
-        Just(DatasetId::Squad),
-    ]
+fn arb_dataset() -> impl Gen<Value = DatasetId> {
+    elements(&[
+        DatasetId::ImageNet,
+        DatasetId::Coco,
+        DatasetId::Wmt17,
+        DatasetId::MovieLens20M,
+        DatasetId::Cifar10,
+        DatasetId::Squad,
+    ])
 }
 
-proptest! {
+mlperf_testkit::properties! {
     /// Host batch time and H2D volume are exactly linear in batch size.
     #[test]
     fn pipeline_linear_in_batch(
         ds in arb_dataset(),
         sample_bytes in 1u64..1 << 22,
-        batch in 1u64..4096,
+        batch in 1u64..4096
     ) {
         let p = InputPipeline::new(ds, Bytes::new(sample_bytes));
         let cpu = CpuModel::XeonGold6148.spec();
@@ -41,7 +41,7 @@ proptest! {
     fn multiplier_touches_only_host_work(
         ds in arb_dataset(),
         mult in 0.1f64..10.0,
-        batch in 1u64..512,
+        batch in 1u64..512
     ) {
         let base = InputPipeline::new(ds, Bytes::new(1024));
         let scaled = InputPipeline::new(ds, Bytes::new(1024)).with_host_cost_multiplier(mult);
@@ -56,7 +56,7 @@ proptest! {
     fn staging_bounded_and_monotone(
         ds in arb_dataset(),
         batch in 1u64..4096,
-        depth in 1u64..16,
+        depth in 1u64..16
     ) {
         let p = InputPipeline::new(ds, Bytes::new(4096));
         let a = p.staging_footprint(batch, depth);

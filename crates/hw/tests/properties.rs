@@ -5,9 +5,45 @@ use mlperf_hw::gpu::{GpuModel, Precision};
 use mlperf_hw::interconnect::Link;
 use mlperf_hw::topology::Topology;
 use mlperf_hw::units::{Bandwidth, Bytes, FlopRate, Flops, Seconds};
-use proptest::prelude::*;
+use mlperf_testkit::prop::*;
 
-proptest! {
+/// Shared checker for `star_topology_routes`, so the pinned regression
+/// case below re-runs exactly the property's logic.
+fn check_star_topology(lane_choices: &[usize]) -> Result<(), String> {
+    let widths = [4u32, 8, 16];
+    let mut t = Topology::new("star");
+    let cpu = t.add_cpu(CpuModel::XeonGold6148);
+    let mut gpu_bw = Vec::new();
+    for &c in lane_choices {
+        let g = t.add_gpu(GpuModel::TeslaV100Pcie16);
+        let link = Link::PcieGen3 { lanes: widths[c] };
+        gpu_bw.push(link.effective_bandwidth().as_bytes_per_sec());
+        t.connect(cpu, g, link);
+    }
+    let n = lane_choices.len() as u32;
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let p = t.gpu_peer_path(a, b).expect("star is connected");
+            prop_assert_eq!(p.class, mlperf_hw::P2pClass::ThroughCpu);
+            // The route's bottleneck is the slower of the two legs.
+            let expect = gpu_bw[a as usize].min(gpu_bw[b as usize]);
+            prop_assert!((p.bandwidth.as_bytes_per_sec() - expect).abs() < 1.0);
+            prop_assert_eq!(p.path.hops(), 2);
+        }
+    }
+    Ok(())
+}
+
+/// Pinned counterexample from the proptest era (the old
+/// `properties.proptest-regressions` seed shrank to
+/// `lane_choices = [0, 1, 1]`): mixed lane widths where the narrower leg
+/// must win the bottleneck.
+#[test]
+fn regression_star_topology_lanes_0_1_1() {
+    check_star_topology(&[0, 1, 1]).unwrap();
+}
+
+mlperf_testkit::properties! {
     /// Byte addition is associative and commutative.
     #[test]
     fn bytes_addition_laws(a in 0u64..1 << 40, b in 0u64..1 << 40, c in 0u64..1 << 40) {
@@ -34,7 +70,7 @@ proptest! {
         small in 1u64..1 << 30,
         extra in 0u64..1 << 30,
         bw_gb in 0.1f64..500.0,
-        bw_extra in 0.0f64..500.0,
+        bw_extra in 0.0f64..500.0
     ) {
         let slow = Bandwidth::from_gb_per_sec(bw_gb);
         let fast = Bandwidth::from_gb_per_sec(bw_gb + bw_extra);
@@ -103,34 +139,14 @@ proptest! {
     /// GPU-GPU route exists, is classified through-CPU, and its bottleneck
     /// bandwidth never exceeds the narrowest attached link.
     #[test]
-    fn star_topology_routes(lane_choices in proptest::collection::vec(0usize..3, 2..6)) {
-        let widths = [4u32, 8, 16];
-        let mut t = Topology::new("star");
-        let cpu = t.add_cpu(CpuModel::XeonGold6148);
-        let mut gpu_bw = Vec::new();
-        for &c in &lane_choices {
-            let g = t.add_gpu(GpuModel::TeslaV100Pcie16);
-            let link = Link::PcieGen3 { lanes: widths[c] };
-            gpu_bw.push(link.effective_bandwidth().as_bytes_per_sec());
-            t.connect(cpu, g, link);
-        }
-        let n = lane_choices.len() as u32;
-        for a in 0..n {
-            for b in (a + 1)..n {
-                let p = t.gpu_peer_path(a, b).expect("star is connected");
-                prop_assert_eq!(p.class, mlperf_hw::P2pClass::ThroughCpu);
-                // The route's bottleneck is the slower of the two legs.
-                let expect = gpu_bw[a as usize].min(gpu_bw[b as usize]);
-                prop_assert!((p.bandwidth.as_bytes_per_sec() - expect).abs() < 1.0);
-                prop_assert_eq!(p.path.hops(), 2);
-            }
-        }
+    fn star_topology_routes(lane_choices in vec_of(0usize..3, 2usize..6)) {
+        check_star_topology(&lane_choices)?;
     }
 
     /// Route bottleneck bandwidth equals the minimum over traversed links,
     /// and latency is the sum — on a random chain topology.
     #[test]
-    fn chain_route_composition(widths in proptest::collection::vec(1u32..=16, 1..6)) {
+    fn chain_route_composition(widths in vec_of(1u32..=16, 1usize..6)) {
         let mut t = Topology::new("chain");
         let first = t.add_gpu(GpuModel::TeslaV100Pcie16);
         let mut prev = first;

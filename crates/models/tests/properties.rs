@@ -2,39 +2,35 @@
 
 use mlperf_models::zoo::resnet::resnet18_cifar;
 use mlperf_models::{ModelGraph, Op, Optimizer, PrecisionPolicy};
-use proptest::prelude::*;
+use mlperf_testkit::prop::*;
 
-/// A strategy producing small random-but-valid operator graphs.
-fn arb_graph() -> impl Strategy<Value = ModelGraph> {
-    let op = prop_oneof![
-        (1usize..64, 1usize..64).prop_map(|(i, o)| Op::dense(format!("fc{i}x{o}"), i, o)),
-        (1usize..16, 1usize..16, 8usize..32).prop_map(|(ci, co, hw)| Op::conv2d(
-            format!("c{ci}x{co}"),
-            ci,
-            co,
-            3,
-            1,
-            1,
-            hw,
-            hw
-        )),
-        (1u64..10_000).prop_map(|e| Op::activation(format!("act{e}"), e)),
-        (1usize..64, 1usize..128).prop_map(|(c, s)| Op::batch_norm(format!("bn{c}"), c, s)),
-        (100usize..5000, 4usize..64, 1usize..8).prop_map(|(v, d, l)| Op::embedding(
-            format!("emb{v}"),
-            v,
-            d,
-            l
-        )),
-    ];
-    proptest::collection::vec(op, 1..12).prop_map(|ops| {
+/// A generator producing small random-but-valid operator graphs.
+fn arb_graph() -> impl Gen<Value = ModelGraph> {
+    let op = one_of(vec![
+        (1usize..64, 1usize..64)
+            .prop_map(|(i, o)| Op::dense(format!("fc{i}x{o}"), i, o))
+            .boxed(),
+        (1usize..16, 1usize..16, 8usize..32)
+            .prop_map(|(ci, co, hw)| Op::conv2d(format!("c{ci}x{co}"), ci, co, 3, 1, 1, hw, hw))
+            .boxed(),
+        (1u64..10_000)
+            .prop_map(|e| Op::activation(format!("act{e}"), e))
+            .boxed(),
+        (1usize..64, 1usize..128)
+            .prop_map(|(c, s)| Op::batch_norm(format!("bn{c}"), c, s))
+            .boxed(),
+        (100usize..5000, 4usize..64, 1usize..8)
+            .prop_map(|(v, d, l)| Op::embedding(format!("emb{v}"), v, d, l))
+            .boxed(),
+    ]);
+    vec_of(op, 1usize..12).prop_map(|ops| {
         let mut g = ModelGraph::new("random");
         g.extend(ops);
         g
     })
 }
 
-proptest! {
+mlperf_testkit::properties! {
     /// FLOPs and activation traffic are exactly linear in the batch size.
     #[test]
     fn costs_linear_in_batch(g in arb_graph(), batch in 1u64..64) {
@@ -119,7 +115,7 @@ proptest! {
 }
 
 /// A fixed-model anchor: the CIFAR ResNet-18 obeys the same laws at a
-/// realistic size (guards against the strategy only covering tiny ops).
+/// realistic size (guards against the generator only covering tiny ops).
 #[test]
 fn realistic_model_obeys_linearity() {
     let g = resnet18_cifar();

@@ -9,7 +9,7 @@ use mlperf_models::Optimizer;
 use mlperf_sim::allreduce::{allreduce_time, ring_wire_bytes_per_gpu, AllReduceAlgorithm};
 use mlperf_sim::des::{EventQueue, FifoResource};
 use mlperf_sim::{train_on_first, ConvergenceModel, Simulator, TrainingJob};
-use proptest::prelude::*;
+use mlperf_testkit::prop::*;
 
 fn peer(gb: f64) -> PeerPath {
     PeerPath {
@@ -23,7 +23,7 @@ fn peer(gb: f64) -> PeerPath {
     }
 }
 
-proptest! {
+mlperf_testkit::properties! {
     /// All-reduce time is monotone in payload and antitone in bandwidth,
     /// for every algorithm.
     #[test]
@@ -31,7 +31,7 @@ proptest! {
         bytes in 1u64..1 << 32,
         extra in 0u64..1 << 32,
         n in 2u64..=16,
-        bw in 1.0f64..200.0,
+        bw in 1.0f64..200.0
     ) {
         for alg in [AllReduceAlgorithm::Ring, AllReduceAlgorithm::Tree, AllReduceAlgorithm::Naive] {
             let t_small = allreduce_time(alg, Bytes::new(bytes), n, &peer(bw));
@@ -55,7 +55,7 @@ proptest! {
     /// The event queue is a stable priority queue: events pop in
     /// non-decreasing time order and same-time events keep insertion order.
     #[test]
-    fn event_queue_ordering(times in proptest::collection::vec(0u32..1000, 1..200)) {
+    fn event_queue_ordering(times in vec_of(0u32..1000, 1usize..200)) {
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(Seconds::new(t as f64), i);
@@ -77,7 +77,7 @@ proptest! {
     /// completions are non-decreasing for non-decreasing requests.
     #[test]
     fn fifo_resource_conservation(
-        reqs in proptest::collection::vec((0.0f64..100.0, 0.01f64..10.0), 1..50)
+        reqs in vec_of((0.0f64..100.0, 0.01f64..10.0), 1usize..50)
     ) {
         let mut sorted = reqs.clone();
         sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
@@ -146,14 +146,14 @@ mod cluster_properties {
         AreaEfficient, Cluster, ClusterJobSpec, FcfsWidestFit, GreedyBestFinish, NaiveWidest,
         SchedulingPolicy, Submission,
     };
-    use proptest::prelude::*;
+    use mlperf_testkit::prop::*;
 
     /// Random job batches: 1..6 jobs with times at widths 1/2/4, weakly
     /// improving, plus staggered arrivals.
-    fn arb_submissions() -> impl Strategy<Value = Vec<Submission>> {
-        proptest::collection::vec(
+    fn arb_submissions() -> impl Gen<Value = Vec<Submission>> {
+        vec_of(
             (5.0f64..300.0, 0.5f64..1.0, 0.5f64..1.0, 0.0f64..120.0),
-            1..6,
+            1usize..6,
         )
         .prop_map(|specs| {
             specs
@@ -170,7 +170,7 @@ mod cluster_properties {
         })
     }
 
-    proptest! {
+    mlperf_testkit::properties! {
         /// Every policy completes every job, never overlaps capacity, and
         /// never starts a job before it arrives.
         #[test]

@@ -1,0 +1,217 @@
+//! A tiny wall-clock micro-benchmark runner standing in for `criterion`.
+//!
+//! Targets keep `harness = false` and the familiar shape — a `Runner`
+//! instead of `Criterion`, `benchmark_group` / `sample_size` /
+//! `bench_function` / `iter` unchanged — wired up by
+//! [`bench_group!`](crate::bench_group) and
+//! [`bench_main!`](crate::bench_main). Each benchmark warms up, takes N
+//! timed samples, and prints one JSON line
+//! (`{"group":…,"bench":…,"samples":…,"min_ns":…,"median_ns":…,"p95_ns":…,"mean_ns":…}`)
+//! so runs can be diffed or collected by scripts without a parser
+//! dependency.
+//!
+//! Env knobs: `MLPERF_BENCH_SAMPLES` (default 20) and
+//! `MLPERF_BENCH_WARMUP` (default 2) override the per-benchmark sample
+//! and warmup iteration counts. Under `cargo test` (the binary sees
+//! `--test`) benchmarks are skipped so the tier-1 gate stays fast; a
+//! positional argument filters benchmarks by substring, like criterion.
+
+use std::time::Instant;
+
+/// Top-level bench state: CLI mode, filter, and a result counter.
+#[derive(Debug)]
+pub struct Runner {
+    filter: Option<String>,
+    test_mode: bool,
+    samples: usize,
+    warmup: usize,
+    ran: usize,
+    skipped: usize,
+}
+
+impl Runner {
+    /// Build from `std::env::args`: `--test` selects skip mode (cargo
+    /// test), the first non-flag argument is a substring filter, and all
+    /// other flags (`--bench`, …) are ignored.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let parse = |name: &str| std::env::var(name).ok().and_then(|s| s.parse().ok());
+        Runner {
+            filter: args.iter().find(|a| !a.starts_with('-')).cloned(),
+            test_mode: args.iter().any(|a| a == "--test"),
+            samples: parse("MLPERF_BENCH_SAMPLES").unwrap_or(20),
+            warmup: parse("MLPERF_BENCH_WARMUP").unwrap_or(2),
+            ran: 0,
+            skipped: 0,
+        }
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> Group<'_> {
+        let samples = self.samples;
+        Group {
+            runner: self,
+            name: name.into(),
+            sample_size: samples,
+        }
+    }
+
+    /// Print the run summary. Call once after all groups.
+    pub fn finish(self) {
+        if self.test_mode {
+            println!("benchmarks skipped in test mode ({} registered)", self.skipped);
+        } else {
+            println!("{} benchmark(s) run, {} filtered out", self.ran, self.skipped);
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct Group<'a> {
+    runner: &'a mut Runner,
+    name: String,
+    sample_size: usize,
+}
+
+impl Group<'_> {
+    /// Override the sample count for this group (min 1).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time one benchmark: `f` receives a [`Bencher`] and calls
+    /// [`Bencher::iter`] around the code under test.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let matches = self
+            .runner
+            .filter
+            .as_ref()
+            .is_none_or(|flt| full.contains(flt.as_str()));
+        if self.runner.test_mode || !matches {
+            self.runner.skipped += 1;
+            return self;
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            warmup: self.runner.warmup,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        report(&self.name, &id.to_string(), &mut bencher.samples_ns);
+        self.runner.ran += 1;
+        self
+    }
+
+    /// End the group. (Kept for criterion-shaped call sites; groups need
+    /// no teardown.)
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; times the measured callback.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    warmup: usize,
+    samples_ns: Vec<u128>,
+}
+
+impl Bencher {
+    /// Run warmup iterations, then time `sample_size` calls of `f`.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        for _ in 0..self.warmup {
+            std::hint::black_box(f());
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.samples_ns.push(start.elapsed().as_nanos());
+        }
+    }
+}
+
+/// Sorted-sample order statistic; `q` in `[0, 1]`.
+fn percentile(sorted: &[u128], q: f64) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn report(group: &str, bench: &str, samples_ns: &mut [u128]) {
+    samples_ns.sort_unstable();
+    let n = samples_ns.len();
+    let mean = if n == 0 {
+        0
+    } else {
+        samples_ns.iter().sum::<u128>() / n as u128
+    };
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    println!(
+        "{{\"group\":\"{}\",\"bench\":\"{}\",\"samples\":{},\"min_ns\":{},\"median_ns\":{},\"p95_ns\":{},\"mean_ns\":{}}}",
+        escape(group),
+        escape(bench),
+        n,
+        samples_ns.first().copied().unwrap_or(0),
+        percentile(samples_ns, 0.5),
+        percentile(samples_ns, 0.95),
+        mean,
+    );
+}
+
+/// Bundle bench functions into a group entry point, mirroring
+/// `criterion_group!`.
+#[macro_export]
+macro_rules! bench_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(runner: &mut $crate::bench::Runner) {
+            $( $target(runner); )+
+        }
+    };
+}
+
+/// Generate `main` for a `harness = false` bench target, mirroring
+/// `criterion_main!`.
+#[macro_export]
+macro_rules! bench_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut runner = $crate::bench::Runner::from_args();
+            $( $group(&mut runner); )+
+            runner.finish();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_picks_order_statistics() {
+        let sorted = [10u128, 20, 30, 40, 50];
+        assert_eq!(percentile(&sorted, 0.0), 10);
+        assert_eq!(percentile(&sorted, 0.5), 30);
+        assert_eq!(percentile(&sorted, 1.0), 50);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn bencher_collects_the_requested_samples() {
+        let mut b = Bencher {
+            sample_size: 7,
+            warmup: 1,
+            samples_ns: Vec::new(),
+        };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(b.samples_ns.len(), 7);
+        assert_eq!(calls, 8, "warmup + samples");
+    }
+}

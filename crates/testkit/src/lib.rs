@@ -1,0 +1,22 @@
+//! Deterministic test substrate for the MLPerf-demystified workspace.
+//!
+//! The paper's methodology rests on reproducible, seeded measurement runs;
+//! this crate gives the workspace the same property for its *tests* without
+//! reaching for crates.io. Three modules:
+//!
+//! * [`rng`] — a seedable SplitMix64-seeded xoshiro256++ PRNG with
+//!   stream-splitting, so every shard / record / test case draws from an
+//!   independent, replayable stream;
+//! * [`prop`] — a minimal property-testing harness (generators, a
+//!   [`properties!`](crate::properties) macro close to `proptest!`, greedy
+//!   draw-stream shrinking, failure-seed reporting);
+//! * [`bench`] — a wall-clock micro-bench runner (warmup, N samples,
+//!   median/p95, JSON-line output) standing in for `criterion`.
+//!
+//! The whole workspace builds and tests offline because of this crate: it
+//! has **zero dependencies** by design. See DESIGN.md §"Offline build &
+//! determinism policy".
+
+pub mod bench;
+pub mod prop;
+pub mod rng;

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 gate. Everything runs with --offline: the workspace has zero
+# crates.io dependencies (see "Offline build & determinism policy" in
+# DESIGN.md), so a network-less, registry-less container must be able to
+# build, test, and lint from a bare checkout.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --release --offline
+
+echo "== test (offline) =="
+cargo test -q --offline
+
+echo "== clippy (all targets, deny warnings) =="
+cargo clippy --all-targets --offline -- -D warnings
+
+echo "tier-1 gate passed"
