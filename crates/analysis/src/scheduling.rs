@@ -262,11 +262,22 @@ pub fn optimal_schedule(jobs: &[JobTimes], gpu_count: u64) -> Schedule {
 
     struct Search<'a> {
         jobs: &'a [JobTimes],
+        /// Branching order: jobs descending by best-case GPU-minutes area,
+        /// so the biggest commitments are decided (and pruned) first.
+        order: &'a [usize],
         g: usize,
         best_makespan: f64,
         best: Vec<(usize, u64)>, // (job, width) in placement order
         current: Vec<(usize, u64)>,
         remaining_area: f64,
+        /// States already expanded, keyed by (placed set, sorted free
+        /// profile). Under the earliest-free-GPUs placement discipline two
+        /// decision sequences reaching the same placed set with the same
+        /// free-time multiset lead to identical futures, and the incumbent
+        /// only tightens over time — so a revisit can never improve on the
+        /// first visit and is pruned. This collapses the permutation
+        /// symmetry of independent placements.
+        seen: std::collections::HashSet<(u64, Vec<u64>)>,
     }
 
     impl Search<'_> {
@@ -286,13 +297,22 @@ pub fn optimal_schedule(jobs: &[JobTimes], gpu_count: u64) -> Schedule {
             if lb_area.max(lb_max) >= self.best_makespan {
                 return;
             }
-            for j in 0..self.jobs.len() {
+            let mut profile: Vec<u64> = free.iter().map(|f| f.to_bits()).collect();
+            profile.sort_unstable();
+            if !self.seen.insert((placed_mask, profile)) {
+                return;
+            }
+            for &j in self.order {
                 if placed_mask & (1 << j) != 0 {
                     continue;
                 }
                 let area_j = self.jobs[j].min_area(self.g as u64);
                 let g64 = self.g as u64;
-                let widths: Vec<u64> = self.jobs[j].widths().filter(|&w| w <= g64).collect();
+                // Widest first: wide placements finish the big jobs early,
+                // so the first incumbents are strong and the area bound
+                // prunes most of the permutation space.
+                let mut widths: Vec<u64> = self.jobs[j].widths().filter(|&w| w <= g64).collect();
+                widths.reverse();
                 for w in widths {
                     let d = self.jobs[j].time_at(w).expect("width from map");
                     let (gpus, start) = earliest_gpus(free, w as usize);
@@ -322,13 +342,20 @@ pub fn optimal_schedule(jobs: &[JobTimes], gpu_count: u64) -> Schedule {
     assert!(jobs.len() <= 64, "branch-and-bound supports up to 64 jobs");
     // Seed with LPT so pruning bites immediately.
     let seed = lpt_schedule(jobs, gpu_count);
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (aa, ab) = (jobs[a].min_area(gpu_count), jobs[b].min_area(gpu_count));
+        ab.partial_cmp(&aa).expect("areas are finite").then(a.cmp(&b))
+    });
     let mut search = Search {
         jobs,
+        order: &order,
         g: gpu_count as usize,
         best_makespan: seed.makespan + 1e-9,
         best: Vec::new(),
         current: Vec::new(),
         remaining_area: jobs.iter().map(|j| j.min_area(gpu_count)).sum(),
+        seen: std::collections::HashSet::new(),
     };
     let mut free = vec![0.0f64; gpu_count as usize];
     search.dfs(&mut free, 0);

@@ -1,0 +1,56 @@
+//! Executor benchmarks: what the memoized DAG scheduler buys on the
+//! full-report path, plus the micro-costs it adds (a cache hit, the pool's
+//! scheduling overhead).
+//!
+//! The headline pair regenerates the complete report twice per sample —
+//! once the way a naive runner would (one worker, every simulation point
+//! recomputed per experiment) and once the way `repro --report` actually
+//! runs (environment worker count, shared memo cache). The ratio is the
+//! acceptance number for the executor work; on a single-core host it is
+//! carried entirely by memoization.
+
+use mlperf_suite::runner::{Ctx, Pool, TrainPoint};
+use mlperf_suite::{report_gen, BenchmarkId};
+use mlperf_testkit::bench::Runner;
+use mlperf_testkit::{bench_group, bench_main};
+use std::hint::black_box;
+
+fn bench_full_report(c: &mut Runner) {
+    let mut g = c.benchmark_group("executor_report");
+    g.sample_size(5);
+    g.bench_function("serial_unmemoized", |b| {
+        b.iter(|| {
+            let ctx = Ctx::without_memo();
+            black_box(report_gen::build_with(&Pool::with_workers(1), &ctx).expect("report builds"))
+        })
+    });
+    g.bench_function("pooled_memoized", |b| {
+        let pool = Pool::from_env();
+        b.iter(|| {
+            let ctx = Ctx::new();
+            black_box(report_gen::build_with(&pool, &ctx).expect("report builds"))
+        })
+    });
+    g.finish();
+}
+
+fn bench_memo_hit(c: &mut Runner) {
+    let ctx = Ctx::new();
+    let point = TrainPoint::new(BenchmarkId::MlpfRes50Mx, mlperf_hw::SystemId::Dss8440, 8);
+    ctx.step(&point).expect("warm the cache");
+    let mut g = c.benchmark_group("executor_micro");
+    g.bench_function("memo_hit", |b| {
+        b.iter(|| black_box(ctx.step(&point).expect("cached")))
+    });
+    g.bench_function("pool_run_all_64_trivial", |b| {
+        let pool = Pool::from_env();
+        b.iter(|| {
+            let tasks: Vec<_> = (0..64u64).map(|i| move || i * i).collect();
+            black_box(pool.run_all(tasks))
+        })
+    });
+    g.finish();
+}
+
+bench_group!(benches, bench_full_report, bench_memo_hit);
+bench_main!(benches);

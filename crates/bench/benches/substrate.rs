@@ -6,7 +6,7 @@ use mlperf_analysis::linalg::{symmetric_eigen, Matrix};
 use mlperf_analysis::pca::Pca;
 use mlperf_hw::systems::SystemId;
 use mlperf_models::zoo::{detection, resnet, translation};
-use mlperf_sim::Simulator;
+use mlperf_sim::{RunSpec, Simulator};
 use mlperf_suite::BenchmarkId;
 use std::hint::black_box;
 
@@ -27,8 +27,9 @@ fn bench_engine_step(c: &mut Runner) {
     let sim = Simulator::new(&system);
     let job = BenchmarkId::MlpfRes50Mx.job();
     let mut g = c.benchmark_group("engine");
+    let spec = RunSpec::on_first(job.clone(), 8);
     g.bench_function("steady_state_8gpu", |b| {
-        b.iter(|| black_box(sim.run_on_first(&job, 8).expect("run succeeds")))
+        b.iter(|| black_box(sim.execute(&spec).expect("run succeeds")))
     });
     g.bench_function("iteration_cost", |b| {
         b.iter(|| {

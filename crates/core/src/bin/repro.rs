@@ -8,6 +8,7 @@
 //! ```
 
 use mlperf_suite::experiments as exp;
+use mlperf_suite::runner::{Ctx, Pool};
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
@@ -22,62 +23,62 @@ fn usage() -> &'static str {
              sensitivity (derived-output elasticity to calibration knobs)"
 }
 
-fn run_extra(name: &str) -> Result<String, String> {
+fn run_extra(ctx: &Ctx, name: &str) -> Result<String, String> {
     match name {
-        "cluster" => exp::cluster_study::run()
+        "cluster" => exp::cluster_study::run_ctx(ctx)
             .map(|s| exp::cluster_study::render(&s))
             .map_err(|e| e.to_string()),
-        "sensitivity" => mlperf_suite::sensitivity::run()
+        "sensitivity" => mlperf_suite::sensitivity::run_ctx(ctx)
             .map(|s| mlperf_suite::sensitivity::render(&s))
             .map_err(|e| e.to_string()),
-        "storage" => exp::storage_study::run()
+        "storage" => exp::storage_study::run_ctx(ctx)
             .map(|rows| exp::storage_study::render(&rows))
             .map_err(|e| e.to_string()),
-        "energy" => exp::energy_cost::run()
+        "energy" => exp::energy_cost::run_on_ctx(ctx, mlperf_hw::SystemId::Dss8440, 8)
             .map(|e| exp::energy_cost::render(&e))
             .map_err(|e| e.to_string()),
-        "batch" => exp::batch_sweep::run(mlperf_suite::BenchmarkId::MlpfRes50Mx)
+        "batch" => exp::batch_sweep::run_ctx(ctx, mlperf_suite::BenchmarkId::MlpfRes50Mx)
             .map(|s| exp::batch_sweep::render(&s))
             .map_err(|e| e.to_string()),
-        "validate" => mlperf_suite::validation::run()
+        "validate" => mlperf_suite::validation::run_ctx(ctx)
             .map(|v| mlperf_suite::validation::render(&v))
             .map_err(|e| e.to_string()),
         _ => Err(format!("no extra '{name}'; {}", usage())),
     }
 }
 
-fn run_table(n: u32) -> Result<String, String> {
+fn run_table(ctx: &Ctx, n: u32) -> Result<String, String> {
     match n {
-        1 => exp::table1::run()
+        1 => exp::table1::run_ctx(ctx)
             .map(|t| exp::table1::render(&t))
             .map_err(|e| e.to_string()),
         2 => Ok(exp::table2::render()),
         3 => Ok(exp::table3::render()),
-        4 => exp::table4::run()
+        4 => exp::table4::run_ctx(ctx)
             .map(|t| exp::table4::render(&t))
             .map_err(|e| e.to_string()),
-        5 => exp::table5::run()
+        5 => exp::table5::run_ctx(ctx)
             .map(|t| exp::table5::render(&t))
             .map_err(|e| e.to_string()),
         _ => Err(format!("no table {n}; {}", usage())),
     }
 }
 
-fn run_figure(n: u32) -> Result<String, String> {
+fn run_figure(ctx: &Ctx, n: u32) -> Result<String, String> {
     match n {
-        1 => exp::figure1::run()
+        1 => exp::figure1::run_ctx(ctx)
             .map(|f| exp::figure1::render(&f))
             .map_err(|e| e.to_string()),
-        2 => exp::figure2::run()
+        2 => exp::figure2::run_ctx(ctx)
             .map(|f| exp::figure2::render(&f))
             .map_err(|e| e.to_string()),
-        3 => exp::figure3::run()
+        3 => exp::figure3::run_ctx(ctx)
             .map(|f| exp::figure3::render(&f))
             .map_err(|e| e.to_string()),
-        4 => exp::figure4::run()
+        4 => exp::figure4::run_ctx(ctx)
             .map(|f| exp::figure4::render(&f))
             .map_err(|e| e.to_string()),
-        5 => exp::figure5::run()
+        5 => exp::figure5::run_ctx(ctx)
             .map(|f| exp::figure5::render(&f))
             .map_err(|e| e.to_string()),
         _ => Err(format!("no figure {n}; {}", usage())),
@@ -86,11 +87,14 @@ fn run_figure(n: u32) -> Result<String, String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // One memoized context per invocation: tables and figures share their
+    // overlapping simulation points instead of re-pricing them.
+    let ctx = Ctx::new();
     let result: Result<(), String> = match args.as_slice() {
         [] => {
             let mut out = String::new();
             for n in 1..=5u32 {
-                match run_table(n) {
+                match run_table(&ctx, n) {
                     Ok(s) => out.push_str(&format!("{s}\n")),
                     Err(e) => {
                         eprintln!("table {n} failed: {e}");
@@ -99,7 +103,7 @@ fn main() -> ExitCode {
                 }
             }
             for n in 1..=5u32 {
-                match run_figure(n) {
+                match run_figure(&ctx, n) {
                     Ok(s) => out.push_str(&format!("{s}\n")),
                     Err(e) => {
                         eprintln!("figure {n} failed: {e}");
@@ -117,31 +121,35 @@ fn main() -> ExitCode {
         [flag, n] if flag == "--table" => n
             .parse::<u32>()
             .map_err(|e| e.to_string())
-            .and_then(run_table)
+            .and_then(|n| run_table(&ctx, n))
             .map(|s| print!("{s}")),
-        [flag, name] if flag == "--extra" => run_extra(name).map(|s| print!("{s}")),
-        [flag, file] if flag == "--report" => match mlperf_suite::report_gen::build() {
-            Ok(md) => std::fs::write(file, md)
-                .map(|()| println!("wrote {file}"))
-                .map_err(|e| e.to_string()),
-            Err(e) => Err(e.to_string()),
-        },
+        [flag, name] if flag == "--extra" => run_extra(&ctx, name).map(|s| print!("{s}")),
+        [flag, file] if flag == "--report" => {
+            match mlperf_suite::report_gen::build_with(&Pool::from_env(), &ctx) {
+                Ok((md, stats)) => {
+                    eprint!("{}", stats.summary());
+                    std::fs::write(file, md)
+                        .map(|()| println!("wrote {file}"))
+                        .map_err(|e| e.to_string())
+                }
+                Err(e) => Err(e.to_string()),
+            }
+        }
         [flag, dir] if flag == "--csv" => {
             match mlperf_suite::csv_export::write_all(std::path::Path::new(dir)) {
-                Ok(Ok(written)) => {
+                Ok(written) => {
                     for path in written {
                         println!("wrote {path}");
                     }
                     Ok(())
                 }
-                Ok(Err(io)) => Err(io),
-                Err(sim) => Err(sim.to_string()),
+                Err(e) => Err(e.to_string()),
             }
         }
         [flag, n] if flag == "--figure" => n
             .parse::<u32>()
             .map_err(|e| e.to_string())
-            .and_then(run_figure)
+            .and_then(|n| run_figure(&ctx, n))
             .map(|s| print!("{s}")),
         _ => Err(usage().to_string()),
     };

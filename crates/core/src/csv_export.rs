@@ -3,24 +3,170 @@
 //! The paper's workflow exports measurements "to comma-separated values for
 //! further analysis" (§III-C); `repro --csv DIR` writes the reproduction's
 //! data the same way: one file per table/figure, plus the raw PCA feature
-//! matrix.
+//! matrix. The source experiments are scheduled on the
+//! [`runner`](crate::runner) pool sharing one memoized context, and the
+//! exports are assembled in file-name order — the bytes are identical for
+//! any `MLPERF_JOBS` worker count.
 
-use crate::experiments::{figure1, figure3, figure5, table4, table5};
+use crate::experiments::figure1;
 use crate::report::Table;
+use crate::runner::{self, Ctx, Pool};
 use mlperf_sim::SimError;
 use mlperf_telemetry::csv::characteristics_to_csv;
 use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
 
-/// Build every export as `(file name, CSV contents)` pairs.
+/// One generated CSV file, tagged with the experiment it came from.
+#[derive(Debug, Clone)]
+pub struct CsvExport {
+    /// Id of the experiment the data belongs to (the [`runner`] vocabulary).
+    pub experiment: &'static str,
+    /// Output file name.
+    pub file: &'static str,
+    /// The CSV bytes.
+    pub contents: String,
+}
+
+/// The typed collection of all CSV exports, ordered by file name.
+#[derive(Debug, Clone, Default)]
+pub struct ArtifactSet {
+    exports: BTreeMap<&'static str, CsvExport>,
+}
+
+impl ArtifactSet {
+    fn insert(&mut self, experiment: &'static str, file: &'static str, contents: String) {
+        self.exports.insert(
+            file,
+            CsvExport {
+                experiment,
+                file,
+                contents,
+            },
+        );
+    }
+
+    /// Look up one export by file name.
+    pub fn get(&self, file: &str) -> Option<&CsvExport> {
+        self.exports.get(file)
+    }
+
+    /// All exports, in file-name order.
+    pub fn iter(&self) -> impl Iterator<Item = &CsvExport> {
+        self.exports.values()
+    }
+
+    /// The exports one experiment produced.
+    pub fn for_experiment<'a>(&'a self, id: &'a str) -> impl Iterator<Item = &'a CsvExport> {
+        self.iter().filter(move |e| e.experiment == id)
+    }
+
+    /// All file names, in order.
+    pub fn files(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.exports.keys().copied()
+    }
+
+    /// Number of exports.
+    pub fn len(&self) -> usize {
+        self.exports.len()
+    }
+
+    /// Whether the set holds no exports.
+    pub fn is_empty(&self) -> bool {
+        self.exports.is_empty()
+    }
+}
+
+impl<'a> IntoIterator for &'a ArtifactSet {
+    type Item = &'a CsvExport;
+    type IntoIter = std::collections::btree_map::Values<'a, &'static str, CsvExport>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.exports.values()
+    }
+}
+
+/// Why an export run failed: either the simulation itself, or writing the
+/// results to disk.
+#[derive(Debug)]
+pub enum ExportError {
+    /// An experiment failed to simulate.
+    Sim(SimError),
+    /// A file or directory could not be written.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for ExportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExportError::Sim(e) => write!(f, "simulation failed: {e}"),
+            ExportError::Io { path, source } => write!(f, "writing {path}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for ExportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExportError::Sim(e) => Some(e),
+            ExportError::Io { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<SimError> for ExportError {
+    fn from(e: SimError) -> Self {
+        ExportError::Sim(e)
+    }
+}
+
+/// The experiments whose artifacts feed the CSV exports.
+fn export_experiments() -> Vec<&'static dyn runner::Experiment> {
+    use crate::experiments::{figure3, figure5, table4, table5};
+    vec![
+        &table4::Exp,
+        &table5::Exp,
+        &figure1::Exp,
+        &figure3::Exp,
+        &figure5::Exp,
+    ]
+}
+
+/// Build every export, with pool and worker count from the environment.
 ///
 /// # Errors
 ///
 /// Propagates [`SimError`] from the underlying experiments.
-pub fn build_all() -> Result<BTreeMap<&'static str, String>, SimError> {
-    let mut out = BTreeMap::new();
+pub fn build_all() -> Result<ArtifactSet, SimError> {
+    build_all_with(&Pool::from_env(), &Ctx::new())
+}
+
+/// Build every export on an explicit pool and context. The bytes depend
+/// only on the simulated numbers, never on the schedule — the golden-file
+/// tests pin them against `artifacts/`.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the underlying experiments.
+///
+/// # Panics
+///
+/// Panics if the executor reports success but an artifact is missing or of
+/// the wrong variant (a programming error in the experiment wiring).
+pub fn build_all_with(pool: &Pool, ctx: &Ctx) -> Result<ArtifactSet, SimError> {
+    runner::execute(pool, ctx, &export_experiments())?;
+    let artifact = |id: &str| ctx.artifact(id).expect("executor stored the artifact");
+
+    let mut out = ArtifactSet::default();
 
     // Table IV rows.
-    let t4 = table4::run()?;
+    let t4_artifact = artifact("table4");
+    let t4 = t4_artifact.as_table4().expect("table4 artifact");
     let mut csv = Table::new(
         "",
         [
@@ -42,10 +188,11 @@ pub fn build_all() -> Result<BTreeMap<&'static str, String>, SimError> {
             format!("{:.4}", row.speedup(8).expect("measured")),
         ]);
     }
-    out.insert("table4_scaling.csv", csv.to_csv());
+    out.insert("table4", "table4_scaling.csv", csv.to_csv());
 
     // Table V rows.
-    let t5 = table5::run()?;
+    let t5_artifact = artifact("table5");
+    let t5 = t5_artifact.as_table5().expect("table5 artifact");
     let mut csv = Table::new(
         "",
         [
@@ -71,13 +218,15 @@ pub fn build_all() -> Result<BTreeMap<&'static str, String>, SimError> {
             format!("{:.1}", r.usage.nvlink_mbps),
         ]);
     }
-    out.insert("table5_resources.csv", csv.to_csv());
+    out.insert("table5", "table5_resources.csv", csv.to_csv());
 
-    // Figure 1: both the raw feature matrix and the projections.
-    let runs = figure1::collect_runs()?;
+    // Figure 1: both the raw feature matrix and the projections. The
+    // workload runs are all cache hits by now (Figure 1 just priced them).
+    let runs = figure1::collect_runs_ctx(ctx)?;
     let chars: Vec<_> = runs.iter().map(|r| r.characteristics()).collect();
-    out.insert("figure1_features.csv", characteristics_to_csv(&chars));
-    let f1 = figure1::run()?;
+    out.insert("figure1", "figure1_features.csv", characteristics_to_csv(&chars));
+    let f1_artifact = artifact("figure1");
+    let f1 = f1_artifact.as_figure1().expect("figure1 artifact");
     let mut csv = Table::new("", ["workload", "suite", "pc1", "pc2", "pc3", "pc4"]);
     for (name, suite, p) in &f1.projections {
         csv.add_row([
@@ -89,10 +238,11 @@ pub fn build_all() -> Result<BTreeMap<&'static str, String>, SimError> {
             format!("{:.4}", p[3]),
         ]);
     }
-    out.insert("figure1_projections.csv", csv.to_csv());
+    out.insert("figure1", "figure1_projections.csv", csv.to_csv());
 
     // Figure 3 speedups.
-    let f3 = figure3::run()?;
+    let f3_artifact = artifact("figure3");
+    let f3 = f3_artifact.as_figure3().expect("figure3 artifact");
     let mut csv = Table::new(
         "",
         ["benchmark", "amp_samples_s", "fp32_samples_s", "speedup"],
@@ -105,10 +255,11 @@ pub fn build_all() -> Result<BTreeMap<&'static str, String>, SimError> {
             format!("{:.4}", s.speedup()),
         ]);
     }
-    out.insert("figure3_amp.csv", csv.to_csv());
+    out.insert("figure3", "figure3_amp.csv", csv.to_csv());
 
     // Figure 5 matrix.
-    let f5 = figure5::run()?;
+    let f5_artifact = artifact("figure5");
+    let f5 = f5_artifact.as_figure5().expect("figure5 artifact");
     let mut headers = vec!["benchmark".to_string()];
     headers.extend(
         mlperf_hw::SystemId::FOUR_GPU_PLATFORMS
@@ -123,31 +274,34 @@ pub fn build_all() -> Result<BTreeMap<&'static str, String>, SimError> {
         }
         csv.add_row(cells);
     }
-    out.insert("figure5_topology.csv", csv.to_csv());
+    out.insert("figure5", "figure5_topology.csv", csv.to_csv());
 
     Ok(out)
 }
 
-/// Write every export into a directory (created if absent).
+/// Write every export into a directory (created if absent), returning the
+/// paths written.
 ///
 /// # Errors
 ///
-/// Returns simulation errors as [`SimError`]; I/O failures are returned as
-/// strings in the error position of the outer result.
-pub fn write_all(dir: &std::path::Path) -> Result<Result<Vec<String>, String>, SimError> {
+/// [`ExportError::Sim`] if an experiment fails, [`ExportError::Io`] if the
+/// directory or a file cannot be written.
+pub fn write_all(dir: &Path) -> Result<Vec<String>, ExportError> {
     let exports = build_all()?;
     let mut written = Vec::new();
-    if let Err(e) = std::fs::create_dir_all(dir) {
-        return Ok(Err(format!("creating {}: {e}", dir.display())));
-    }
-    for (name, contents) in exports {
-        let path = dir.join(name);
-        if let Err(e) = std::fs::write(&path, contents) {
-            return Ok(Err(format!("writing {}: {e}", path.display())));
-        }
+    std::fs::create_dir_all(dir).map_err(|source| ExportError::Io {
+        path: dir.display().to_string(),
+        source,
+    })?;
+    for export in &exports {
+        let path = dir.join(export.file);
+        std::fs::write(&path, &export.contents).map_err(|source| ExportError::Io {
+            path: path.display().to_string(),
+            source,
+        })?;
         written.push(path.display().to_string());
     }
-    Ok(Ok(written))
+    Ok(written)
 }
 
 #[cfg(test)]
@@ -165,15 +319,30 @@ mod tests {
             "figure3_amp.csv",
             "figure5_topology.csv",
         ] {
-            let csv = all.get(name).unwrap_or_else(|| panic!("{name} missing"));
-            assert!(csv.lines().count() > 1, "{name} has no data rows");
+            let export = all.get(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert!(
+                export.contents.lines().count() > 1,
+                "{name} has no data rows"
+            );
         }
+        assert_eq!(all.len(), 6);
+    }
+
+    #[test]
+    fn exports_are_tagged_with_their_experiment() {
+        let all = build_all().unwrap();
+        assert_eq!(all.for_experiment("figure1").count(), 2);
+        assert_eq!(all.for_experiment("table4").count(), 1);
+        assert_eq!(
+            all.get("figure3_amp.csv").expect("present").experiment,
+            "figure3"
+        );
     }
 
     #[test]
     fn csv_rows_parse_back_numerically() {
         let all = build_all().unwrap();
-        let t4 = &all["table4_scaling.csv"];
+        let t4 = &all.get("table4_scaling.csv").expect("present").contents;
         for line in t4.lines().skip(1) {
             let cols: Vec<&str> = line.split(',').collect();
             assert_eq!(cols.len(), 6);
@@ -188,7 +357,7 @@ mod tests {
     fn write_all_creates_files() {
         let dir = std::env::temp_dir().join("mlperf_csv_export_test");
         let _ = std::fs::remove_dir_all(&dir);
-        let written = write_all(&dir).unwrap().unwrap();
+        let written = write_all(&dir).unwrap();
         assert_eq!(written.len(), 6);
         for path in &written {
             assert!(std::path::Path::new(path).exists());

@@ -9,8 +9,9 @@
 
 use crate::benchmark::BenchmarkId;
 use crate::report::Table;
+use crate::runner::{Artifact, Ctx, Experiment, TrainPoint};
 use mlperf_hw::systems::SystemId;
-use mlperf_sim::{SimError, Simulator};
+use mlperf_sim::SimError;
 
 /// One batch point of the sweep.
 #[derive(Debug, Clone)]
@@ -44,17 +45,24 @@ pub struct BatchSweep {
 ///
 /// Propagates non-OOM [`SimError`]s from the engine.
 pub fn run(id: BenchmarkId) -> Result<BatchSweep, SimError> {
-    let system = SystemId::C4140K.spec();
-    let sim = Simulator::new(&system);
+    run_ctx(&Ctx::new(), id)
+}
+
+/// Sweep `id` through a shared executor context.
+///
+/// # Errors
+///
+/// Propagates non-OOM [`SimError`]s from the engine.
+pub fn run_ctx(ctx: &Ctx, id: BenchmarkId) -> Result<BatchSweep, SimError> {
     let base = id.job();
     let mut points = Vec::new();
     let mut oom_at = None;
     let mut batch = 16u64;
     while batch <= 1 << 14 {
-        let job = base.with_per_gpu_batch(batch);
-        match sim.run_on_first(&job, 1) {
+        let point = TrainPoint::new(id, SystemId::C4140K, 1).with_per_gpu_batch(batch);
+        match ctx.step(&point) {
             Ok(step) => {
-                let epochs = job.convergence().epochs_at(batch);
+                let epochs = base.convergence().epochs_at(batch);
                 points.push(BatchPoint {
                     batch,
                     step_ms: step.step_time.as_secs() * 1e3,
@@ -94,6 +102,32 @@ pub fn render(s: &BatchSweep) -> String {
         None => "sweep ended within memory\n".to_string(),
     };
     format!("{t}{tail}")
+}
+
+/// The batch sweep as the executor schedules it (the report sweeps
+/// ResNet-50/MXNet, the benchmark §IV-D's batch-size argument centres on).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "batch_sweep"
+    }
+
+    fn title(&self) -> &'static str {
+        "Extension: batch-size sweep (ResNet-50/MXNet)"
+    }
+
+    fn run(&self, ctx: &Ctx) -> Result<Artifact, SimError> {
+        run_ctx(ctx, BenchmarkId::MlpfRes50Mx).map(Artifact::BatchSweep)
+    }
+
+    fn render(&self, artifact: &Artifact) -> String {
+        match artifact {
+            Artifact::BatchSweep(s) => render(s),
+            other => unreachable!("batch_sweep asked to render {}", other.name()),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -8,9 +8,10 @@
 
 use crate::benchmark::BenchmarkId;
 use crate::report::Table;
+use crate::runner::{Artifact, Ctx, Experiment, TrainPoint};
 use mlperf_hw::power::{cpu_tdp_watts, draw_watts, gpu_tdp_watts};
 use mlperf_hw::systems::{SystemId, SystemSpec};
-use mlperf_sim::{train_on_first, SimError, Simulator, TrainingOutcome};
+use mlperf_sim::{SimError, TrainingOutcome};
 
 /// 2019-era cloud hourly rate for a platform-equivalent instance, USD.
 /// (8× V100 ≈ p3.16xlarge at ~$24.48/h; single P100 ≈ ~$1.46/h.)
@@ -81,11 +82,20 @@ pub fn run() -> Result<EnergyCost, SimError> {
 ///
 /// Propagates [`SimError`] from the engine.
 pub fn run_on(system_id: SystemId, gpus: u32) -> Result<EnergyCost, SimError> {
+    run_on_ctx(&Ctx::new(), system_id, gpus)
+}
+
+/// Run the study through a shared executor context (the default DSS-8440
+/// 8-GPU points are the same ones Table IV prices).
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+pub fn run_on_ctx(ctx: &Ctx, system_id: SystemId, gpus: u32) -> Result<EnergyCost, SimError> {
     let system = system_id.spec();
-    let sim = Simulator::new(&system);
     let mut rows = Vec::new();
     for id in BenchmarkId::TABLE_IV {
-        let outcome = train_on_first(&sim, &id.job(), gpus)?;
+        let outcome = ctx.outcome(&TrainPoint::new(id, system_id, gpus))?;
         let hours = outcome.total_time.as_hours();
         let watts = chassis_watts(&system, &outcome);
         rows.push(EnergyRow {
@@ -121,6 +131,31 @@ pub fn render(e: &EnergyCost) -> String {
         ]);
     }
     t.to_string()
+}
+
+/// The energy/cost study as the executor schedules it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "energy_cost"
+    }
+
+    fn title(&self) -> &'static str {
+        "Extension: energy and dollar cost to train"
+    }
+
+    fn run(&self, ctx: &Ctx) -> Result<Artifact, SimError> {
+        run_on_ctx(ctx, SystemId::Dss8440, 8).map(Artifact::Energy)
+    }
+
+    fn render(&self, artifact: &Artifact) -> String {
+        match artifact {
+            Artifact::Energy(e) => render(e),
+            other => unreachable!("energy_cost asked to render {}", other.name()),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -13,7 +13,8 @@
 
 use crate::benchmark::BenchmarkId;
 use crate::report::Table;
-use crate::workloads::{deepbench_run, trainable_run, DeepBenchId, WorkloadRun};
+use crate::runner::{Artifact, Ctx, Experiment};
+use crate::workloads::{DeepBenchId, WorkloadRun, WorkloadSpec};
 use mlperf_analysis::pca::Pca;
 use mlperf_hw::systems::SystemId;
 use mlperf_sim::SimError;
@@ -61,27 +62,47 @@ impl Figure1 {
 ///
 /// Propagates [`SimError`] from the engine.
 pub fn collect_runs() -> Result<Vec<WorkloadRun>, SimError> {
-    let system = SystemId::C4140K.spec();
+    collect_runs_ctx(&Ctx::new())
+}
+
+/// [`collect_runs`] through a shared executor context, so the quad-GPU
+/// C4140 (K) points are computed once across Figure 1, Table V, and the
+/// CSV exports.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+pub fn collect_runs_ctx(ctx: &Ctx) -> Result<Vec<WorkloadRun>, SimError> {
+    let system = SystemId::C4140K;
     let mut runs = Vec::new();
     for id in BenchmarkId::MLPERF {
-        runs.push(trainable_run(id, &system, 4)?);
+        runs.push(ctx.workload(WorkloadSpec::Trainable(id), system, 4)?);
     }
-    runs.push(trainable_run(BenchmarkId::DawnRes18Py, &system, 1)?);
-    runs.push(trainable_run(BenchmarkId::DawnDrqaPy, &system, 1)?);
+    runs.push(ctx.workload(WorkloadSpec::Trainable(BenchmarkId::DawnRes18Py), system, 1)?);
+    runs.push(ctx.workload(WorkloadSpec::Trainable(BenchmarkId::DawnDrqaPy), system, 1)?);
     for id in [DeepBenchId::GemmCu, DeepBenchId::ConvCu, DeepBenchId::RnnCu] {
-        runs.push(deepbench_run(id, &system, 1));
+        runs.push(ctx.workload(WorkloadSpec::DeepBench(id), system, 1)?);
     }
-    runs.push(deepbench_run(DeepBenchId::RedCu, &system, 4));
+    runs.push(ctx.workload(WorkloadSpec::DeepBench(DeepBenchId::RedCu), system, 4)?);
     Ok(runs)
 }
 
-/// Run the Figure 1 experiment.
+/// Run the Figure 1 experiment standalone.
 ///
 /// # Errors
 ///
 /// Propagates [`SimError`] from the engine.
 pub fn run() -> Result<Figure1, SimError> {
-    let runs = collect_runs()?;
+    run_ctx(&Ctx::new())
+}
+
+/// Run the Figure 1 experiment through a shared executor context.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+pub fn run_ctx(ctx: &Ctx) -> Result<Figure1, SimError> {
+    let runs = collect_runs_ctx(ctx)?;
     let rows: Vec<Vec<f64>> = runs
         .iter()
         .map(|r| r.characteristics().features.to_vec())
@@ -153,6 +174,31 @@ pub fn render(f: &Figure1) -> String {
             .collect::<Vec<_>>()
             .join(" "),
     )
+}
+
+/// Figure 1 as the executor schedules it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "figure1"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 1: PCA of the workload space"
+    }
+
+    fn run(&self, ctx: &Ctx) -> Result<Artifact, SimError> {
+        run_ctx(ctx).map(Artifact::Figure1)
+    }
+
+    fn render(&self, artifact: &Artifact) -> String {
+        match artifact {
+            Artifact::Figure1(f) => render(f),
+            other => unreachable!("figure1 asked to render {}", other.name()),
+        }
+    }
 }
 
 #[cfg(test)]

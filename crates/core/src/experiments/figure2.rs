@@ -9,7 +9,8 @@
 
 use crate::benchmark::BenchmarkId;
 use crate::report::Table;
-use crate::workloads::{deepbench_run, trainable_run, DeepBenchId, WorkloadRun};
+use crate::runner::{Artifact, Ctx, Experiment};
+use crate::workloads::{DeepBenchId, WorkloadRun, WorkloadSpec};
 use mlperf_analysis::roofline::{RooflineModel, RooflinePoint};
 use mlperf_hw::gpu::Precision;
 use mlperf_hw::systems::SystemId;
@@ -65,12 +66,21 @@ impl Figure2 {
 ///
 /// Propagates [`SimError`] from the engine.
 pub fn run() -> Result<Figure2, SimError> {
-    let system = SystemId::T640.spec();
-    let roofline = RooflineModel::for_gpu(&system.gpu_model().spec());
+    run_ctx(&Ctx::new())
+}
+
+/// Run the Figure 2 experiment through a shared executor context.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+pub fn run_ctx(ctx: &Ctx) -> Result<Figure2, SimError> {
+    let system = SystemId::T640;
+    let roofline = RooflineModel::for_gpu(&system.spec().gpu_model().spec());
 
     let mut runs: Vec<WorkloadRun> = Vec::new();
     for id in BenchmarkId::ALL {
-        runs.push(trainable_run(id, &system, 1)?);
+        runs.push(ctx.workload(WorkloadSpec::Trainable(id), system, 1)?);
     }
     for id in [
         DeepBenchId::GemmCu,
@@ -78,7 +88,7 @@ pub fn run() -> Result<Figure2, SimError> {
         DeepBenchId::RnnCu,
         DeepBenchId::RedCu,
     ] {
-        runs.push(deepbench_run(id, &system, 1));
+        runs.push(ctx.workload(WorkloadSpec::DeepBench(id), system, 1)?);
     }
     let points = runs
         .iter()
@@ -126,6 +136,31 @@ pub fn render(f: &Figure2) -> String {
     }
     out.push_str(&t.to_string());
     out
+}
+
+/// Figure 2 as the executor schedules it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "figure2"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 2: V100 roofline and workload placement"
+    }
+
+    fn run(&self, ctx: &Ctx) -> Result<Artifact, SimError> {
+        run_ctx(ctx).map(Artifact::Figure2)
+    }
+
+    fn render(&self, artifact: &Artifact) -> String {
+        match artifact {
+            Artifact::Figure2(f) => render(f),
+            other => unreachable!("figure2 asked to render {}", other.name()),
+        }
+    }
 }
 
 #[cfg(test)]

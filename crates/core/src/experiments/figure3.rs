@@ -8,9 +8,10 @@
 
 use crate::benchmark::BenchmarkId;
 use crate::report::Table;
+use crate::runner::{Artifact, Ctx, Experiment, TrainPoint};
 use mlperf_hw::systems::SystemId;
 use mlperf_models::PrecisionPolicy;
-use mlperf_sim::{SimError, Simulator, TrainingJob};
+use mlperf_sim::{SimError, StepReport};
 
 /// GPUs used for the comparison (the paper uses all 8 of the DSS 8440).
 const GPUS: u32 = 8;
@@ -42,17 +43,16 @@ pub struct Figure3 {
     pub speedups: Vec<AmpSpeedup>,
 }
 
-/// Run a job, halving the per-GPU batch on OOM until it fits (batch 1 OOM
-/// is a genuine failure).
+/// Run a training point, halving the per-GPU batch on OOM until it fits
+/// (batch 1 OOM is a genuine failure). Keys use effective values, so the
+/// first AMP attempt at the default batch shares Table IV's cache entry.
 fn run_shrinking(
-    sim: &Simulator<'_>,
-    job: &TrainingJob,
-    n: u32,
-) -> Result<(mlperf_sim::StepReport, u64), SimError> {
-    let mut batch = job.per_gpu_batch();
+    ctx: &Ctx,
+    base: &TrainPoint,
+    mut batch: u64,
+) -> Result<(StepReport, u64), SimError> {
     loop {
-        let attempt = job.with_per_gpu_batch(batch);
-        match sim.run_on_first(&attempt, n) {
+        match ctx.step(&base.clone().with_per_gpu_batch(batch)) {
             Ok(report) => return Ok((report, batch)),
             Err(SimError::OutOfMemory { .. }) if batch > 1 => batch /= 2,
             Err(e) => return Err(e),
@@ -60,20 +60,28 @@ fn run_shrinking(
     }
 }
 
-/// Run the Figure 3 experiment.
+/// Run the Figure 3 experiment standalone.
 ///
 /// # Errors
 ///
 /// Propagates [`SimError`] from the engine.
 pub fn run() -> Result<Figure3, SimError> {
-    let system = SystemId::Dss8440.spec();
-    let sim = Simulator::new(&system);
+    run_ctx(&Ctx::new())
+}
+
+/// Run the Figure 3 experiment through a shared executor context.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+pub fn run_ctx(ctx: &Ctx) -> Result<Figure3, SimError> {
     let mut speedups = Vec::new();
     for id in BenchmarkId::MLPERF {
-        let amp = id.job();
-        let fp32 = amp.with_precision(PrecisionPolicy::Fp32);
-        let (amp_report, _) = run_shrinking(&sim, &amp, GPUS)?;
-        let (fp32_report, fp32_batch) = run_shrinking(&sim, &fp32, GPUS)?;
+        let batch = id.job().per_gpu_batch();
+        let amp = TrainPoint::new(id, SystemId::Dss8440, GPUS);
+        let fp32 = amp.clone().with_precision(PrecisionPolicy::Fp32);
+        let (amp_report, _) = run_shrinking(ctx, &amp, batch)?;
+        let (fp32_report, fp32_batch) = run_shrinking(ctx, &fp32, batch)?;
         speedups.push(AmpSpeedup {
             id,
             amp_throughput: amp_report.throughput_samples_per_sec(),
@@ -106,6 +114,31 @@ pub fn render(f: &Figure3) -> String {
         ]);
     }
     t.to_string()
+}
+
+/// Figure 3 as the executor schedules it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "figure3"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 3: mixed-precision speedups"
+    }
+
+    fn run(&self, ctx: &Ctx) -> Result<Artifact, SimError> {
+        run_ctx(ctx).map(Artifact::Figure3)
+    }
+
+    fn render(&self, artifact: &Artifact) -> String {
+        match artifact {
+            Artifact::Figure3(f) => render(f),
+            other => unreachable!("figure3 asked to render {}", other.name()),
+        }
+    }
 }
 
 #[cfg(test)]

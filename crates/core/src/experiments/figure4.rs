@@ -8,11 +8,12 @@
 
 use crate::benchmark::BenchmarkId;
 use crate::report::Table;
+use crate::runner::{Artifact, Ctx, Experiment, TrainPoint};
 use mlperf_analysis::scheduling::{
     lpt_schedule, naive_schedule, optimal_schedule, JobTimes, Schedule,
 };
 use mlperf_hw::systems::SystemId;
-use mlperf_sim::{train_on_first, SimError, Simulator};
+use mlperf_sim::SimError;
 
 /// The scheduling study at one GPU-pool size.
 #[derive(Debug, Clone)]
@@ -50,14 +51,25 @@ pub struct Figure4 {
 ///
 /// Propagates [`SimError`] from the engine.
 pub fn measure_job_times() -> Result<Vec<JobTimes>, SimError> {
-    let system = SystemId::Dss8440.spec();
-    let sim = Simulator::new(&system);
+    measure_job_times_ctx(&Ctx::new())
+}
+
+/// [`measure_job_times`] through a shared executor context; the 1/2/4/8-GPU
+/// DSS-8440 points are the same ones Table IV prices, so in a shared
+/// context this costs nothing extra.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+pub fn measure_job_times_ctx(ctx: &Ctx) -> Result<Vec<JobTimes>, SimError> {
     let mut jobs = Vec::new();
     for id in BenchmarkId::MLPERF {
-        let job = id.job();
         let mut times = Vec::new();
         for n in [1u32, 2, 4, 8] {
-            let t = train_on_first(&sim, &job, n)?.total_time.as_minutes();
+            let t = ctx
+                .outcome(&TrainPoint::new(id, SystemId::Dss8440, n))?
+                .total_time
+                .as_minutes();
             times.push((n as u64, t));
         }
         jobs.push(JobTimes::new(id.abbreviation(), times));
@@ -65,13 +77,22 @@ pub fn measure_job_times() -> Result<Vec<JobTimes>, SimError> {
     Ok(jobs)
 }
 
-/// Run the Figure 4 experiment.
+/// Run the Figure 4 experiment standalone.
 ///
 /// # Errors
 ///
 /// Propagates [`SimError`] from the engine.
 pub fn run() -> Result<Figure4, SimError> {
-    let jobs = measure_job_times()?;
+    run_ctx(&Ctx::new())
+}
+
+/// Run the Figure 4 experiment through a shared executor context.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+pub fn run_ctx(ctx: &Ctx) -> Result<Figure4, SimError> {
+    let jobs = measure_job_times_ctx(ctx)?;
     let job_names: Vec<String> = jobs.iter().map(|j| j.name().to_string()).collect();
     let mut studies = Vec::new();
     for g in [2u64, 4, 8] {
@@ -140,6 +161,31 @@ pub fn render(f: &Figure4) -> String {
         render_gantt(four, &four.naive),
         render_gantt(four, &four.optimal),
     )
+}
+
+/// Figure 4 as the executor schedules it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "figure4"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 4: naive vs optimal multi-job scheduling"
+    }
+
+    fn run(&self, ctx: &Ctx) -> Result<Artifact, SimError> {
+        run_ctx(ctx).map(Artifact::Figure4)
+    }
+
+    fn render(&self, artifact: &Artifact) -> String {
+        match artifact {
+            Artifact::Figure4(f) => render(f),
+            other => unreachable!("figure4 asked to render {}", other.name()),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -8,8 +8,9 @@
 
 use crate::benchmark::BenchmarkId;
 use crate::report::Table;
+use crate::runner::{Artifact, Ctx, Experiment, TrainPoint};
 use mlperf_hw::systems::SystemId;
-use mlperf_sim::{train_on_first, SimError, Simulator};
+use mlperf_sim::SimError;
 
 /// One benchmark's times across the five platforms (minutes), in
 /// [`SystemId::FOUR_GPU_PLATFORMS`] order.
@@ -53,14 +54,20 @@ pub struct Figure5 {
 ///
 /// Propagates [`SimError`] from the engine.
 pub fn run() -> Result<Figure5, SimError> {
+    run_ctx(&Ctx::new())
+}
+
+/// Run the Figure 5 experiment through a shared executor context.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+pub fn run_ctx(ctx: &Ctx) -> Result<Figure5, SimError> {
     let mut rows = Vec::new();
     for id in BenchmarkId::MLPERF {
-        let job = id.job();
         let mut minutes = Vec::new();
         for system_id in SystemId::FOUR_GPU_PLATFORMS {
-            let system = system_id.spec();
-            let sim = Simulator::new(&system);
-            let outcome = train_on_first(&sim, &job, 4)?;
+            let outcome = ctx.outcome(&TrainPoint::new(id, system_id, 4))?;
             minutes.push((system_id, outcome.total_time.as_minutes()));
         }
         rows.push(TopologyRow { id, minutes });
@@ -95,6 +102,31 @@ pub fn render(f: &Figure5) -> String {
         t.add_row(cells);
     }
     t.to_string()
+}
+
+/// Figure 5 as the executor schedules it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "figure5"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 5: training time across interconnect topologies"
+    }
+
+    fn run(&self, ctx: &Ctx) -> Result<Artifact, SimError> {
+        run_ctx(ctx).map(Artifact::Figure5)
+    }
+
+    fn render(&self, artifact: &Artifact) -> String {
+        match artifact {
+            Artifact::Figure5(f) => render(f),
+            other => unreachable!("figure5 asked to render {}", other.name()),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -8,10 +8,11 @@
 
 use crate::benchmark::BenchmarkId;
 use crate::report::Table;
+use crate::runner::{Artifact, Ctx, Experiment, TrainPoint};
 use mlperf_data::storage::{ReadPattern, StagingPlan, StorageDevice};
 use mlperf_hw::systems::SystemId;
 use mlperf_hw::units::Seconds;
-use mlperf_sim::{train_on_first, SimError, Simulator};
+use mlperf_sim::SimError;
 
 /// One benchmark's staging verdicts.
 #[derive(Debug, Clone)]
@@ -38,11 +39,20 @@ pub const CONFIGS: [(StorageDevice, ReadPattern); 4] = [
 ///
 /// Propagates [`SimError`] from the engine.
 pub fn run() -> Result<Vec<StorageRow>, SimError> {
+    run_ctx(&Ctx::new())
+}
+
+/// Run the study through a shared executor context (the quad-GPU C4140 (K)
+/// points are the same ones Table V and Figure 1 price).
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+pub fn run_ctx(ctx: &Ctx) -> Result<Vec<StorageRow>, SimError> {
     let system = SystemId::C4140K.spec();
-    let sim = Simulator::new(&system);
     let mut rows = Vec::new();
     for id in BenchmarkId::MLPERF {
-        let outcome = train_on_first(&sim, &id.job(), 4)?;
+        let outcome = ctx.outcome(&TrainPoint::new(id, SystemId::C4140K, 4))?;
         let epoch = outcome.step.step_time.scale(outcome.steps_per_epoch as f64);
         // Page cache gets what the run itself does not pin.
         let cache = system
@@ -82,6 +92,31 @@ pub fn render(rows: &[StorageRow]) -> String {
         t.add_row(cells);
     }
     t.to_string()
+}
+
+/// The storage study as the executor schedules it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "storage_study"
+    }
+
+    fn title(&self) -> &'static str {
+        "Extension: storage staging feasibility"
+    }
+
+    fn run(&self, ctx: &Ctx) -> Result<Artifact, SimError> {
+        run_ctx(ctx).map(Artifact::Storage)
+    }
+
+    fn render(&self, artifact: &Artifact) -> String {
+        match artifact {
+            Artifact::Storage(rows) => render(rows),
+            other => unreachable!("storage_study asked to render {}", other.name()),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 
 use crate::experiments::{figure1, figure2, figure3, figure4, figure5, table4};
 use crate::report::Table;
+use crate::runner::{Artifact, Ctx, Experiment};
 use mlperf_analysis::roofline::Boundedness;
 use mlperf_analysis::scaling::{classify, ScalingClass};
 use mlperf_hw::gpu::Precision;
@@ -37,12 +38,24 @@ pub struct Table1 {
 ///
 /// Propagates [`SimError`] from the engine.
 pub fn run() -> Result<Table1, SimError> {
-    let f1 = figure1::run()?;
-    let f2 = figure2::run()?;
-    let f3 = figure3::run()?;
-    let f4 = figure4::run()?;
-    let f5 = figure5::run()?;
-    let t4 = table4::run()?;
+    run_ctx(&Ctx::new())
+}
+
+/// Evaluate the Table I claims over a shared executor context. Each
+/// underlying artifact is taken from the context's store when the
+/// executor already produced it, and recomputed (against the shared memo
+/// cache, so cheaply) otherwise.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+pub fn run_ctx(ctx: &Ctx) -> Result<Table1, SimError> {
+    let f1 = ctx.dep_or("figure1", Artifact::as_figure1, figure1::run_ctx)?;
+    let f2 = ctx.dep_or("figure2", Artifact::as_figure2, figure2::run_ctx)?;
+    let f3 = ctx.dep_or("figure3", Artifact::as_figure3, figure3::run_ctx)?;
+    let f4 = ctx.dep_or("figure4", Artifact::as_figure4, figure4::run_ctx)?;
+    let f5 = ctx.dep_or("figure5", Artifact::as_figure5, figure5::run_ctx)?;
+    let t4 = ctx.dep_or("table4", Artifact::as_table4, table4::run_ctx)?;
 
     let mut insights = Vec::new();
 
@@ -174,6 +187,37 @@ pub fn render(t: &Table1) -> String {
         ]);
     }
     table.to_string()
+}
+
+/// Table I as the executor schedules it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "table1"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table I: key insights, re-verified"
+    }
+
+    fn deps(&self) -> &'static [&'static str] {
+        &[
+            "figure1", "figure2", "figure3", "figure4", "figure5", "table4",
+        ]
+    }
+
+    fn run(&self, ctx: &Ctx) -> Result<Artifact, SimError> {
+        run_ctx(ctx).map(Artifact::Table1)
+    }
+
+    fn render(&self, artifact: &Artifact) -> String {
+        match artifact {
+            Artifact::Table1(t) => render(t),
+            other => unreachable!("table1 asked to render {}", other.name()),
+        }
+    }
 }
 
 #[cfg(test)]

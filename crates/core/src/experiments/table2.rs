@@ -2,8 +2,10 @@
 
 use crate::benchmark::BenchmarkId;
 use crate::report::Table;
+use crate::runner::{Artifact, Ctx, Experiment};
 use crate::workloads::DeepBenchId;
 use mlperf_models::zoo::deepbench;
+use mlperf_sim::SimError;
 
 /// Render the benchmark-composition table (MLPerf + DAWNBench top, the
 /// DeepBench kernel workloads below).
@@ -56,6 +58,29 @@ pub fn render() -> String {
         ]);
     }
     format!("{top}\n{bottom}")
+}
+
+/// Table II as the executor schedules it. The table is a static registry
+/// listing — `run` prices nothing and the artifact carries no payload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "table2"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table II: suite composition"
+    }
+
+    fn run(&self, _ctx: &Ctx) -> Result<Artifact, SimError> {
+        Ok(Artifact::Table2)
+    }
+
+    fn render(&self, _artifact: &Artifact) -> String {
+        render()
+    }
 }
 
 #[cfg(test)]

@@ -1,8 +1,10 @@
 //! Table III: hardware specifications of the experimental platforms.
 
 use crate::report::Table;
+use crate::runner::{Artifact, Ctx, Experiment};
 use mlperf_hw::systems::SystemId;
 use mlperf_hw::topology::P2pClass;
+use mlperf_sim::SimError;
 
 /// Render the platform-specification table, including the derived
 /// GPU-to-GPU path classification that drives §V-E.
@@ -58,6 +60,30 @@ pub fn worst_path_classes() -> Vec<(SystemId, P2pClass)> {
             (id, class)
         })
         .collect()
+}
+
+/// Table III as the executor schedules it. The table derives from static
+/// platform specs — `run` prices nothing and the artifact carries no
+/// payload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "table3"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table III: platform hardware specifications"
+    }
+
+    fn run(&self, _ctx: &Ctx) -> Result<Artifact, SimError> {
+        Ok(Artifact::Table3)
+    }
+
+    fn render(&self, _artifact: &Artifact) -> String {
+        render()
+    }
 }
 
 #[cfg(test)]

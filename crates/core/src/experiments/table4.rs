@@ -7,9 +7,10 @@
 
 use crate::benchmark::BenchmarkId;
 use crate::report::Table;
+use crate::runner::{Artifact, Ctx, Experiment, TrainPoint};
 use mlperf_analysis::scaling::{amdahl_serial_fraction, ScalingRow};
 use mlperf_hw::systems::SystemId;
-use mlperf_sim::{train_on_first, SimError, Simulator};
+use mlperf_sim::SimError;
 
 /// The paper's published Table IV numbers for comparison:
 /// (benchmark, P100 min, 1xV100 min, 1→2, 1→4, 1→8 speedups).
@@ -22,66 +23,66 @@ pub const PAPER_TABLE_IV: [(BenchmarkId, f64, f64, f64, f64, f64); 6] = [
     (BenchmarkId::MlpfNcfPy, 46.7, 2.2, 1.88, 2.16, 2.32),
 ];
 
-/// The simulated Table IV: one [`ScalingRow`] per benchmark.
+/// The simulated Table IV: one [`ScalingRow`] per benchmark, plus the
+/// GNMT prediction the paper omitted.
 #[derive(Debug, Clone)]
 pub struct Table4 {
     /// Measured rows, in Table IV order.
     pub rows: Vec<ScalingRow>,
+    /// Extension: the GNMT row Table IV omits, predicted by the simulator.
+    pub gnmt: ScalingRow,
 }
 
-/// Run the Table IV experiment.
+/// Run the Table IV experiment standalone.
 ///
 /// # Errors
 ///
 /// Propagates [`SimError`] from the engine.
 pub fn run() -> Result<Table4, SimError> {
-    let p100 = SystemId::ReferenceP100.spec();
-    let dss = SystemId::Dss8440.spec();
-    let p100_sim = Simulator::new(&p100);
-    let dss_sim = Simulator::new(&dss);
-
-    let mut rows = Vec::new();
-    for id in BenchmarkId::TABLE_IV {
-        let job = id.job();
-        // The P100 anchor is the FP32 reference implementation (§III-B:
-        // "MLPerf's reference machine which has an NVIDIA Tesla P100").
-        let reference = id.reference_job();
-        let p100_min = train_on_first(&p100_sim, &reference, 1)?
-            .total_time
-            .as_minutes();
-        let mut v100 = Vec::new();
-        for n in [1u32, 2, 4, 8] {
-            let t = train_on_first(&dss_sim, &job, n)?.total_time.as_minutes();
-            v100.push((n as u64, t));
-        }
-        rows.push(ScalingRow::new(id.abbreviation(), p100_min, v100));
-    }
-    Ok(Table4 { rows })
+    run_ctx(&Ctx::new())
 }
 
-/// Extension: the GNMT row Table IV omits, predicted by the simulator.
-/// The paper measured GNMT elsewhere (Table V, Fig. 5) but published no
-/// scaling row for it; this fills the gap with the calibrated model.
+/// Run the Table IV experiment through a shared executor context.
 ///
 /// # Errors
 ///
 /// Propagates [`SimError`] from the engine.
-pub fn gnmt_prediction() -> Result<ScalingRow, SimError> {
-    let p100 = SystemId::ReferenceP100.spec();
-    let dss = SystemId::Dss8440.spec();
-    let id = BenchmarkId::MlpfGnmtPy;
-    let job = id.job();
-    let p100_min = train_on_first(&Simulator::new(&p100), &id.reference_job(), 1)?
+pub fn run_ctx(ctx: &Ctx) -> Result<Table4, SimError> {
+    let mut rows = Vec::new();
+    for id in BenchmarkId::TABLE_IV {
+        rows.push(scaling_row(ctx, id)?);
+    }
+    // The paper measured GNMT elsewhere (Table V, Fig. 5) but published no
+    // scaling row for it; fill the gap with the calibrated model.
+    let gnmt = scaling_row(ctx, BenchmarkId::MlpfGnmtPy)?;
+    Ok(Table4 { rows, gnmt })
+}
+
+fn scaling_row(ctx: &Ctx, id: BenchmarkId) -> Result<ScalingRow, SimError> {
+    // The P100 anchor is the FP32 reference implementation (§III-B:
+    // "MLPerf's reference machine which has an NVIDIA Tesla P100").
+    let p100_min = ctx
+        .outcome(&TrainPoint::reference(id, SystemId::ReferenceP100, 1))?
         .total_time
         .as_minutes();
     let mut v100 = Vec::new();
     for n in [1u32, 2, 4, 8] {
-        let t = train_on_first(&Simulator::new(&dss), &job, n)?
+        let t = ctx
+            .outcome(&TrainPoint::new(id, SystemId::Dss8440, n))?
             .total_time
             .as_minutes();
         v100.push((n as u64, t));
     }
     Ok(ScalingRow::new(id.abbreviation(), p100_min, v100))
+}
+
+/// Extension: the GNMT row Table IV omits, predicted by the simulator.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+pub fn gnmt_prediction() -> Result<ScalingRow, SimError> {
+    scaling_row(&Ctx::new(), BenchmarkId::MlpfGnmtPy)
 }
 
 /// Render the simulated table with the paper's numbers interleaved.
@@ -125,20 +126,44 @@ pub fn render(t: &Table4) -> String {
             String::new(),
         ]);
     }
-    if let Ok(gnmt) = gnmt_prediction() {
-        table.add_row([
-            gnmt.name().to_string(),
-            "sim (prediction; row absent from the paper)".into(),
-            format!("{:.1}", gnmt.p100_minutes()),
-            format!("{:.1}", gnmt.v100_minutes(1).expect("anchor measured")),
-            format!("{:.2}x", gnmt.p_to_v_speedup()),
-            format!("{:.2}x", gnmt.speedup(2).expect("measured")),
-            format!("{:.2}x", gnmt.speedup(4).expect("measured")),
-            format!("{:.2}x", gnmt.speedup(8).expect("measured")),
-            format!("{:.3}", amdahl_serial_fraction(&gnmt)),
-        ]);
-    }
+    let gnmt = &t.gnmt;
+    table.add_row([
+        gnmt.name().to_string(),
+        "sim (prediction; row absent from the paper)".into(),
+        format!("{:.1}", gnmt.p100_minutes()),
+        format!("{:.1}", gnmt.v100_minutes(1).expect("anchor measured")),
+        format!("{:.2}x", gnmt.p_to_v_speedup()),
+        format!("{:.2}x", gnmt.speedup(2).expect("measured")),
+        format!("{:.2}x", gnmt.speedup(4).expect("measured")),
+        format!("{:.2}x", gnmt.speedup(8).expect("measured")),
+        format!("{:.3}", amdahl_serial_fraction(gnmt)),
+    ]);
     table.to_string()
+}
+
+/// Table IV as the executor schedules it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "table4"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table IV: training time and scaling efficiency"
+    }
+
+    fn run(&self, ctx: &Ctx) -> Result<Artifact, SimError> {
+        run_ctx(ctx).map(Artifact::Table4)
+    }
+
+    fn render(&self, artifact: &Artifact) -> String {
+        match artifact {
+            Artifact::Table4(t) => render(t),
+            other => unreachable!("table4 asked to render {}", other.name()),
+        }
+    }
 }
 
 #[cfg(test)]

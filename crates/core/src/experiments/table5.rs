@@ -9,7 +9,8 @@
 
 use crate::benchmark::BenchmarkId;
 use crate::report::Table;
-use crate::workloads::{deepbench_run, trainable_run, DeepBenchId, WorkloadRun};
+use crate::runner::{Artifact, Ctx, Experiment};
+use crate::workloads::{DeepBenchId, WorkloadRun, WorkloadSpec};
 use mlperf_hw::systems::SystemId;
 use mlperf_sim::SimError;
 
@@ -23,29 +24,38 @@ pub struct Table5 {
 /// GPU counts measured for each multi-GPU workload.
 const GPU_COUNTS: [u32; 3] = [1, 2, 4];
 
-/// Run the Table V experiment on the C4140 (K).
+/// Run the Table V experiment on the C4140 (K) standalone.
 ///
 /// # Errors
 ///
 /// Propagates [`SimError`] from the engine.
 pub fn run() -> Result<Table5, SimError> {
-    let system = SystemId::C4140K.spec();
+    run_ctx(&Ctx::new())
+}
+
+/// Run the Table V experiment through a shared executor context.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+pub fn run_ctx(ctx: &Ctx) -> Result<Table5, SimError> {
+    let system = SystemId::C4140K;
     let mut runs = Vec::new();
 
     for id in BenchmarkId::MLPERF {
         for n in GPU_COUNTS {
-            runs.push(trainable_run(id, &system, n)?);
+            runs.push(ctx.workload(WorkloadSpec::Trainable(id), system, n)?);
         }
     }
     // DAWNBench entries are single-GPU submissions.
-    runs.push(trainable_run(BenchmarkId::DawnRes18Py, &system, 1)?);
-    runs.push(trainable_run(BenchmarkId::DawnDrqaPy, &system, 1)?);
+    runs.push(ctx.workload(WorkloadSpec::Trainable(BenchmarkId::DawnRes18Py), system, 1)?);
+    runs.push(ctx.workload(WorkloadSpec::Trainable(BenchmarkId::DawnDrqaPy), system, 1)?);
 
     for id in [DeepBenchId::GemmCu, DeepBenchId::ConvCu, DeepBenchId::RnnCu] {
-        runs.push(deepbench_run(id, &system, 1));
+        runs.push(ctx.workload(WorkloadSpec::DeepBench(id), system, 1)?);
     }
     for n in GPU_COUNTS {
-        runs.push(deepbench_run(DeepBenchId::RedCu, &system, n));
+        runs.push(ctx.workload(WorkloadSpec::DeepBench(DeepBenchId::RedCu), system, n)?);
     }
     Ok(Table5 { runs })
 }
@@ -78,6 +88,31 @@ pub fn render(t: &Table5) -> String {
         ]);
     }
     table.to_string()
+}
+
+/// Table V as the executor schedules it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "table5"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table V: system resource usage on the C4140 (K)"
+    }
+
+    fn run(&self, ctx: &Ctx) -> Result<Artifact, SimError> {
+        run_ctx(ctx).map(Artifact::Table5)
+    }
+
+    fn render(&self, artifact: &Artifact) -> String {
+        match artifact {
+            Artifact::Table5(t) => render(t),
+            other => unreachable!("table5 asked to render {}", other.name()),
+        }
+    }
 }
 
 #[cfg(test)]

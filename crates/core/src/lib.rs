@@ -6,10 +6,14 @@ pub mod csv_export;
 pub mod experiments;
 pub mod report;
 pub mod report_gen;
+pub mod runner;
 pub mod sensitivity;
 pub mod validation;
 pub mod workloads;
 
 pub use benchmark::{BenchmarkId, Suite};
 pub use report::Table;
-pub use workloads::{deepbench_run, trainable_run, DeepBenchId, WorkloadRun};
+pub use runner::{Ctx, Experiment, Pool, RunKey, TrainPoint};
+pub use workloads::{DeepBenchId, WorkloadRun, WorkloadSpec};
+#[allow(deprecated)]
+pub use workloads::{deepbench_run, trainable_run};

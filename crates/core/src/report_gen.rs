@@ -2,21 +2,52 @@
 //!
 //! Assembles every regenerated artifact, the validation summary, and the
 //! extension studies into a single self-contained markdown document — the
-//! shape of an artifact-evaluation appendix.
+//! shape of an artifact-evaluation appendix. The experiments are scheduled
+//! as a dependency DAG onto the [`runner`](crate::runner) pool with shared
+//! memoization; the document is assembled in declaration order, so its
+//! bytes are identical for any `MLPERF_JOBS` worker count.
 
-use crate::experiments::{
-    batch_sweep, cluster_study, energy_cost, figure1, figure2, figure3, figure4, figure5,
-    storage_study, table2, table3, table4, table5,
-};
-use crate::{sensitivity, validation, BenchmarkId};
+use crate::report::Table;
+use crate::runner::{self, Ctx, ExecutorStats, Pool};
 use mlperf_sim::SimError;
 
-/// Build the full report as a markdown string.
+/// How many of the scheduled experiments belong to the "Paper artifacts"
+/// section (Tables I–V and Figures 1–5, in [`runner::all_experiments`]
+/// order); the next is the validation scorecard and the rest are the
+/// extension studies.
+const PAPER_ARTIFACTS: usize = 10;
+
+/// Build the full report as a markdown string, with pool and worker count
+/// taken from the environment (`MLPERF_JOBS`).
 ///
 /// # Errors
 ///
 /// Propagates [`SimError`] from the underlying experiments.
 pub fn build() -> Result<String, SimError> {
+    build_with(&Pool::from_env(), &Ctx::new()).map(|(md, _)| md)
+}
+
+/// Build the full report on an explicit pool and context, returning the
+/// executor's instrumentation alongside the markdown. The markdown bytes
+/// depend only on the simulated numbers — never on the pool size or the
+/// wall-clock — which is what the golden-file and parity tests pin down.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the underlying experiments.
+pub fn build_with(pool: &Pool, ctx: &Ctx) -> Result<(String, ExecutorStats), SimError> {
+    // Table I cross-checks six other artifacts; before the shared artifact
+    // store existed, including it would have doubled the report's cost, so
+    // it was left out. Under the executor it reuses the stored results and
+    // the complete artifact set ships in one document.
+    let experiments = runner::all_experiments();
+    let execution = runner::execute(pool, ctx, &experiments)?;
+    let rendered: Vec<&str> = execution
+        .reports
+        .iter()
+        .map(|r| r.rendered.as_str())
+        .collect();
+
     let mut md = String::from(
         "# Reproduction report — Demystifying the MLPerf Training Benchmark Suite\n\n\
          Regenerated end-to-end on the simulated substrate. Sections mirror the\n\
@@ -25,44 +56,67 @@ pub fn build() -> Result<String, SimError> {
 
     md.push_str("## Paper artifacts\n\n");
     md.push_str("```text\n");
-    md.push_str(&table2::render());
-    md.push('\n');
-    md.push_str(&table3::render());
-    md.push('\n');
-    md.push_str(&table4::render(&table4::run()?));
-    md.push('\n');
-    md.push_str(&table5::render(&table5::run()?));
-    md.push('\n');
-    md.push_str(&figure1::render(&figure1::run()?));
-    md.push('\n');
-    md.push_str(&figure2::render(&figure2::run()?));
-    md.push('\n');
-    md.push_str(&figure3::render(&figure3::run()?));
-    md.push('\n');
-    md.push_str(&figure4::render(&figure4::run()?));
-    md.push('\n');
-    md.push_str(&figure5::render(&figure5::run()?));
+    md.push_str(&rendered[..PAPER_ARTIFACTS].join("\n"));
     md.push_str("```\n\n");
 
     md.push_str("## Validation\n\n```text\n");
-    md.push_str(&validation::render(&validation::run()?));
+    md.push_str(rendered[PAPER_ARTIFACTS]);
     md.push_str("```\n\n");
 
     md.push_str("## Extension studies\n\n```text\n");
-    md.push_str(&sensitivity::render(&sensitivity::run()?));
-    md.push('\n');
-    md.push_str(&cluster_study::render(&cluster_study::run()?));
-    md.push('\n');
-    md.push_str(&energy_cost::render(&energy_cost::run()?));
-    md.push('\n');
-    md.push_str(&storage_study::render(&storage_study::run()?));
-    md.push('\n');
-    md.push_str(&batch_sweep::render(&batch_sweep::run(
-        BenchmarkId::MlpfRes50Mx,
-    )?));
+    md.push_str(&rendered[PAPER_ARTIFACTS + 1..].join("\n"));
     md.push_str("```\n");
 
-    Ok(md)
+    md.push('\n');
+    md.push_str(&appendix(&execution));
+
+    Ok((md, execution.stats))
+}
+
+/// The deterministic execution appendix: the experiment DAG and the cache
+/// counters. Wall-clock never appears here (it is nondeterministic and
+/// lives in [`ExecutorStats`], printed to stderr / the bench JSON).
+fn appendix(execution: &runner::Execution) -> String {
+    let mut md = String::from(
+        "## Appendix: execution\n\n\
+         Experiments run as a dependency DAG on a work-stealing pool\n\
+         (`MLPERF_JOBS` workers) sharing one memoized simulation cache;\n\
+         output is assembled in declaration order, so this document is\n\
+         byte-identical for any worker count.\n\n",
+    );
+    md.push_str("```text\n");
+    let mut t = Table::new(
+        "Experiment DAG (declaration order)",
+        ["Experiment", "Title", "Depends on"],
+    );
+    for r in &execution.reports {
+        t.add_row([
+            r.id.to_string(),
+            r.title.to_string(),
+            if r.deps.is_empty() {
+                "-".to_string()
+            } else {
+                r.deps.join(", ")
+            },
+        ]);
+    }
+    md.push_str(&t.to_string());
+    let c = execution.stats.cache;
+    md.push_str(&format!(
+        "simulation-point cache: {} training-step hits / {} misses; \
+         {} kernel hits / {} misses\n\
+         hit rate: {:.1}% over {} cacheable requests; {} uncached \
+         (perturbed-knob) runs\n",
+        c.step_hits,
+        c.step_misses,
+        c.kernel_hits,
+        c.kernel_misses,
+        c.hit_rate() * 100.0,
+        c.requests(),
+        c.uncached,
+    ));
+    md.push_str("```\n");
+    md
 }
 
 #[cfg(test)]
@@ -74,6 +128,7 @@ mod tests {
         let md = build().unwrap();
         for needle in [
             "# Reproduction report",
+            "Table I:",
             "Table II",
             "Table III",
             "Table IV",
@@ -89,9 +144,29 @@ mod tests {
             "Energy & cost",
             "Storage staging",
             "Batch-size sweep",
+            "## Appendix: execution",
+            "hit rate:",
         ] {
             assert!(md.contains(needle), "report missing: {needle}");
         }
         assert!(md.len() > 10_000, "report suspiciously short: {}", md.len());
+    }
+
+    #[test]
+    fn report_shares_points_across_experiments() {
+        // The whole point of the executor: the full report answers a large
+        // share of its simulation requests from the memo cache.
+        let ctx = Ctx::new();
+        let (_, stats) = build_with(&Pool::with_workers(1), &ctx).unwrap();
+        assert!(
+            stats.cache.hits() > 0,
+            "full report produced no cache hits: {:?}",
+            stats.cache
+        );
+        assert!(
+            stats.cache.hit_rate() > 0.3,
+            "hit rate suspiciously low: {:.2}",
+            stats.cache.hit_rate()
+        );
     }
 }

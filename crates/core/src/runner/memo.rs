@@ -1,0 +1,226 @@
+//! Sharded memoization cache with compute-once semantics.
+//!
+//! The executor's whole point is that one simulation point requested by
+//! five experiments is computed exactly once per report. Keys hash to one
+//! of a fixed set of shards (bounding lock contention without any external
+//! concurrent-map dependency); within a shard an in-flight marker plus a
+//! condvar makes concurrent requests for the same key block on the first
+//! computation instead of duplicating it.
+//!
+//! Hit/miss accounting is deterministic under this design: the set of
+//! requests an experiment issues is fixed, and compute-once guarantees
+//! `misses == unique keys computed`, so the counters the report appendix
+//! prints are identical for any worker count or interleaving. (A waiter
+//! that blocks on an in-flight computation counts as a hit — the work was
+//! shared, not redone.)
+
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Shard count: enough to keep a handful of workers off each other's
+/// locks, small enough that an empty cache stays cheap.
+const SHARDS: usize = 16;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+enum Slot<V> {
+    /// Some thread is computing this key; wait on the shard's condvar.
+    InFlight,
+    /// The memoized value.
+    Ready(V),
+}
+
+struct Shard<K, V> {
+    map: Mutex<HashMap<K, Slot<V>>>,
+    ready: Condvar,
+}
+
+/// A concurrent memo cache: `get_or_compute` runs the closure at most once
+/// per key, however many threads ask.
+pub struct ShardedCache<K, V> {
+    shards: Vec<Shard<K, V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ShardedCache {
+            shards: (0..SHARDS)
+                .map(|_| Shard {
+                    map: Mutex::new(HashMap::new()),
+                    ready: Condvar::new(),
+                })
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Shard<K, V> {
+        // DefaultHasher with the default seed is deterministic within a
+        // process, which is all shard selection needs.
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Return the memoized value for `key`, running `compute` only if no
+    /// other request has computed (or is computing) it.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from `compute`; the in-flight marker is removed
+    /// first so blocked waiters retry instead of hanging.
+    pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        let shard = self.shard(&key);
+        {
+            let mut map = lock(&shard.map);
+            loop {
+                match map.get(&key) {
+                    Some(Slot::Ready(v)) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return v.clone();
+                    }
+                    Some(Slot::InFlight) => {
+                        map = shard
+                            .ready
+                            .wait(map)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                    None => {
+                        map.insert(key.clone(), Slot::InFlight);
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Unwind guard: if `compute` panics, clear the marker and wake
+        // waiters so they can take over the computation.
+        struct ClearOnUnwind<'a, K: Eq + Hash, V> {
+            shard: &'a Shard<K, V>,
+            key: Option<K>,
+        }
+        impl<K: Eq + Hash, V> Drop for ClearOnUnwind<'_, K, V> {
+            fn drop(&mut self) {
+                if let Some(key) = self.key.take() {
+                    lock(&self.shard.map).remove(&key);
+                    self.shard.ready.notify_all();
+                }
+            }
+        }
+        let mut guard = ClearOnUnwind {
+            shard,
+            key: Some(key),
+        };
+        let value = compute();
+        let key = guard.key.take().expect("guard still armed");
+        lock(&shard.map).insert(key, Slot::Ready(value.clone()));
+        shard.ready.notify_all();
+        value
+    }
+
+    /// Requests answered from the cache (including waits on an in-flight
+    /// computation).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that triggered a computation — with compute-once
+    /// semantics, exactly the number of unique keys computed.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Total requests served.
+    pub fn requests(&self) -> u64 {
+        self.hits() + self.misses()
+    }
+
+    /// Memoized entries currently resident.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock(&s.map).len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Default for ShardedCache<K, V> {
+    fn default() -> Self {
+        ShardedCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn second_request_is_a_hit() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new();
+        assert_eq!(cache.get_or_compute(7, || 49), 49);
+        assert_eq!(cache.get_or_compute(7, || unreachable!("memoized")), 49);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.requests(), 2);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_alias() {
+        // Keys 0, 16, 32, ... land in the same shard (SHARDS = 16); they
+        // must still memoize independently.
+        let cache: ShardedCache<u64, u64> = ShardedCache::new();
+        for i in 0..8 {
+            let k = i * SHARDS as u64;
+            assert_eq!(cache.get_or_compute(k, || k + 1), k + 1);
+        }
+        assert_eq!(cache.misses(), 8);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.len(), 8);
+    }
+
+    #[test]
+    fn concurrent_requests_compute_once() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new();
+        let computed = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let v = cache.get_or_compute(42, || {
+                        computed.fetch_add(1, Ordering::SeqCst);
+                        // Widen the in-flight window so waiters pile up.
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                        4242
+                    });
+                    assert_eq!(v, 4242);
+                });
+            }
+        });
+        assert_eq!(computed.load(Ordering::SeqCst), 1, "compute ran once");
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 7);
+    }
+
+    #[test]
+    fn panicking_compute_clears_the_marker() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            cache.get_or_compute(1, || panic!("compute failed"))
+        }));
+        assert!(err.is_err());
+        // The key is free again: a retry computes normally.
+        assert_eq!(cache.get_or_compute(1, || 11), 11);
+        assert_eq!(cache.len(), 1);
+    }
+}

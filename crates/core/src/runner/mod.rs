@@ -1,0 +1,711 @@
+//! The parallel memoized experiment executor.
+//!
+//! The paper's artifacts (Tables II–V, Figures 1–5, the validation
+//! scorecard, and the extension studies) used to be regenerated as fifteen
+//! strictly-serial `run()` calls that re-simulated overlapping
+//! (benchmark × system × gpu-set × precision) points many times — Table IV,
+//! Figure 4, the cluster study, and the energy study all need the same
+//! DSS-8440 scaling sweep, and validation re-derived three whole tables.
+//! This module fixes that structurally:
+//!
+//! * [`Pool`] — a zero-dependency scoped-thread work-stealing pool;
+//! * [`ShardedCache`] — a compute-once memo cache keyed by [`RunKey`], so
+//!   each simulation point is priced exactly once per report;
+//! * [`Experiment`] — the one trait every experiment module implements;
+//! * [`execute`] — topological scheduling of an experiment DAG onto the
+//!   pool, with output assembled in declaration order.
+//!
+//! **Determinism policy.** Report and CSV bytes must be identical for any
+//! worker count (`MLPERF_JOBS=1` vs `=N`), so nothing nondeterministic may
+//! flow into rendered output: results are assembled in declaration order,
+//! cache hit/miss counts are scheduling-invariant (see [`memo`]'s module
+//! docs), and per-experiment wall-clock — inherently nondeterministic —
+//! stays in [`ExecutorStats`], which is surfaced on stderr and in the
+//! bench JSON, never in the report body. DESIGN.md "Execution model" is
+//! the long-form writeup.
+
+mod memo;
+mod pool;
+
+pub use memo::ShardedCache;
+pub use pool::{Pool, JOBS_ENV};
+
+use crate::benchmark::BenchmarkId;
+use crate::experiments::{
+    batch_sweep, cluster_study, energy_cost, figure1, figure2, figure3, figure4, figure5,
+    storage_study, table1, table2, table3, table4, table5,
+};
+use crate::workloads::{self, WorkloadRun, WorkloadSpec};
+use crate::{sensitivity, validation};
+use mlperf_hw::systems::SystemId;
+use mlperf_models::PrecisionPolicy;
+use mlperf_sim::engine::{RunSpec, SimError, Simulator, StepReport};
+use mlperf_sim::training::{outcome_from_step, train, TrainingOutcome};
+use mlperf_sim::TrainingJob;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The identity of one memoized simulation point.
+///
+/// Every field that changes the engine's answer is part of the key; the
+/// batch and precision are the *effective* values after job-builder
+/// overrides, so e.g. Figure 3's first AMP attempt at the default batch
+/// shares the cache entry with Table IV's plain scaling run.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RunKey {
+    /// The benchmark whose job is simulated.
+    pub benchmark: BenchmarkId,
+    /// Whether the FP32 reference implementation's job is used.
+    pub reference: bool,
+    /// The platform.
+    pub system: SystemId,
+    /// GPU ordinals, in order.
+    pub gpu_set: Vec<u32>,
+    /// Effective precision policy of the job.
+    pub precision: PrecisionPolicy,
+    /// Effective per-GPU batch before the engine's global-batch cap.
+    pub per_gpu_batch: u64,
+    /// Simulation window `(warmup, measured)` iterations.
+    pub window: (u64, u64),
+}
+
+/// A memoizable training-simulation request: a benchmark's (possibly
+/// adjusted) job on the first `gpus` GPUs of a platform.
+#[derive(Debug, Clone)]
+pub struct TrainPoint {
+    benchmark: BenchmarkId,
+    reference: bool,
+    system: SystemId,
+    gpus: u32,
+    precision: Option<PrecisionPolicy>,
+    per_gpu_batch: Option<u64>,
+}
+
+impl TrainPoint {
+    /// The benchmark's tuned job on the first `gpus` GPUs of `system`.
+    pub fn new(benchmark: BenchmarkId, system: SystemId, gpus: u32) -> Self {
+        TrainPoint {
+            benchmark,
+            reference: false,
+            system,
+            gpus,
+            precision: None,
+            per_gpu_batch: None,
+        }
+    }
+
+    /// The benchmark's FP32 reference-implementation job instead.
+    pub fn reference(benchmark: BenchmarkId, system: SystemId, gpus: u32) -> Self {
+        TrainPoint {
+            reference: true,
+            ..TrainPoint::new(benchmark, system, gpus)
+        }
+    }
+
+    /// Override the precision policy.
+    #[must_use]
+    pub fn with_precision(mut self, precision: PrecisionPolicy) -> Self {
+        self.precision = Some(precision);
+        self
+    }
+
+    /// Override the per-GPU batch size.
+    #[must_use]
+    pub fn with_per_gpu_batch(mut self, batch: u64) -> Self {
+        self.per_gpu_batch = Some(batch);
+        self
+    }
+
+    /// Materialize the training job this point describes.
+    fn job(&self) -> TrainingJob {
+        let mut job = if self.reference {
+            self.benchmark.reference_job()
+        } else {
+            self.benchmark.job()
+        };
+        if let Some(p) = self.precision {
+            job = job.with_precision(p);
+        }
+        if let Some(b) = self.per_gpu_batch {
+            job = job.with_per_gpu_batch(b);
+        }
+        job
+    }
+
+    /// The cache key, with overrides resolved to effective values.
+    fn key(&self, job: &TrainingJob, window: (u64, u64)) -> RunKey {
+        RunKey {
+            benchmark: self.benchmark,
+            reference: self.reference,
+            system: self.system,
+            gpu_set: (0..self.gpus).collect(),
+            precision: job.precision(),
+            per_gpu_batch: job.per_gpu_batch(),
+            window,
+        }
+    }
+}
+
+/// Key for memoized DeepBench kernel-loop runs (no job to derive a
+/// [`RunKey`] from; the tuple below is the whole identity).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct KernelKey {
+    id: crate::workloads::DeepBenchId,
+    system: SystemId,
+    gpus: u32,
+}
+
+/// Cache counters, scheduling-invariant by construction (compute-once
+/// caches over a fixed request set — see [`memo`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Training-step requests answered from the memo cache.
+    pub step_hits: u64,
+    /// Training-step points actually priced by the engine.
+    pub step_misses: u64,
+    /// Kernel-loop requests answered from the memo cache.
+    pub kernel_hits: u64,
+    /// Kernel loops actually priced.
+    pub kernel_misses: u64,
+    /// Requests that bypassed the cache (perturbed calibration knobs and
+    /// other points with no stable key).
+    pub uncached: u64,
+}
+
+impl CacheStats {
+    /// Total cacheable requests (hits + misses, both caches).
+    pub fn requests(&self) -> u64 {
+        self.step_hits + self.step_misses + self.kernel_hits + self.kernel_misses
+    }
+
+    /// Requests answered without recomputation.
+    pub fn hits(&self) -> u64 {
+        self.step_hits + self.kernel_hits
+    }
+
+    /// Fraction of cacheable requests answered from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests() == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / self.requests() as f64
+        }
+    }
+}
+
+/// Shared execution context: the memo caches, the artifact store, and the
+/// cache counters. One `Ctx` spans one report (or one standalone
+/// experiment run); sharing it across experiments is what deduplicates
+/// their overlapping simulation points.
+pub struct Ctx {
+    steps: ShardedCache<RunKey, Result<StepReport, SimError>>,
+    kernels: ShardedCache<KernelKey, Result<WorkloadRun, SimError>>,
+    artifacts: Mutex<HashMap<&'static str, Arc<Artifact>>>,
+    uncached: AtomicU64,
+    memoize: bool,
+}
+
+impl Ctx {
+    /// A fresh memoizing context.
+    pub fn new() -> Ctx {
+        Ctx {
+            steps: ShardedCache::new(),
+            kernels: ShardedCache::new(),
+            artifacts: Mutex::new(HashMap::new()),
+            uncached: AtomicU64::new(0),
+            memoize: true,
+        }
+    }
+
+    /// A context that never memoizes — every request is recomputed. This
+    /// exists for the executor bench's baseline (the legacy serial
+    /// behaviour) and for A/B-testing the cache itself.
+    pub fn without_memo() -> Ctx {
+        Ctx {
+            memoize: false,
+            ..Ctx::new()
+        }
+    }
+
+    /// The steady-state step report for a training point, memoized.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the engine (errors are memoized too:
+    /// a point that OOMs once OOMs always).
+    pub fn step(&self, point: &TrainPoint) -> Result<StepReport, SimError> {
+        let job = point.job();
+        self.step_for(point, &job)
+    }
+
+    /// The full training outcome for a point: the memoized step report
+    /// composed with the closed-form convergence model.
+    ///
+    /// # Errors
+    ///
+    /// As [`Ctx::step`].
+    pub fn outcome(&self, point: &TrainPoint) -> Result<TrainingOutcome, SimError> {
+        let job = point.job();
+        let step = self.step_for(point, &job)?;
+        Ok(outcome_from_step(&job, step))
+    }
+
+    fn step_for(&self, point: &TrainPoint, job: &TrainingJob) -> Result<StepReport, SimError> {
+        let simulate = || {
+            let system = point.system.spec();
+            Simulator::new(&system)
+                .execute(&RunSpec::on_first(job.clone(), point.gpus))
+                .map(|outcome| outcome.report)
+        };
+        if !self.memoize {
+            self.uncached.fetch_add(1, Ordering::Relaxed);
+            return simulate();
+        }
+        let system = point.system.spec();
+        let window = Simulator::new(&system).window();
+        self.steps.get_or_compute(point.key(job, window), simulate)
+    }
+
+    /// A characterized workload run (either suite), memoized.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`]; DeepBench misuse (multi-GPU compute
+    /// kernels, absent GPUs) surfaces as [`SimError::BadGpuSet`].
+    pub fn workload(
+        &self,
+        spec: WorkloadSpec,
+        system: SystemId,
+        gpus: u32,
+    ) -> Result<WorkloadRun, SimError> {
+        match spec {
+            WorkloadSpec::Trainable(id) => {
+                let outcome = self.outcome(&TrainPoint::new(id, system, gpus))?;
+                Ok(workloads::trainable_from_outcome(
+                    id,
+                    &system.spec(),
+                    &outcome,
+                ))
+            }
+            WorkloadSpec::DeepBench(id) => {
+                let compute = || workloads::run(spec, &system.spec(), gpus);
+                if !self.memoize {
+                    self.uncached.fetch_add(1, Ordering::Relaxed);
+                    return compute();
+                }
+                self.kernels
+                    .get_or_compute(KernelKey { id, system, gpus }, compute)
+            }
+        }
+    }
+
+    /// Train a hand-built job that has no stable cache identity (the
+    /// sensitivity study's perturbed calibration knobs). Always computed;
+    /// counted in [`CacheStats::uncached`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the engine.
+    pub fn train_uncached(
+        &self,
+        system: SystemId,
+        job: &TrainingJob,
+        gpus: u32,
+    ) -> Result<TrainingOutcome, SimError> {
+        self.uncached.fetch_add(1, Ordering::Relaxed);
+        let spec = system.spec();
+        let sim = Simulator::new(&spec);
+        let ordinals: Vec<u32> = (0..gpus).collect();
+        train(&sim, job, &ordinals)
+    }
+
+    /// A completed dependency's artifact, if the executor stored one.
+    pub fn artifact(&self, id: &str) -> Option<Arc<Artifact>> {
+        lock(&self.artifacts).get(id).cloned()
+    }
+
+    fn store_artifact(&self, id: &'static str, artifact: Arc<Artifact>) {
+        lock(&self.artifacts).insert(id, artifact);
+    }
+
+    /// Fetch a dependency's result from the artifact store, or recompute
+    /// it through this context (cheap: the underlying simulation points
+    /// are already memoized) when the experiment runs standalone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the fallback computation.
+    pub fn dep_or<T: Clone>(
+        &self,
+        id: &'static str,
+        extract: impl Fn(&Artifact) -> Option<&T>,
+        compute: impl FnOnce(&Ctx) -> Result<T, SimError>,
+    ) -> Result<T, SimError> {
+        if self.memoize {
+            if let Some(artifact) = self.artifact(id) {
+                if let Some(value) = extract(&artifact) {
+                    return Ok(value.clone());
+                }
+            }
+        }
+        compute(self)
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            step_hits: self.steps.hits(),
+            step_misses: self.steps.misses(),
+            kernel_hits: self.kernels.hits(),
+            kernel_misses: self.kernels.misses(),
+            uncached: self.uncached.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for Ctx {
+    fn default() -> Self {
+        Ctx::new()
+    }
+}
+
+/// The typed result of one experiment, stored by the executor so
+/// dependents ([`Experiment::deps`]) can consume it without re-running.
+#[derive(Debug, Clone)]
+pub enum Artifact {
+    /// Cross-cutting insights (Table I).
+    Table1(table1::Table1),
+    /// The benchmark registry table is static — nothing to compute.
+    Table2,
+    /// The platform table is static — nothing to compute.
+    Table3,
+    /// Training-time scaling (Table IV).
+    Table4(table4::Table4),
+    /// Resource-utilization table (Table V).
+    Table5(table5::Table5),
+    /// PCA workload characterization (Figure 1).
+    Figure1(figure1::Figure1),
+    /// Roofline placement (Figure 2).
+    Figure2(figure2::Figure2),
+    /// AMP speedups (Figure 3).
+    Figure3(figure3::Figure3),
+    /// Multi-job scheduling study (Figure 4).
+    Figure4(figure4::Figure4),
+    /// Topology sensitivity (Figure 5).
+    Figure5(figure5::Figure5),
+    /// Paper-anchor validation scorecard.
+    Validation(validation::Validation),
+    /// Calibration-knob sensitivity study.
+    Sensitivity(sensitivity::Sensitivity),
+    /// Cluster scheduling-policy study.
+    Cluster(cluster_study::ClusterStudy),
+    /// Energy & cost extension study.
+    Energy(energy_cost::EnergyCost),
+    /// Storage staging extension study.
+    Storage(Vec<storage_study::StorageRow>),
+    /// Batch-size sweep extension study.
+    BatchSweep(batch_sweep::BatchSweep),
+}
+
+impl Artifact {
+    /// The variant's name, for diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Artifact::Table1(_) => "table1",
+            Artifact::Table2 => "table2",
+            Artifact::Table3 => "table3",
+            Artifact::Table4(_) => "table4",
+            Artifact::Table5(_) => "table5",
+            Artifact::Figure1(_) => "figure1",
+            Artifact::Figure2(_) => "figure2",
+            Artifact::Figure3(_) => "figure3",
+            Artifact::Figure4(_) => "figure4",
+            Artifact::Figure5(_) => "figure5",
+            Artifact::Validation(_) => "validation",
+            Artifact::Sensitivity(_) => "sensitivity",
+            Artifact::Cluster(_) => "cluster_study",
+            Artifact::Energy(_) => "energy_cost",
+            Artifact::Storage(_) => "storage_study",
+            Artifact::BatchSweep(_) => "batch_sweep",
+        }
+    }
+
+    /// The Table IV payload, if that is what this artifact holds.
+    pub fn as_table4(&self) -> Option<&table4::Table4> {
+        match self {
+            Artifact::Table4(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The Table V payload, if that is what this artifact holds.
+    pub fn as_table5(&self) -> Option<&table5::Table5> {
+        match self {
+            Artifact::Table5(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The Figure 1 payload, if that is what this artifact holds.
+    pub fn as_figure1(&self) -> Option<&figure1::Figure1> {
+        match self {
+            Artifact::Figure1(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The Figure 2 payload, if that is what this artifact holds.
+    pub fn as_figure2(&self) -> Option<&figure2::Figure2> {
+        match self {
+            Artifact::Figure2(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The Figure 3 payload, if that is what this artifact holds.
+    pub fn as_figure3(&self) -> Option<&figure3::Figure3> {
+        match self {
+            Artifact::Figure3(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The Figure 4 payload, if that is what this artifact holds.
+    pub fn as_figure4(&self) -> Option<&figure4::Figure4> {
+        match self {
+            Artifact::Figure4(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The Figure 5 payload, if that is what this artifact holds.
+    pub fn as_figure5(&self) -> Option<&figure5::Figure5> {
+        match self {
+            Artifact::Figure5(f) => Some(f),
+            _ => None,
+        }
+    }
+}
+
+/// One experiment as the executor schedules it.
+///
+/// Implementations must keep `run` free of global state (everything
+/// shared goes through the [`Ctx`]) and `render` a pure function of the
+/// artifact — that is what makes the schedule's interleaving invisible in
+/// the output.
+pub trait Experiment: Sync {
+    /// Stable identifier (artifact-store key and `deps` vocabulary).
+    fn id(&self) -> &'static str;
+
+    /// Human-readable title for the report appendix.
+    fn title(&self) -> &'static str;
+
+    /// Ids of experiments whose artifacts this one consumes. Dependencies
+    /// not present in the submitted set are ignored (the consumer falls
+    /// back to recomputing through the memoized [`Ctx`]).
+    fn deps(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    /// Produce the experiment's artifact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the simulation points the experiment
+    /// prices.
+    fn run(&self, ctx: &Ctx) -> Result<Artifact, SimError>;
+
+    /// Render the artifact to the report's text form.
+    fn render(&self, artifact: &Artifact) -> String;
+}
+
+/// One scheduled experiment's output.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// The experiment's id.
+    pub id: &'static str,
+    /// Display title.
+    pub title: &'static str,
+    /// Declared dependencies.
+    pub deps: &'static [&'static str],
+    /// The rendered section text.
+    pub rendered: String,
+    /// Wall-clock of `run` + `render` on the worker that executed it
+    /// (nondeterministic; never rendered into report bytes).
+    pub wall: Duration,
+}
+
+/// Executor instrumentation. Everything here except [`CacheStats`] is
+/// wall-clock and therefore nondeterministic — it is surfaced on stderr
+/// and in the bench JSON, never in the report body.
+#[derive(Debug, Clone)]
+pub struct ExecutorStats {
+    /// Worker threads the pool ran.
+    pub workers: usize,
+    /// End-to-end wall-clock of the whole DAG.
+    pub total_wall: Duration,
+    /// Per-experiment wall-clock, in declaration order.
+    pub per_experiment: Vec<(&'static str, Duration)>,
+    /// Cache counters (deterministic; also rendered in the appendix).
+    pub cache: CacheStats,
+}
+
+impl ExecutorStats {
+    /// A compact human-readable multi-line summary (for stderr).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "executor: {} experiments on {} worker(s) in {:.2}s; cache {}/{} hits ({:.0}%), {} uncached\n",
+            self.per_experiment.len(),
+            self.workers,
+            self.total_wall.as_secs_f64(),
+            self.cache.hits(),
+            self.cache.requests(),
+            self.cache.hit_rate() * 100.0,
+            self.cache.uncached,
+        ));
+        for (id, wall) in &self.per_experiment {
+            out.push_str(&format!("  {:>8.1} ms  {id}\n", wall.as_secs_f64() * 1e3));
+        }
+        out
+    }
+}
+
+/// Everything [`execute`] produced.
+#[derive(Debug, Clone)]
+pub struct Execution {
+    /// Per-experiment outputs, in the order the experiments were given.
+    pub reports: Vec<ExperimentReport>,
+    /// Pool and cache instrumentation.
+    pub stats: ExecutorStats,
+}
+
+/// Topologically schedule `experiments` onto `pool`, sharing `ctx`'s memo
+/// caches, and assemble the rendered outputs in declaration order.
+///
+/// An experiment whose dependency failed is skipped and inherits the
+/// dependency's error; the first error in declaration order is returned.
+///
+/// # Errors
+///
+/// The first [`SimError`] any experiment produced, in declaration order.
+///
+/// # Panics
+///
+/// Re-raises experiment panics (via [`Pool::run_dag`]) and panics on
+/// duplicate experiment ids.
+pub fn execute(
+    pool: &Pool,
+    ctx: &Ctx,
+    experiments: &[&dyn Experiment],
+) -> Result<Execution, SimError> {
+    let index: HashMap<&str, usize> = experiments
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (e.id(), i))
+        .collect();
+    assert_eq!(index.len(), experiments.len(), "duplicate experiment ids");
+    // Dependencies outside the submitted set are dropped: the consumer's
+    // `dep_or` fallback recomputes through the shared memo cache instead.
+    let deps: Vec<Vec<usize>> = experiments
+        .iter()
+        .map(|e| e.deps().iter().filter_map(|d| index.get(d).copied()).collect())
+        .collect();
+    let failed: Mutex<HashMap<&'static str, SimError>> = Mutex::new(HashMap::new());
+    let started = Instant::now();
+    let tasks: Vec<_> = experiments
+        .iter()
+        .map(|&e| {
+            let failed = &failed;
+            move || -> (Result<String, SimError>, Duration) {
+                for dep in e.deps() {
+                    if let Some(err) = lock(failed).get(dep) {
+                        let err = err.clone();
+                        lock(failed).insert(e.id(), err.clone());
+                        return (Err(err), Duration::ZERO);
+                    }
+                }
+                let t0 = Instant::now();
+                match e.run(ctx) {
+                    Ok(artifact) => {
+                        let artifact = Arc::new(artifact);
+                        ctx.store_artifact(e.id(), Arc::clone(&artifact));
+                        let rendered = e.render(&artifact);
+                        (Ok(rendered), t0.elapsed())
+                    }
+                    Err(err) => {
+                        lock(failed).insert(e.id(), err.clone());
+                        (Err(err), t0.elapsed())
+                    }
+                }
+            }
+        })
+        .collect();
+    let outputs = pool.run_dag(tasks, &deps);
+    let total_wall = started.elapsed();
+
+    let mut reports = Vec::with_capacity(outputs.len());
+    let mut first_error = None;
+    for (e, (result, wall)) in experiments.iter().zip(outputs) {
+        match result {
+            Ok(rendered) => reports.push(ExperimentReport {
+                id: e.id(),
+                title: e.title(),
+                deps: e.deps(),
+                rendered,
+                wall,
+            }),
+            Err(err) => {
+                if first_error.is_none() {
+                    first_error = Some(err);
+                }
+            }
+        }
+    }
+    if let Some(err) = first_error {
+        return Err(err);
+    }
+    let stats = ExecutorStats {
+        workers: pool.workers(),
+        total_wall,
+        per_experiment: reports.iter().map(|r| (r.id, r.wall)).collect(),
+        cache: ctx.cache_stats(),
+    };
+    Ok(Execution { reports, stats })
+}
+
+/// The fifteen experiments of the full report, in the report's output
+/// order (Table I is a synthesis layer on top and not part of the report
+/// body — see [`all_experiments`]).
+pub fn report_experiments() -> Vec<&'static dyn Experiment> {
+    vec![
+        &table2::Exp,
+        &table3::Exp,
+        &table4::Exp,
+        &table5::Exp,
+        &figure1::Exp,
+        &figure2::Exp,
+        &figure3::Exp,
+        &figure4::Exp,
+        &figure5::Exp,
+        &validation::Exp,
+        &sensitivity::Exp,
+        &cluster_study::Exp,
+        &energy_cost::Exp,
+        &storage_study::Exp,
+        &batch_sweep::Exp,
+    ]
+}
+
+/// Every experiment, Table I included.
+pub fn all_experiments() -> Vec<&'static dyn Experiment> {
+    let mut all: Vec<&'static dyn Experiment> = vec![&table1::Exp];
+    all.extend(report_experiments());
+    all
+}

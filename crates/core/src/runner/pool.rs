@@ -1,0 +1,356 @@
+//! Scoped work-stealing thread pool (std only).
+//!
+//! The executor wants parallelism but the workspace has a zero-dependency
+//! policy (see "Offline build & determinism policy" in DESIGN.md), so this
+//! is a small work-stealing scheduler built directly on
+//! [`std::thread::scope`]: each worker owns a LIFO deque, a task's
+//! newly-ready dependents land on the completing worker's own deque
+//! (locality), and idle workers steal FIFO from peers or drain the shared
+//! injector. The worker count comes from [`MLPERF_JOBS`](JOBS_ENV) or
+//! [`std::thread::available_parallelism`]; nothing produced *through* the
+//! pool may depend on it — results come back in submission order and the
+//! experiment layer is memoized, so report bytes are identical for any
+//! worker count (the determinism policy in DESIGN.md "Execution model").
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::thread::Thread;
+use std::time::Duration;
+
+/// Environment variable overriding the worker count (`MLPERF_JOBS=1`
+/// forces fully serial execution; unset falls back to
+/// `available_parallelism`).
+pub const JOBS_ENV: &str = "MLPERF_JOBS";
+
+/// How long an idle worker parks before re-scanning the deques. Wake-ups
+/// are sent eagerly on every completion, so this is only a lost-wakeup
+/// backstop, not the scheduling cadence.
+const IDLE_PARK: Duration = Duration::from_micros(100);
+
+/// Lock that survives a poisoned mutex: a panicking task must not wedge
+/// the pool (panics are re-raised on the caller, see `run_dag`), so every
+/// internal lock recovers the guard instead of propagating the poison.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A fixed-width scoped thread pool executing dependency DAGs of tasks.
+#[derive(Debug, Clone)]
+pub struct Pool {
+    workers: usize,
+}
+
+impl Pool {
+    /// A pool with exactly `workers` threads (clamped to at least 1).
+    pub fn with_workers(workers: usize) -> Pool {
+        Pool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Worker count from [`JOBS_ENV`] when set to a positive integer,
+    /// otherwise [`std::thread::available_parallelism`].
+    pub fn from_env() -> Pool {
+        let workers = std::env::var(JOBS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        Pool::with_workers(workers)
+    }
+
+    /// The number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Execute a task DAG and return every task's result in submission
+    /// order, regardless of the execution interleaving.
+    ///
+    /// `deps[i]` lists the task indices task `i` waits for. Tasks whose
+    /// dependencies are satisfied run concurrently.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first task panic on the calling thread (remaining
+    /// tasks are abandoned). Also panics on malformed input: `deps` and
+    /// `tasks` lengths differing, an out-of-range or self dependency, or
+    /// a dependency cycle.
+    pub fn run_dag<T, F>(&self, tasks: Vec<F>, deps: &[Vec<usize>]) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = tasks.len();
+        assert_eq!(n, deps.len(), "one dependency list per task");
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut pending: Vec<AtomicUsize> = Vec::with_capacity(n);
+        for (i, ds) in deps.iter().enumerate() {
+            for &d in ds {
+                assert!(d < n, "task {i} depends on out-of-range task {d}");
+                assert_ne!(d, i, "task {i} depends on itself");
+                dependents[d].push(i);
+            }
+            pending.push(AtomicUsize::new(ds.len()));
+        }
+        // Kahn pass up front: a cycle would leave its tasks permanently
+        // unready and the workers parked forever, so reject it before
+        // spawning anything.
+        {
+            let mut indegree: Vec<usize> = deps.iter().map(Vec::len).collect();
+            let mut ready: VecDeque<usize> =
+                (0..n).filter(|&i| indegree[i] == 0).collect();
+            let mut ordered = 0usize;
+            while let Some(i) = ready.pop_front() {
+                ordered += 1;
+                for &dep in &dependents[i] {
+                    indegree[dep] -= 1;
+                    if indegree[dep] == 0 {
+                        ready.push_back(dep);
+                    }
+                }
+            }
+            assert_eq!(ordered, n, "task DAG contains a dependency cycle");
+        }
+        let workers = self.workers.min(n);
+        let state = DagState {
+            tasks: tasks.into_iter().map(|t| Mutex::new(Some(t))).collect(),
+            results: (0..n).map(|_| Mutex::new(None)).collect(),
+            pending,
+            dependents,
+            remaining: AtomicUsize::new(n),
+            abort: AtomicBool::new(false),
+            panic: Mutex::new(None),
+            injector: Mutex::new((0..n).filter(|&i| deps[i].is_empty()).collect()),
+            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            parked: Mutex::new(Vec::new()),
+        };
+        std::thread::scope(|scope| {
+            let st = &state;
+            for w in 0..workers {
+                scope.spawn(move || st.work(w));
+            }
+        });
+        if let Some(payload) = lock(&state.panic).take() {
+            resume_unwind(payload);
+        }
+        assert_eq!(
+            state.remaining.load(Ordering::SeqCst),
+            0,
+            "task DAG contains a dependency cycle"
+        );
+        state
+            .results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .expect("every task completed")
+            })
+            .collect()
+    }
+
+    /// Run independent tasks (a DAG with no edges) and return their
+    /// results in submission order.
+    ///
+    /// # Panics
+    ///
+    /// As [`Pool::run_dag`].
+    pub fn run_all<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let deps = vec![Vec::new(); tasks.len()];
+        self.run_dag(tasks, &deps)
+    }
+}
+
+/// Shared scheduler state for one `run_dag` call.
+struct DagState<F, T> {
+    /// Each task, taken exactly once by the worker that executes it.
+    tasks: Vec<Mutex<Option<F>>>,
+    /// Result slots, indexed like `tasks`.
+    results: Vec<Mutex<Option<T>>>,
+    /// Unmet-dependency counts; a task is ready when its count hits 0.
+    pending: Vec<AtomicUsize>,
+    /// Reverse edges: who becomes ready when task `i` completes.
+    dependents: Vec<Vec<usize>>,
+    /// Tasks not yet completed (cycle detection + shutdown signal).
+    remaining: AtomicUsize,
+    /// Set after a task panic; workers drain out instead of starting more.
+    abort: AtomicBool,
+    /// First panic payload, re-raised on the calling thread.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Global FIFO holding the initially-ready tasks.
+    injector: Mutex<VecDeque<usize>>,
+    /// Per-worker deques: owner pops LIFO, thieves steal FIFO.
+    locals: Vec<Mutex<VecDeque<usize>>>,
+    /// Handles of all workers, unparked whenever new work appears.
+    parked: Mutex<Vec<Thread>>,
+}
+
+impl<F: FnOnce() -> T + Send, T: Send> DagState<F, T> {
+    fn work(&self, me: usize) {
+        lock(&self.parked).push(std::thread::current());
+        loop {
+            if self.abort.load(Ordering::Acquire) || self.remaining.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            match self.find_task(me) {
+                Some(task) => self.run_task(me, task),
+                // Nothing runnable right now (dependencies of the leftover
+                // tasks are still executing elsewhere): park until a
+                // completion wakes us, with a timeout as a lost-wakeup
+                // backstop.
+                None => std::thread::park_timeout(IDLE_PARK),
+            }
+        }
+    }
+
+    fn find_task(&self, me: usize) -> Option<usize> {
+        if let Some(i) = lock(&self.locals[me]).pop_back() {
+            return Some(i);
+        }
+        if let Some(i) = lock(&self.injector).pop_front() {
+            return Some(i);
+        }
+        let k = self.locals.len();
+        for off in 1..k {
+            if let Some(i) = lock(&self.locals[(me + off) % k]).pop_front() {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    fn run_task(&self, me: usize, i: usize) {
+        let task = lock(&self.tasks[i]).take().expect("task runs exactly once");
+        match catch_unwind(AssertUnwindSafe(task)) {
+            Ok(value) => {
+                *lock(&self.results[i]) = Some(value);
+                // Push newly-ready dependents onto our own deque: we will
+                // pop them LIFO (cache-warm), peers steal them FIFO if we
+                // stay busy.
+                for &dep in &self.dependents[i] {
+                    if self.pending[dep].fetch_sub(1, Ordering::AcqRel) == 1 {
+                        lock(&self.locals[me]).push_back(dep);
+                    }
+                }
+                self.remaining.fetch_sub(1, Ordering::AcqRel);
+                self.wake_all();
+            }
+            Err(payload) => {
+                let mut slot = lock(&self.panic);
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+                drop(slot);
+                self.abort.store(true, Ordering::Release);
+                self.wake_all();
+            }
+        }
+    }
+
+    fn wake_all(&self) {
+        for t in lock(&self.parked).iter() {
+            t.unpark();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let pool = Pool::with_workers(4);
+        let tasks: Vec<_> = (0..64).map(|i| move || i * i).collect();
+        let got = pool.run_all(tasks);
+        let want: Vec<_> = (0..64).map(|i| i * i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn dependencies_run_before_dependents() {
+        // A diamond: 0 -> {1, 2} -> 3. Each task records its finish tick.
+        let clock = AtomicU64::new(0);
+        let pool = Pool::with_workers(4);
+        let tick = |_: ()| clock.fetch_add(1, Ordering::SeqCst);
+        let tasks: Vec<Box<dyn FnOnce() -> u64 + Send>> = vec![
+            Box::new(|| tick(())),
+            Box::new(|| tick(())),
+            Box::new(|| tick(())),
+            Box::new(|| tick(())),
+        ];
+        let deps = vec![vec![], vec![0], vec![0], vec![1, 2]];
+        let ticks = pool.run_dag(tasks, &deps);
+        assert!(ticks[0] < ticks[1] && ticks[0] < ticks[2]);
+        assert!(ticks[3] > ticks[1] && ticks[3] > ticks[2]);
+    }
+
+    #[test]
+    fn single_worker_pool_is_fully_serial() {
+        // With one worker the ready-first order is deterministic, so a
+        // task-side counter observes a strictly serial schedule.
+        let active = AtomicU64::new(0);
+        let pool = Pool::with_workers(1);
+        let tasks: Vec<_> = (0..32)
+            .map(|i| {
+                let active = &active;
+                move || {
+                    assert_eq!(active.fetch_add(1, Ordering::SeqCst), 0);
+                    let r = i * 3;
+                    active.fetch_sub(1, Ordering::SeqCst);
+                    r
+                }
+            })
+            .collect();
+        let got = pool.run_all(tasks);
+        assert_eq!(got, (0..32).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn task_panic_propagates_to_caller() {
+        let pool = Pool::with_workers(2);
+        let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("boom in task")),
+            Box::new(|| 3),
+        ];
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_dag(tasks, &[vec![], vec![], vec![]])
+        }))
+        .expect_err("panic must propagate");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("boom in task"), "payload was {msg:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dependency cycle")]
+    fn cycle_is_detected() {
+        let pool = Pool::with_workers(2);
+        let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![Box::new(|| 1), Box::new(|| 2)];
+        pool.run_dag(tasks, &[vec![1], vec![0]]);
+    }
+
+    #[test]
+    fn env_override_parses_and_falls_back() {
+        // `from_env` itself is covered via `workers()` bounds; direct env
+        // manipulation is avoided because tests run concurrently.
+        assert!(Pool::from_env().workers() >= 1);
+        assert_eq!(Pool::with_workers(0).workers(), 1);
+    }
+}

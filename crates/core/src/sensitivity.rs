@@ -10,7 +10,9 @@
 
 use crate::benchmark::BenchmarkId;
 use crate::report::Table;
-use mlperf_sim::{train_on_first, Efficiency, SimError, Simulator, TrainingJob};
+use crate::runner::{Artifact, Ctx, Experiment, TrainPoint};
+use mlperf_hw::SystemId;
+use mlperf_sim::{Efficiency, SimError, TrainingJob};
 use std::fmt;
 
 /// The calibrated knobs perturbed by the study.
@@ -101,12 +103,31 @@ pub struct Sensitivity {
     pub cells: Vec<SensitivityCell>,
 }
 
-/// The derived quantity under study: 1-to-8 speedup on the DSS 8440.
-fn speedup8(job: &TrainingJob) -> Result<f64, SimError> {
-    let system = mlperf_hw::SystemId::Dss8440.spec();
-    let sim = Simulator::new(&system);
-    let t1 = train_on_first(&sim, job, 1)?.total_time.as_secs();
-    let t8 = train_on_first(&sim, job, 8)?.total_time.as_secs();
+/// The derived quantity for an unmodified job: 1-to-8 speedup on the DSS
+/// 8440. Uses the memoized training points (they are Table IV's).
+fn baseline_speedup8(ctx: &Ctx, id: BenchmarkId) -> Result<f64, SimError> {
+    let t1 = ctx
+        .outcome(&TrainPoint::new(id, SystemId::Dss8440, 1))?
+        .total_time
+        .as_secs();
+    let t8 = ctx
+        .outcome(&TrainPoint::new(id, SystemId::Dss8440, 8))?
+        .total_time
+        .as_secs();
+    Ok(t1 / t8)
+}
+
+/// The derived quantity for a knob-perturbed job. Perturbed efficiencies
+/// have no stable cache identity, so these runs bypass the memo cache.
+fn perturbed_speedup8(ctx: &Ctx, job: &TrainingJob) -> Result<f64, SimError> {
+    let t1 = ctx
+        .train_uncached(SystemId::Dss8440, job, 1)?
+        .total_time
+        .as_secs();
+    let t8 = ctx
+        .train_uncached(SystemId::Dss8440, job, 8)?
+        .total_time
+        .as_secs();
     Ok(t1 / t8)
 }
 
@@ -116,6 +137,15 @@ fn speedup8(job: &TrainingJob) -> Result<f64, SimError> {
 ///
 /// Propagates [`SimError`] from the engine.
 pub fn run() -> Result<Sensitivity, SimError> {
+    run_ctx(&Ctx::new())
+}
+
+/// Run the study through a shared executor context.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+pub fn run_ctx(ctx: &Ctx) -> Result<Sensitivity, SimError> {
     let subset = [
         BenchmarkId::MlpfRes50Mx,
         BenchmarkId::MlpfXfmrPy,
@@ -124,10 +154,10 @@ pub fn run() -> Result<Sensitivity, SimError> {
     let mut cells = Vec::new();
     for id in subset {
         let job = id.job();
-        let baseline = speedup8(&job)?;
+        let baseline = baseline_speedup8(ctx, id)?;
         for knob in Knob::ALL {
-            let low = speedup8(&knob.scaled(&job, 0.8))?;
-            let high = speedup8(&knob.scaled(&job, 1.2))?;
+            let low = perturbed_speedup8(ctx, &knob.scaled(&job, 0.8))?;
+            let high = perturbed_speedup8(ctx, &knob.scaled(&job, 1.2))?;
             cells.push(SensitivityCell {
                 id,
                 knob,
@@ -164,6 +194,31 @@ pub fn render(s: &Sensitivity) -> String {
         ]);
     }
     t.to_string()
+}
+
+/// The sensitivity study as the executor schedules it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "sensitivity"
+    }
+
+    fn title(&self) -> &'static str {
+        "Extension: calibration-knob sensitivity"
+    }
+
+    fn run(&self, ctx: &Ctx) -> Result<Artifact, SimError> {
+        run_ctx(ctx).map(Artifact::Sensitivity)
+    }
+
+    fn render(&self, artifact: &Artifact) -> String {
+        match artifact {
+            Artifact::Sensitivity(s) => render(s),
+            other => unreachable!("sensitivity asked to render {}", other.name()),
+        }
+    }
 }
 
 #[cfg(test)]

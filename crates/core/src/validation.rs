@@ -10,6 +10,7 @@
 use crate::benchmark::BenchmarkId;
 use crate::experiments::{figure5, table4, table5};
 use crate::report::Table;
+use crate::runner::{Artifact, Ctx, Experiment};
 use mlperf_sim::SimError;
 use std::fmt;
 
@@ -86,10 +87,22 @@ const PAPER_FIG5_IMPROVEMENT: [(BenchmarkId, f64); 4] = [
 ///
 /// Propagates [`SimError`] from the engine.
 pub fn run() -> Result<Validation, SimError> {
+    run_ctx(&Ctx::new())
+}
+
+/// Assemble the corpus over a shared executor context. The three compared
+/// artifacts come from the context's store when the executor already
+/// produced them; standalone runs recompute them against the shared memo
+/// cache.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+pub fn run_ctx(ctx: &Ctx) -> Result<Validation, SimError> {
     let mut cells = Vec::new();
 
     // --- Table IV ---------------------------------------------------------
-    let t4 = table4::run()?;
+    let t4 = ctx.dep_or("table4", Artifact::as_table4, table4::run_ctx)?;
     for ((id, p100, v100, s2, s4, s8), row) in table4::PAPER_TABLE_IV.iter().zip(&t4.rows) {
         cells.push(Cell {
             artifact: "Table IV",
@@ -117,7 +130,7 @@ pub fn run() -> Result<Validation, SimError> {
     }
 
     // --- Table V (single-GPU CPU utilization anchors) ----------------------
-    let t5 = table5::run()?;
+    let t5 = ctx.dep_or("table5", Artifact::as_table5, table5::run_ctx)?;
     for (id, paper) in PAPER_TABLE_V_CPU_1GPU {
         let run = t5
             .runs
@@ -153,7 +166,7 @@ pub fn run() -> Result<Validation, SimError> {
     });
 
     // --- Figure 5 (NVLink improvements, §V-E prose) -------------------------
-    let f5 = figure5::run()?;
+    let f5 = ctx.dep_or("figure5", Artifact::as_figure5, figure5::run_ctx)?;
     for (id, paper) in PAPER_FIG5_IMPROVEMENT {
         let row = f5.rows.iter().find(|r| r.id == id).expect("row present");
         cells.push(Cell {
@@ -240,6 +253,35 @@ pub fn render(v: &Validation) -> String {
         worst.paper,
         worst.relative_error() * 100.0,
     )
+}
+
+/// The validation scorecard as the executor schedules it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "validation"
+    }
+
+    fn title(&self) -> &'static str {
+        "Validation: simulated vs published cells"
+    }
+
+    fn deps(&self) -> &'static [&'static str] {
+        &["table4", "table5", "figure5"]
+    }
+
+    fn run(&self, ctx: &Ctx) -> Result<Artifact, SimError> {
+        run_ctx(ctx).map(Artifact::Validation)
+    }
+
+    fn render(&self, artifact: &Artifact) -> String {
+        match artifact {
+            Artifact::Validation(v) => render(v),
+            other => unreachable!("validation asked to render {}", other.name()),
+        }
+    }
 }
 
 #[cfg(test)]

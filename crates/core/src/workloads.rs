@@ -104,30 +104,69 @@ impl WorkloadRun {
     }
 }
 
-/// Run a trainable benchmark on the first `n` GPUs of a system.
+/// A workload from any suite, unified behind one [`run`] entry point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum WorkloadSpec {
+    /// An end-to-end trainable benchmark (MLPerf or DAWNBench).
+    Trainable(BenchmarkId),
+    /// A DeepBench kernel loop.
+    DeepBench(DeepBenchId),
+}
+
+/// Run any workload on the first `gpus` GPUs of a system.
 ///
 /// # Errors
 ///
-/// Propagates [`SimError`] from the engine.
-pub fn trainable_run(
+/// Trainable workloads propagate [`SimError`] from the engine. DeepBench
+/// workloads return [`SimError::BadGpuSet`] when `gpus` is zero, exceeds
+/// the system, or names more than one GPU for a single-GPU kernel loop.
+pub fn run(spec: WorkloadSpec, system: &SystemSpec, gpus: u32) -> Result<WorkloadRun, SimError> {
+    match spec {
+        WorkloadSpec::Trainable(id) => {
+            let job = id.job();
+            let outcome = train_on_first(&Simulator::new(system), &job, gpus)?;
+            Ok(trainable_from_outcome(id, system, &outcome))
+        }
+        WorkloadSpec::DeepBench(id) => deepbench(id, system, gpus),
+    }
+}
+
+/// Characterize an already-trained benchmark run. The executor's memo
+/// cache supplies the `outcome`, so Table V, Figure 1 and Figure 5 can
+/// share one simulation of each point.
+pub(crate) fn trainable_from_outcome(
     id: BenchmarkId,
     system: &SystemSpec,
-    n: u32,
-) -> Result<WorkloadRun, SimError> {
+    outcome: &mlperf_sim::TrainingOutcome,
+) -> WorkloadRun {
     let job = id.job();
-    let outcome = train_on_first(&Simulator::new(system), &job, n)?;
+    let n = outcome.step.n_gpus;
     let usage = ResourceUsage::from_step(system, &outcome.step);
     let profile = KernelProfile::of_step(job.model(), outcome.step.per_gpu_batch, job.precision());
-    Ok(WorkloadRun {
+    WorkloadRun {
         name: id.abbreviation().to_string(),
         suite: id.suite(),
-        n_gpus: n as u64,
+        n_gpus: n,
         usage,
         step_secs: outcome.step.step_time.as_secs(),
         flops_per_step: profile.total_flops().as_f64() * n as f64,
         hbm_bytes_per_step: profile.total_bytes().as_f64() * n as f64,
         epochs: outcome.epochs,
-    })
+    }
+}
+
+/// Run a trainable benchmark on the first `n` GPUs of a system.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+#[deprecated(note = "use `run(WorkloadSpec::Trainable(id), system, n)` instead")]
+pub fn trainable_run(
+    id: BenchmarkId,
+    system: &SystemSpec,
+    n: u32,
+) -> Result<WorkloadRun, SimError> {
+    run(WorkloadSpec::Trainable(id), system, n)
 }
 
 /// Host CPU work per DeepBench kernel launch (reference-core-seconds) —
@@ -147,20 +186,37 @@ fn deepbench_efficiency() -> Efficiency {
 /// # Panics
 ///
 /// Panics if `n` is zero, exceeds the system's GPU count, or a compute
-/// benchmark is asked for more than one GPU.
+/// benchmark is asked for more than one GPU. (The unified [`run`] entry
+/// point reports the same conditions as [`SimError::BadGpuSet`] instead.)
+#[deprecated(note = "use `run(WorkloadSpec::DeepBench(id), system, n)` instead")]
 pub fn deepbench_run(id: DeepBenchId, system: &SystemSpec, n: u32) -> WorkloadRun {
-    assert!(n >= 1, "need at least one GPU");
-    assert!(
-        (n as usize) <= system.topology().gpu_count(),
-        "system has only {} GPUs",
-        system.topology().gpu_count()
-    );
+    deepbench(id, system, n).unwrap_or_else(|e| match e {
+        SimError::BadGpuSet(msg) => panic!("{msg}"),
+        other => panic!("{other}"),
+    })
+}
+
+fn deepbench(id: DeepBenchId, system: &SystemSpec, n: u32) -> Result<WorkloadRun, SimError> {
+    if n < 1 {
+        return Err(SimError::BadGpuSet("need at least one GPU".into()));
+    }
+    if (n as usize) > system.topology().gpu_count() {
+        return Err(SimError::BadGpuSet(format!(
+            "system has only {} GPUs",
+            system.topology().gpu_count()
+        )));
+    }
     let gpu = system.gpu_model().spec();
     let timer = KernelTimer::new(gpu.clone(), deepbench_efficiency());
 
     let (step_secs, flops, hbm_bytes, launches, wire_bytes, hbm_mb, dram_mb) = match id {
         DeepBenchId::GemmCu | DeepBenchId::ConvCu | DeepBenchId::RnnCu => {
-            assert_eq!(n, 1, "{} is a single-GPU kernel loop", id.abbreviation());
+            if n != 1 {
+                return Err(SimError::BadGpuSet(format!(
+                    "{} is a single-GPU kernel loop",
+                    id.abbreviation()
+                )));
+            }
             let kernels = match id {
                 DeepBenchId::GemmCu => deepbench::gemm_kernels(),
                 DeepBenchId::ConvCu => deepbench::conv_kernels(),
@@ -286,7 +342,7 @@ pub fn deepbench_run(id: DeepBenchId, system: &SystemSpec, n: u32) -> WorkloadRu
         pcie_mbps: 13.0 + pcie_extra,
         nvlink_mbps,
     };
-    WorkloadRun {
+    Ok(WorkloadRun {
         name: id.abbreviation().to_string(),
         suite: Suite::DeepBench,
         n_gpus: n as u64,
@@ -295,7 +351,7 @@ pub fn deepbench_run(id: DeepBenchId, system: &SystemSpec, n: u32) -> WorkloadRu
         flops_per_step: flops,
         hbm_bytes_per_step: hbm_bytes,
         epochs: 0.0,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -306,7 +362,7 @@ mod tests {
     #[test]
     fn trainable_run_produces_consistent_telemetry() {
         let system = SystemId::C4140K.spec();
-        let run = trainable_run(BenchmarkId::MlpfSsdPy, &system, 1).unwrap();
+        let run = run(WorkloadSpec::Trainable(BenchmarkId::MlpfSsdPy), &system, 1).unwrap();
         assert_eq!(run.n_gpus, 1);
         assert!(run.step_secs > 0.0);
         assert!(run.flops_per_step > 0.0);
@@ -321,20 +377,21 @@ mod tests {
     fn deepbench_compute_loops_have_high_gpu_low_cpu() {
         let system = SystemId::C4140K.spec();
         for id in [DeepBenchId::GemmCu, DeepBenchId::ConvCu, DeepBenchId::RnnCu] {
-            let run = deepbench_run(id, &system, 1);
-            assert!(run.usage.gpu_util_pct > 90.0, "{id:?}");
-            assert!(run.usage.cpu_util_pct < 10.0, "{id:?}");
-            assert_eq!(run.usage.nvlink_mbps, 0.0);
-            assert_eq!(run.epochs, 0.0);
+            let r = run(WorkloadSpec::DeepBench(id), &system, 1).unwrap();
+            assert!(r.usage.gpu_util_pct > 90.0, "{id:?}");
+            assert!(r.usage.cpu_util_pct < 10.0, "{id:?}");
+            assert_eq!(r.usage.nvlink_mbps, 0.0);
+            assert_eq!(r.epochs, 0.0);
         }
     }
 
     #[test]
     fn red_cu_lights_up_nvlink_with_scale() {
         let system = SystemId::C4140K.spec();
-        let r1 = deepbench_run(DeepBenchId::RedCu, &system, 1);
-        let r2 = deepbench_run(DeepBenchId::RedCu, &system, 2);
-        let r4 = deepbench_run(DeepBenchId::RedCu, &system, 4);
+        let red = |n| run(WorkloadSpec::DeepBench(DeepBenchId::RedCu), &system, n).unwrap();
+        let r1 = red(1);
+        let r2 = red(2);
+        let r4 = red(4);
         assert_eq!(r1.usage.nvlink_mbps, 0.0);
         assert!(r2.usage.nvlink_mbps > 0.0);
         // Table V: Red_Cu NVLink grows super-linearly with GPU count.
@@ -345,14 +402,30 @@ mod tests {
     fn red_cu_dwarfs_training_nvlink_rates() {
         // §V-D: Deep_Red_Cu uses the highest NVLink bandwidth of all.
         let system = SystemId::C4140K.spec();
-        let red = deepbench_run(DeepBenchId::RedCu, &system, 4);
-        let train = trainable_run(BenchmarkId::MlpfRes50Mx, &system, 4).unwrap();
+        let red = run(WorkloadSpec::DeepBench(DeepBenchId::RedCu), &system, 4).unwrap();
+        let train = run(WorkloadSpec::Trainable(BenchmarkId::MlpfRes50Mx), &system, 4).unwrap();
         assert!(red.usage.nvlink_mbps > train.usage.nvlink_mbps);
     }
 
     #[test]
+    fn unified_run_rejects_deepbench_misuse_as_bad_gpu_set() {
+        let system = SystemId::C4140K.spec();
+        for (spec, n, needle) in [
+            (WorkloadSpec::DeepBench(DeepBenchId::GemmCu), 2, "single-GPU kernel loop"),
+            (WorkloadSpec::DeepBench(DeepBenchId::RedCu), 0, "at least one GPU"),
+            (WorkloadSpec::DeepBench(DeepBenchId::RedCu), 99, "system has only"),
+        ] {
+            match run(spec, &system, n) {
+                Err(SimError::BadGpuSet(msg)) => assert!(msg.contains(needle), "{msg}"),
+                other => panic!("expected BadGpuSet, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
     #[should_panic(expected = "single-GPU kernel loop")]
-    fn gemm_rejects_multi_gpu() {
+    fn deprecated_gemm_shim_still_panics_on_multi_gpu() {
         let system = SystemId::C4140K.spec();
         let _ = deepbench_run(DeepBenchId::GemmCu, &system, 2);
     }

@@ -20,12 +20,13 @@ fn artifacts_dir() -> PathBuf {
 fn regenerated_csvs_match_checked_in_artifacts_byte_for_byte() {
     let built = csv_export::build_all().expect("export builds");
     assert!(!built.is_empty());
-    for (name, generated) in &built {
+    for export in &built {
+        let name = export.file;
         let path = artifacts_dir().join(name);
         let on_disk = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("artifacts/{name} unreadable: {e}"));
         assert_eq!(
-            generated, &on_disk,
+            export.contents, on_disk,
             "artifacts/{name} drifted from the generator; regenerate and commit if intended"
         );
     }
@@ -37,8 +38,8 @@ fn every_artifact_on_disk_is_still_generated() {
     // rename, and no generated table missing from the repo.
     let built: BTreeSet<String> = csv_export::build_all()
         .expect("export builds")
-        .keys()
-        .map(|k| k.to_string())
+        .files()
+        .map(str::to_string)
         .collect();
     let on_disk: BTreeSet<String> = std::fs::read_dir(artifacts_dir())
         .expect("artifacts/ exists")

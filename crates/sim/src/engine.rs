@@ -125,6 +125,68 @@ impl StepReport {
     }
 }
 
+/// Everything one engine invocation needs: the job, the GPU ordinals, and
+/// whether to record the per-iteration timeline.
+///
+/// This is the single entry-point descriptor the old
+/// `run`/`run_traced`/`run_on_first` trio collapsed into — and the unit the
+/// executor's memo cache keys on (a [`RunSpec`] plus the platform identify
+/// a simulation point).
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    job: TrainingJob,
+    gpus: Vec<u32>,
+    record_trace: bool,
+}
+
+impl RunSpec {
+    /// Run `job` on the explicit GPU ordinals `gpus`.
+    pub fn new(job: TrainingJob, gpus: impl Into<Vec<u32>>) -> Self {
+        RunSpec {
+            job,
+            gpus: gpus.into(),
+            record_trace: false,
+        }
+    }
+
+    /// Run `job` on the first `n` GPUs of the system.
+    pub fn on_first(job: TrainingJob, n: u32) -> Self {
+        RunSpec::new(job, (0..n).collect::<Vec<u32>>())
+    }
+
+    /// Also record the full per-iteration phase timeline (the
+    /// high-fidelity input the telemetry loggers replay).
+    #[must_use]
+    pub fn traced(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
+    /// The job to simulate.
+    pub fn job(&self) -> &TrainingJob {
+        &self.job
+    }
+
+    /// The GPU ordinals the job runs on.
+    pub fn gpus(&self) -> &[u32] {
+        &self.gpus
+    }
+
+    /// Whether the per-iteration timeline is recorded.
+    pub fn records_trace(&self) -> bool {
+        self.record_trace
+    }
+}
+
+/// What one [`Simulator::execute`] call produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// Steady-state accounting.
+    pub report: StepReport,
+    /// The per-iteration timeline, when the spec asked for one.
+    pub trace: Option<crate::trace::RunTrace>,
+}
+
 /// The simulation engine for one platform.
 #[derive(Debug, Clone)]
 pub struct Simulator<'a> {
@@ -166,24 +228,43 @@ impl<'a> Simulator<'a> {
         self.system
     }
 
-    /// Simulate `job` on the GPU ordinals `gpus` and report the steady
-    /// state.
+    /// The simulation window as `(warmup, measured)` iteration counts —
+    /// part of a simulation point's identity for memoization purposes.
+    pub fn window(&self) -> (u64, u64) {
+        (self.warmup_iters, self.measure_iters)
+    }
+
+    /// Execute the simulation described by `spec` and report the steady
+    /// state (plus the per-iteration timeline if the spec requested one).
     ///
     /// # Errors
     ///
     /// * [`SimError::BadGpuSet`] — empty set, duplicate or unknown ordinals;
     /// * [`SimError::OutOfMemory`] — replica + overhead exceeds HBM;
     /// * [`SimError::Topology`] — no route between required endpoints.
+    pub fn execute(&self, spec: &RunSpec) -> Result<RunOutcome, SimError> {
+        self.run_inner(&spec.job, &spec.gpus, spec.record_trace)
+            .map(|(report, trace)| RunOutcome { report, trace })
+    }
+
+    /// Simulate `job` on the GPU ordinals `gpus` and report the steady
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::execute`].
+    #[deprecated(note = "build a `RunSpec` and call `execute` instead")]
     pub fn run(&self, job: &TrainingJob, gpus: &[u32]) -> Result<StepReport, SimError> {
         self.run_inner(job, gpus, false).map(|(report, _)| report)
     }
 
-    /// As [`Simulator::run`], additionally returning the full per-iteration
-    /// phase timeline (for the high-fidelity telemetry loggers).
+    /// As the old `run`, additionally returning the full per-iteration
+    /// phase timeline.
     ///
     /// # Errors
     ///
-    /// As [`Simulator::run`].
+    /// As [`Simulator::execute`].
+    #[deprecated(note = "build a traced `RunSpec` and call `execute` instead")]
     pub fn run_traced(
         &self,
         job: &TrainingJob,
@@ -441,12 +522,29 @@ impl<'a> Simulator<'a> {
     ///
     /// # Errors
     ///
-    /// As [`Simulator::run`].
+    /// As [`Simulator::execute`].
+    #[deprecated(note = "use `execute(&RunSpec::on_first(job, n))` instead")]
     pub fn run_on_first(&self, job: &TrainingJob, n: u32) -> Result<StepReport, SimError> {
         let gpus: Vec<u32> = (0..n).collect();
-        self.run(job, &gpus)
+        self.run_inner(job, &gpus, false).map(|(report, _)| report)
     }
 }
+
+/// The engine under its executor-facing name: `mlperf-suite::runner`
+/// schedules `Engine::execute` calls and memoizes their [`StepReport`]s.
+pub type Engine<'a> = Simulator<'a>;
+
+// The executor shares reports and specs across scoped worker threads, so
+// these types must stay `Send + Sync` (and cheap to clone — `StepReport`
+// is all scalars).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<StepReport>();
+    assert_send_sync::<RunSpec>();
+    assert_send_sync::<RunOutcome>();
+    assert_send_sync::<SimError>();
+    assert_send_sync::<Simulator<'static>>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -468,11 +566,23 @@ mod tests {
         .build()
     }
 
+    /// Shorthand for the untraced single-report path the old `run` offered.
+    fn step(sim: &Simulator<'_>, job: &TrainingJob, gpus: &[u32]) -> Result<StepReport, SimError> {
+        sim.execute(&RunSpec::new(job.clone(), gpus))
+            .map(|outcome| outcome.report)
+    }
+
+    fn step_on_first(sim: &Simulator<'_>, job: &TrainingJob, n: u32) -> StepReport {
+        sim.execute(&RunSpec::on_first(job.clone(), n))
+            .expect("run fits")
+            .report
+    }
+
     #[test]
     fn single_gpu_run_reports_sane_numbers() {
         let system = SystemId::C4140K.spec();
         let sim = Simulator::new(&system);
-        let r = sim.run(&resnet_job(), &[0]).unwrap();
+        let r = step(&sim, &resnet_job(), &[0]).unwrap();
         assert_eq!(r.n_gpus, 1);
         assert!(r.step_time.as_secs() > 0.0);
         assert_eq!(r.allreduce_time, Seconds::ZERO);
@@ -485,8 +595,8 @@ mod tests {
     fn multi_gpu_steps_slower_but_more_throughput() {
         let system = SystemId::C4140K.spec();
         let sim = Simulator::new(&system);
-        let r1 = sim.run_on_first(&resnet_job(), 1).unwrap();
-        let r4 = sim.run_on_first(&resnet_job(), 4).unwrap();
+        let r1 = step_on_first(&sim, &resnet_job(), 1);
+        let r4 = step_on_first(&sim, &resnet_job(), 4);
         assert!(r4.step_time.as_secs() >= r1.step_time.as_secs());
         // Scaling is sub-linear (all-reduce + host loader saturation) but
         // ResNet-50 should still land well past 2.5x on NVLink.
@@ -500,8 +610,8 @@ mod tests {
         let job = resnet_job();
         let k = SystemId::C4140K.spec();
         let t640 = SystemId::T640.spec();
-        let rk = Simulator::new(&k).run_on_first(&job, 4).unwrap();
-        let rt = Simulator::new(&t640).run_on_first(&job, 4).unwrap();
+        let rk = step_on_first(&Simulator::new(&k), &job, 4);
+        let rt = step_on_first(&Simulator::new(&t640), &job, 4);
         assert!(
             rk.step_time.as_secs() < rt.step_time.as_secs(),
             "NVLink {} vs UPI {}",
@@ -515,15 +625,15 @@ mod tests {
         let system = SystemId::C4140K.spec();
         let sim = Simulator::new(&system);
         assert!(matches!(
-            sim.run(&resnet_job(), &[]),
+            step(&sim, &resnet_job(), &[]),
             Err(SimError::BadGpuSet(_))
         ));
         assert!(matches!(
-            sim.run(&resnet_job(), &[9]),
+            step(&sim, &resnet_job(), &[9]),
             Err(SimError::BadGpuSet(_))
         ));
         assert!(matches!(
-            sim.run(&resnet_job(), &[0, 0]),
+            step(&sim, &resnet_job(), &[0, 0]),
             Err(SimError::BadGpuSet(_))
         ));
     }
@@ -542,7 +652,7 @@ mod tests {
         )
         .build();
         assert!(matches!(
-            sim.run(&job, &[0]),
+            step(&sim, &job, &[0]),
             Err(SimError::OutOfMemory { .. })
         ));
     }
@@ -552,8 +662,8 @@ mod tests {
         let system = SystemId::C4140K.spec();
         let sim = Simulator::new(&system);
         let job = resnet_job();
-        let r1 = sim.run_on_first(&job, 1).unwrap();
-        let r4 = sim.run_on_first(&job, 4).unwrap();
+        let r1 = step_on_first(&sim, &job, 1);
+        let r4 = step_on_first(&sim, &job, 4);
         assert!((r4.cpu_core_secs_per_step / r1.cpu_core_secs_per_step - 4.0).abs() < 1e-9);
     }
 
@@ -565,8 +675,8 @@ mod tests {
         let amp = resnet_job();
         let fp32 = amp.with_precision(PrecisionPolicy::Fp32);
         // Use a smaller batch so FP32 activations fit in 16 GB.
-        let r_amp = sim.run_on_first(&amp, 1).unwrap();
-        let r_fp32 = sim.run_on_first(&fp32, 1).unwrap();
+        let r_amp = step_on_first(&sim, &amp, 1);
+        let r_fp32 = step_on_first(&sim, &fp32, 1);
         assert!(r_fp32.step_time.as_secs() > 1.4 * r_amp.step_time.as_secs());
     }
 
@@ -576,14 +686,8 @@ mod tests {
         // warmup absorbs the pipeline-fill transient.
         let system = SystemId::C4140K.spec();
         let job = resnet_job();
-        let short = Simulator::new(&system)
-            .with_window(4, 8)
-            .run_on_first(&job, 4)
-            .unwrap();
-        let long = Simulator::new(&system)
-            .with_window(16, 128)
-            .run_on_first(&job, 4)
-            .unwrap();
+        let short = step_on_first(&Simulator::new(&system).with_window(4, 8), &job, 4);
+        let long = step_on_first(&Simulator::new(&system).with_window(16, 128), &job, 4);
         let rel =
             (short.step_time.as_secs() - long.step_time.as_secs()).abs() / long.step_time.as_secs();
         assert!(rel < 1e-6, "step time drifted {rel} with the window");
@@ -601,8 +705,41 @@ mod tests {
         let system = SystemId::C4140K.spec();
         let sim = Simulator::new(&system);
         let job = resnet_job();
-        let r1 = sim.run_on_first(&job, 1).unwrap();
-        let r4 = sim.run_on_first(&job, 4).unwrap();
+        let r1 = step_on_first(&sim, &job, 1);
+        let r4 = step_on_first(&sim, &job, 4);
         assert!(r4.dram_footprint > r1.dram_footprint);
+    }
+
+    #[test]
+    fn execute_returns_trace_only_when_requested() {
+        let system = SystemId::C4140K.spec();
+        let sim = Simulator::new(&system);
+        let plain = sim
+            .execute(&RunSpec::on_first(resnet_job(), 2))
+            .unwrap();
+        assert!(plain.trace.is_none());
+        let traced = sim
+            .execute(&RunSpec::on_first(resnet_job(), 2).traced())
+            .unwrap();
+        let trace = traced.trace.expect("trace requested");
+        assert_eq!(trace.iterations.len() as u64, WARMUP_ITERS + MEASURE_ITERS);
+        assert_eq!(traced.report, plain.report);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_execute() {
+        let system = SystemId::C4140K.spec();
+        let sim = Simulator::new(&system);
+        let job = resnet_job();
+        let via_execute = sim
+            .execute(&RunSpec::on_first(job.clone(), 2))
+            .unwrap()
+            .report;
+        assert_eq!(sim.run_on_first(&job, 2).unwrap(), via_execute);
+        assert_eq!(sim.run(&job, &[0, 1]).unwrap(), via_execute);
+        let (report, trace) = sim.run_traced(&job, &[0, 1]).unwrap();
+        assert_eq!(report, via_execute);
+        assert!(!trace.iterations.is_empty());
     }
 }

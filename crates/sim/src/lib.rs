@@ -51,8 +51,8 @@ pub mod training;
 
 pub use allreduce::AllReduceAlgorithm;
 pub use cluster::{Cluster, ClusterJobSpec, ClusterTrace, SchedulingPolicy, Submission};
-pub use engine::{SimError, Simulator, StepReport};
+pub use engine::{Engine, RunOutcome, RunSpec, SimError, Simulator, StepReport};
 pub use job::{ConvergenceModel, TrainingJob, TrainingJobBuilder};
 pub use kernel::{Efficiency, KernelTimer};
 pub use trace::{GpuPhases, IterationRecord, RunTrace};
-pub use training::{train, train_on_first, TrainingOutcome};
+pub use training::{outcome_from_step, train, train_on_first, TrainingOutcome};

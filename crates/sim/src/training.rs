@@ -5,7 +5,7 @@
 //! convergence model (epochs at the effective global batch × steps per
 //! epoch) to produce the training times Tables IV and Figure 5 report.
 
-use crate::engine::{SimError, Simulator, StepReport};
+use crate::engine::{RunSpec, SimError, Simulator, StepReport};
 use crate::job::TrainingJob;
 use mlperf_hw::units::Seconds;
 use std::fmt;
@@ -54,19 +54,28 @@ pub fn train(
     job: &TrainingJob,
     gpus: &[u32],
 ) -> Result<TrainingOutcome, SimError> {
-    let step = sim.run(job, gpus)?;
+    let step = sim.execute(&RunSpec::new(job.clone(), gpus))?.report;
+    Ok(outcome_from_step(job, step))
+}
+
+/// Compose a [`TrainingOutcome`] from an already-simulated step report.
+///
+/// Everything past the step time is closed-form (convergence model ×
+/// dataset size), which is what lets the executor's memo cache share one
+/// [`StepReport`] between experiments that need full training outcomes.
+pub fn outcome_from_step(job: &TrainingJob, step: StepReport) -> TrainingOutcome {
     let global_batch = step.per_gpu_batch * step.n_gpus;
     let samples = job.pipeline().dataset().spec().samples();
     let steps_per_epoch = samples.div_ceil(global_batch);
     let epochs = job.convergence().epochs_at(global_batch);
     let total_steps = epochs * steps_per_epoch as f64;
     let total_time = step.step_time.scale(total_steps);
-    Ok(TrainingOutcome {
+    TrainingOutcome {
         total_time,
         epochs,
         steps_per_epoch,
         step,
-    })
+    }
 }
 
 /// Run `job` on the first `n` GPUs.

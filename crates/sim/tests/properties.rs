@@ -8,7 +8,7 @@ use mlperf_models::zoo::resnet::resnet18_cifar;
 use mlperf_models::Optimizer;
 use mlperf_sim::allreduce::{allreduce_time, ring_wire_bytes_per_gpu, AllReduceAlgorithm};
 use mlperf_sim::des::{EventQueue, FifoResource};
-use mlperf_sim::{train_on_first, ConvergenceModel, Simulator, TrainingJob};
+use mlperf_sim::{train_on_first, ConvergenceModel, RunSpec, Simulator, TrainingJob};
 use mlperf_testkit::prop::*;
 
 fn peer(gb: f64) -> PeerPath {
@@ -111,8 +111,14 @@ mlperf_testkit::properties! {
             .optimizer(Optimizer::SgdMomentum)
             .build()
         };
-        let small = sim.run_on_first(&job(1 << batch_exp), 1).expect("run succeeds");
-        let big = sim.run_on_first(&job(1 << (batch_exp + 1)), 1).expect("run succeeds");
+        let small = sim
+            .execute(&RunSpec::on_first(job(1 << batch_exp), 1))
+            .expect("run succeeds")
+            .report;
+        let big = sim
+            .execute(&RunSpec::on_first(job(1 << (batch_exp + 1)), 1))
+            .expect("run succeeds")
+            .report;
         prop_assert!(small.step_time.as_secs() > 0.0);
         prop_assert!(big.step_time.as_secs() > small.step_time.as_secs());
         prop_assert!(

@@ -136,7 +136,7 @@ mod tests {
     use mlperf_hw::systems::SystemId;
     use mlperf_hw::units::Bytes;
     use mlperf_models::zoo::resnet::resnet50;
-    use mlperf_sim::{ConvergenceModel, Simulator, TrainingJob};
+    use mlperf_sim::{ConvergenceModel, RunSpec, Simulator, TrainingJob};
 
     fn traced(n: u32) -> (StepReport, RunTrace) {
         let system = SystemId::C4140K.spec();
@@ -148,8 +148,10 @@ mod tests {
             ConvergenceModel::new(63.0, 768, 0.0),
         )
         .build();
-        let gpus: Vec<u32> = (0..n).collect();
-        Simulator::new(&system).run_traced(&job, &gpus).unwrap()
+        let outcome = Simulator::new(&system)
+            .execute(&RunSpec::on_first(job, n).traced())
+            .unwrap();
+        (outcome.report, outcome.trace.expect("trace requested"))
     }
 
     #[test]

@@ -127,7 +127,7 @@ mod tests {
     use mlperf_hw::systems::SystemId;
     use mlperf_hw::units::Bytes;
     use mlperf_models::zoo::resnet::resnet50;
-    use mlperf_sim::{ConvergenceModel, Simulator, TrainingJob};
+    use mlperf_sim::{ConvergenceModel, RunSpec, Simulator, TrainingJob};
 
     fn step(n: u32) -> StepReport {
         let system = SystemId::C4140K.spec();
@@ -139,7 +139,10 @@ mod tests {
             ConvergenceModel::new(63.0, 768, 0.0),
         )
         .build();
-        Simulator::new(&system).run_on_first(&job, n).unwrap()
+        Simulator::new(&system)
+            .execute(&RunSpec::on_first(job, n))
+            .unwrap()
+            .report
     }
 
     #[test]

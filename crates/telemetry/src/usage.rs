@@ -88,7 +88,7 @@ mod tests {
     use mlperf_hw::systems::SystemId;
     use mlperf_hw::units::Bytes;
     use mlperf_models::zoo::resnet::resnet50;
-    use mlperf_sim::{ConvergenceModel, Simulator, TrainingJob};
+    use mlperf_sim::{ConvergenceModel, RunSpec, Simulator, TrainingJob};
 
     fn run(n: u32) -> (SystemSpec, StepReport) {
         let system = SystemId::C4140K.spec();
@@ -100,7 +100,10 @@ mod tests {
             ConvergenceModel::new(63.0, 768, 0.0),
         )
         .build();
-        let step = Simulator::new(&system).run_on_first(&job, n).unwrap();
+        let step = Simulator::new(&system)
+            .execute(&RunSpec::on_first(job, n))
+            .unwrap()
+            .report;
         (system, step)
     }
 
@@ -139,7 +142,10 @@ mod tests {
             ConvergenceModel::new(63.0, 768, 0.0),
         )
         .build();
-        let step = Simulator::new(&system).run_on_first(&job, 4).unwrap();
+        let step = Simulator::new(&system)
+            .execute(&RunSpec::on_first(job, 4))
+            .unwrap()
+            .report;
         let u = ResourceUsage::from_step(&system, &step);
         assert_eq!(u.nvlink_mbps, 0.0);
         assert!(u.pcie_mbps > 0.0);

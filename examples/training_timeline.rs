@@ -7,7 +7,7 @@
 
 use mlperf_hw::systems::SystemId;
 use mlperf_hw::units::Seconds;
-use mlperf_sim::Simulator;
+use mlperf_sim::{RunSpec, Simulator};
 use mlperf_suite::BenchmarkId;
 use mlperf_telemetry::{DmonLog, DstatLog};
 
@@ -22,8 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let system = SystemId::C4140K.spec();
     let job = benchmark.job();
-    let gpus: Vec<u32> = (0..n).collect();
-    let (step, trace) = Simulator::new(&system).run_traced(&job, &gpus)?;
+    let outcome = Simulator::new(&system).execute(&RunSpec::on_first(job, n).traced())?;
+    let (step, trace) = (outcome.report, outcome.trace.expect("trace requested"));
     println!("{benchmark} on {} x{} GPUs: {trace}", system.id(), n);
     println!(
         "step {:.1} ms = compute {:.1} + exposed comm {:.1} + optimizer {:.1} (stall {:.1})\n",

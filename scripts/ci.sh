@@ -15,4 +15,26 @@ cargo test -q --offline
 echo "== clippy (all targets, deny warnings) =="
 cargo clippy --all-targets --offline -- -D warnings
 
+echo "== executor determinism: golden artifacts at MLPERF_JOBS=1 and 4 =="
+# The executor contract (DESIGN.md "Execution model"): report and CSV
+# bytes may depend only on the simulated numbers, never on the worker
+# count or schedule. Run the golden-file tests serial and oversubscribed,
+# then diff a full report built both ways.
+MLPERF_JOBS=1 cargo test -q --offline -p mlperf-suite --test golden_artifacts
+MLPERF_JOBS=4 cargo test -q --offline -p mlperf-suite --test golden_artifacts
+
+report_tmp="$(mktemp -d)"
+trap 'rm -rf "$report_tmp"' EXIT
+MLPERF_JOBS=1 cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    --report "$report_tmp/serial.md" >/dev/null
+MLPERF_JOBS=4 cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    --report "$report_tmp/pooled.md" >/dev/null
+diff -u "$report_tmp/serial.md" "$report_tmp/pooled.md" \
+    || { echo "report bytes depend on MLPERF_JOBS" >&2; exit 1; }
+diff -u REPORT.md "$report_tmp/serial.md" \
+    || { echo "committed REPORT.md is stale; regenerate with repro --report REPORT.md" >&2; exit 1; }
+
+echo "== executor bench (JSON) =="
+cargo bench -q --offline -p mlperf-bench --bench executor
+
 echo "tier-1 gate passed"

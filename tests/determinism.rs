@@ -2,7 +2,7 @@
 //! identical reports, and experiment outputs are stable across invocations.
 
 use mlperf_hw::systems::SystemId;
-use mlperf_sim::{train_on_first, Simulator};
+use mlperf_sim::{train_on_first, RunSpec, Simulator};
 use mlperf_suite::experiments::{figure4, table4};
 use mlperf_suite::BenchmarkId;
 
@@ -11,9 +11,10 @@ fn identical_runs_produce_identical_reports() {
     let system = SystemId::Dss8440.spec();
     let sim = Simulator::new(&system);
     let job = BenchmarkId::MlpfGnmtPy.job();
-    let a = sim.run_on_first(&job, 4).expect("run succeeds");
-    let b = sim.run_on_first(&job, 4).expect("run succeeds");
-    assert_eq!(a, b);
+    let spec = RunSpec::on_first(job, 4);
+    let a = sim.execute(&spec).expect("run succeeds");
+    let b = sim.execute(&spec).expect("run succeeds");
+    assert_eq!(a.report, b.report);
 }
 
 #[test]
@@ -22,9 +23,11 @@ fn gpu_ordinal_choice_is_irrelevant_on_symmetric_topologies() {
     let system = SystemId::C4140K.spec();
     let sim = Simulator::new(&system);
     let job = BenchmarkId::MlpfSsdPy.job();
-    let a = sim.run(&job, &[0, 1]).expect("run succeeds");
-    let b = sim.run(&job, &[2, 3]).expect("run succeeds");
-    assert!((a.step_time.as_secs() - b.step_time.as_secs()).abs() < 1e-12);
+    let a = sim
+        .execute(&RunSpec::new(job.clone(), [0, 1]))
+        .expect("run succeeds");
+    let b = sim.execute(&RunSpec::new(job, [2, 3])).expect("run succeeds");
+    assert!((a.report.step_time.as_secs() - b.report.step_time.as_secs()).abs() < 1e-12);
 }
 
 #[test]

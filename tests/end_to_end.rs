@@ -4,8 +4,8 @@ use mlperf_analysis::pca::Pca;
 use mlperf_analysis::roofline::RooflineModel;
 use mlperf_hw::systems::SystemId;
 use mlperf_hw::units::Seconds;
-use mlperf_sim::{train_on_first, Simulator};
-use mlperf_suite::{trainable_run, BenchmarkId};
+use mlperf_sim::{train_on_first, RunSpec, Simulator};
+use mlperf_suite::{BenchmarkId, WorkloadSpec};
 use mlperf_telemetry::{csv, KernelProfile, ResourceUsage, Sampler};
 
 #[test]
@@ -37,7 +37,8 @@ fn telemetry_composes_with_analysis() {
         BenchmarkId::MlpfNcfPy,
         BenchmarkId::DawnRes18Py,
     ] {
-        let run = trainable_run(id, &system, 1).expect("run succeeds");
+        let run = mlperf_suite::workloads::run(WorkloadSpec::Trainable(id), &system, 1)
+            .expect("run succeeds");
         let point = run.roofline_point().expect("training moves bytes");
         let attain = roofline
             .attainable(point.intensity, mlperf_hw::Precision::TensorCore)
@@ -58,8 +59,9 @@ fn sampler_csv_round_trip_has_consistent_averages() {
     let system = SystemId::C4140K.spec();
     let job = BenchmarkId::MlpfSsdPy.job();
     let step = Simulator::new(&system)
-        .run_on_first(&job, 2)
-        .expect("run succeeds");
+        .execute(&RunSpec::on_first(job, 2))
+        .expect("run succeeds")
+        .report;
     let usage = ResourceUsage::from_step(&system, &step);
 
     let period = Seconds::new(step.step_time.as_secs() / 50.0);
@@ -83,8 +85,9 @@ fn profiles_price_the_same_model_the_engine_runs() {
     let job = id.job();
     let system = SystemId::Dss8440.spec();
     let step = Simulator::new(&system)
-        .run_on_first(&job, 1)
-        .expect("run succeeds");
+        .execute(&RunSpec::on_first(job.clone(), 1))
+        .expect("run succeeds")
+        .report;
     let profile = KernelProfile::of_step(job.model(), step.per_gpu_batch, job.precision());
     // Profile FLOPs equal the engine's pass FLOPs (same graph, same batch).
     let pass = job.model().pass_cost(step.per_gpu_batch, job.precision());
@@ -117,7 +120,7 @@ fn oom_is_reported_not_masked() {
     let job = BenchmarkId::MlpfRes50Mx.job().with_per_gpu_batch(1 << 14);
     let system = SystemId::C4140K.spec();
     let err = Simulator::new(&system)
-        .run_on_first(&job, 1)
+        .execute(&RunSpec::on_first(job, 1))
         .expect_err("64k images cannot fit");
     assert!(err.to_string().contains("device has"));
 }

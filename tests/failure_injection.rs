@@ -10,7 +10,7 @@ use mlperf_hw::systems::SystemId;
 use mlperf_hw::topology::{P2pClass, Topology};
 use mlperf_hw::units::Bytes;
 use mlperf_sim::allreduce::{plan_allreduce, AllReduceAlgorithm};
-use mlperf_sim::{ConvergenceModel, Efficiency, SimError, Simulator, TrainingJob};
+use mlperf_sim::{ConvergenceModel, Efficiency, RunSpec, SimError, Simulator, TrainingJob};
 use mlperf_suite::BenchmarkId;
 
 /// A C4140 (K)-style box but with one NVLink brick per pair failed
@@ -58,8 +58,9 @@ fn nvlink_fabric_failure_falls_back_to_pcie() {
     // Healthy: the stock C4140 (K).
     let healthy = SystemId::C4140K.spec();
     let t_healthy = Simulator::new(&healthy)
-        .run_on_first(&job, 4)
+        .execute(&RunSpec::on_first(job.clone(), 4))
         .unwrap()
+        .report
         .step_time;
     // Failed fabric: same box, no NVLink edges.
     let mut t = Topology::new("c4140k-no-nvlink");
@@ -104,8 +105,16 @@ fn thermal_throttling_stretches_steps() {
         eff.tensor * 0.5,
         eff.memory * 0.5,
     ));
-    let t_base = sim.run_on_first(&base, 1).unwrap().step_time;
-    let t_hot = sim.run_on_first(&throttled, 1).unwrap().step_time;
+    let t_base = sim
+        .execute(&RunSpec::on_first(base, 1))
+        .unwrap()
+        .report
+        .step_time;
+    let t_hot = sim
+        .execute(&RunSpec::on_first(throttled, 1))
+        .unwrap()
+        .report
+        .step_time;
     let ratio = t_hot.as_secs() / t_base.as_secs();
     assert!((1.8..2.2).contains(&ratio), "throttled ratio {ratio}");
 }
@@ -172,9 +181,9 @@ fn leaked_device_memory_turns_into_oom() {
         .hbm_overhead(Bytes::from_gib(overhead_gib))
         .build()
     };
-    assert!(sim.run_on_first(&build(1), 1).is_ok());
+    assert!(sim.execute(&RunSpec::on_first(build(1), 1)).is_ok());
     assert!(matches!(
-        sim.run_on_first(&build(10), 1),
+        sim.execute(&RunSpec::on_first(build(10), 1)),
         Err(SimError::OutOfMemory { .. })
     ));
 }
