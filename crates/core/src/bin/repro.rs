@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! repro              # everything
-//! repro --table 4    # one table
-//! repro --figure 5   # one figure
-//! repro --list       # what's available
+//! repro --table 4        # one table
+//! repro --figure 5       # one figure
+//! repro --figure fault   # the seeded fault-injection study
+//! repro --list           # what's available
 //! ```
 
 use mlperf_suite::experiments as exp;
@@ -15,7 +16,9 @@ fn usage() -> &'static str {
     "usage: repro [--table N | --figure N | --extra NAME | --csv DIR | --report FILE | --list]\n\
      tables: 1 (insights) 2 (suites) 3 (systems) 4 (scaling) 5 (resources)\n\
      figures: 1 (PCA) 2 (roofline) 3 (mixed precision) 4 (scheduling) 5 (topology)\n\
+              fault (seeded fault injection, checkpoint/restart, expected TTT)\n\
      extras: cluster (online scheduling study beyond the paper)\n\
+             fault   (alias for --figure fault)\n\
              validate (per-cell error metrics vs the published numbers)\n\
              batch    (batch-size sweep of ResNet-50 to the OOM wall)\n\
              energy   (kWh and USD to train, DAWNBench's second metric)\n\
@@ -27,6 +30,9 @@ fn run_extra(ctx: &Ctx, name: &str) -> Result<String, String> {
     match name {
         "cluster" => exp::cluster_study::run_ctx(ctx)
             .map(|s| exp::cluster_study::render(&s))
+            .map_err(|e| e.to_string()),
+        "fault" => exp::fault_study::run_ctx(ctx)
+            .map(|s| exp::fault_study::render(&s))
             .map_err(|e| e.to_string()),
         "sensitivity" => mlperf_suite::sensitivity::run_ctx(ctx)
             .map(|s| mlperf_suite::sensitivity::render(&s))
@@ -145,6 +151,11 @@ fn main() -> ExitCode {
                 }
                 Err(e) => Err(e.to_string()),
             }
+        }
+        // `--figure fault` names the extension study; numbers name the
+        // paper's figures.
+        [flag, n] if flag == "--figure" && n == "fault" => {
+            run_extra(&ctx, "fault").map(|s| print!("{s}"))
         }
         [flag, n] if flag == "--figure" => n
             .parse::<u32>()

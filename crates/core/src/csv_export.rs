@@ -127,13 +127,15 @@ impl From<SimError> for ExportError {
 
 /// The experiments whose artifacts feed the CSV exports.
 fn export_experiments() -> Vec<&'static dyn runner::Experiment> {
-    use crate::experiments::{figure3, figure5, table4, table5};
+    use crate::experiments::{fault_study, figure3, figure4, figure5, table4, table5};
     vec![
         &table4::Exp,
         &table5::Exp,
         &figure1::Exp,
         &figure3::Exp,
+        &figure4::Exp,
         &figure5::Exp,
+        &fault_study::Exp,
     ]
 }
 
@@ -276,6 +278,53 @@ pub fn build_all_with(pool: &Pool, ctx: &Ctx) -> Result<ArtifactSet, SimError> {
     }
     out.insert("figure5", "figure5_topology.csv", csv.to_csv());
 
+    // Fault study: the analytic sweep and the elastic-cluster outcomes.
+    let fault_artifact = artifact("fault_study");
+    let fs = fault_artifact.as_fault().expect("fault_study artifact");
+    let mut csv = Table::new(
+        "",
+        [
+            "mtbf_hours",
+            "interval_min",
+            "expected_hours",
+            "overhead_pct",
+            "policy",
+        ],
+    );
+    for r in &fs.sweep {
+        csv.add_row([
+            format!("{:.1}", r.mtbf_hours),
+            format!("{:.3}", r.interval_min),
+            format!("{:.4}", r.expected_hours),
+            format!("{:.4}", r.overhead_pct),
+            if r.daly { "daly" } else { "fixed" }.to_string(),
+        ]);
+    }
+    out.insert("fault_study", "fault_study_sweep.csv", csv.to_csv());
+
+    let mut csv = Table::new(
+        "",
+        [
+            "policy",
+            "makespan_min",
+            "mean_wait_min",
+            "utilization",
+            "preempted",
+            "abandoned",
+        ],
+    );
+    for r in &fs.elastic {
+        csv.add_row([
+            r.policy.to_string(),
+            format!("{:.2}", r.trace.makespan.as_minutes()),
+            format!("{:.2}", r.trace.mean_wait().as_minutes()),
+            format!("{:.4}", r.trace.utilization()),
+            r.trace.preemptions.to_string(),
+            r.trace.abandoned.len().to_string(),
+        ]);
+    }
+    out.insert("fault_study", "fault_study_elastic.csv", csv.to_csv());
+
     Ok(out)
 }
 
@@ -318,6 +367,8 @@ mod tests {
             "figure1_projections.csv",
             "figure3_amp.csv",
             "figure5_topology.csv",
+            "fault_study_sweep.csv",
+            "fault_study_elastic.csv",
         ] {
             let export = all.get(name).unwrap_or_else(|| panic!("{name} missing"));
             assert!(
@@ -325,7 +376,7 @@ mod tests {
                 "{name} has no data rows"
             );
         }
-        assert_eq!(all.len(), 6);
+        assert_eq!(all.len(), 8);
     }
 
     #[test]
@@ -358,7 +409,7 @@ mod tests {
         let dir = std::env::temp_dir().join("mlperf_csv_export_test");
         let _ = std::fs::remove_dir_all(&dir);
         let written = write_all(&dir).unwrap();
-        assert_eq!(written.len(), 6);
+        assert_eq!(written.len(), 8);
         for path in &written {
             assert!(std::path::Path::new(path).exists());
         }

@@ -54,7 +54,7 @@ fn job_specs(ctx: &Ctx) -> Result<Vec<ClusterJobSpec>, SimError> {
 }
 
 fn run_policies(make_subs: impl Fn() -> Vec<Submission>) -> Vec<PolicyResult> {
-    let mut naive = NaiveWidest::new(GPUS);
+    let mut naive = NaiveWidest;
     let mut greedy = GreedyBestFinish;
     let mut area = AreaEfficient;
     let mut fcfs = FcfsWidestFit;

@@ -16,10 +16,12 @@
 //! | [`batch_sweep`] | extension: batch-size sensitivity to the OOM wall |
 //! | [`energy_cost`] | extension: kWh + USD to train (DAWNBench's 2nd metric) |
 //! | [`storage_study`] | extension: disk-staging feasibility (§V-C's tier) |
+//! | [`fault_study`] | extension: faults, checkpoint/restart, expected TTT |
 
 pub mod batch_sweep;
 pub mod cluster_study;
 pub mod energy_cost;
+pub mod fault_study;
 pub mod figure1;
 pub mod figure2;
 pub mod figure3;

@@ -144,6 +144,8 @@ mod tests {
             "Energy & cost",
             "Storage staging",
             "Batch-size sweep",
+            "Fault study",
+            "daly-optimal",
             "## Appendix: execution",
             "hit rate:",
         ] {

@@ -32,8 +32,8 @@ pub use pool::{Pool, JOBS_ENV};
 
 use crate::benchmark::BenchmarkId;
 use crate::experiments::{
-    batch_sweep, cluster_study, energy_cost, figure1, figure2, figure3, figure4, figure5,
-    storage_study, table1, table2, table3, table4, table5,
+    batch_sweep, cluster_study, energy_cost, fault_study, figure1, figure2, figure3, figure4,
+    figure5, storage_study, table1, table2, table3, table4, table5,
 };
 use crate::workloads::{self, WorkloadRun, WorkloadSpec};
 use crate::{sensitivity, validation};
@@ -411,6 +411,8 @@ pub enum Artifact {
     Storage(Vec<storage_study::StorageRow>),
     /// Batch-size sweep extension study.
     BatchSweep(batch_sweep::BatchSweep),
+    /// Fault-injection / checkpoint-restart extension study.
+    Fault(fault_study::FaultStudy),
 }
 
 impl Artifact {
@@ -433,6 +435,7 @@ impl Artifact {
             Artifact::Energy(_) => "energy_cost",
             Artifact::Storage(_) => "storage_study",
             Artifact::BatchSweep(_) => "batch_sweep",
+            Artifact::Fault(_) => "fault_study",
         }
     }
 
@@ -488,6 +491,14 @@ impl Artifact {
     pub fn as_figure5(&self) -> Option<&figure5::Figure5> {
         match self {
             Artifact::Figure5(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The fault-study payload, if that is what this artifact holds.
+    pub fn as_fault(&self) -> Option<&fault_study::FaultStudy> {
+        match self {
+            Artifact::Fault(s) => Some(s),
             _ => None,
         }
     }
@@ -680,7 +691,7 @@ pub fn execute(
     Ok(Execution { reports, stats })
 }
 
-/// The fifteen experiments of the full report, in the report's output
+/// The sixteen experiments of the full report, in the report's output
 /// order (Table I is a synthesis layer on top and not part of the report
 /// body — see [`all_experiments`]).
 pub fn report_experiments() -> Vec<&'static dyn Experiment> {
@@ -700,6 +711,7 @@ pub fn report_experiments() -> Vec<&'static dyn Experiment> {
         &energy_cost::Exp,
         &storage_study::Exp,
         &batch_sweep::Exp,
+        &fault_study::Exp,
     ]
 }
 

@@ -40,6 +40,17 @@ impl StorageDevice {
             StorageDevice::NvmeSsd => Bandwidth::from_gb_per_sec(2.4),
         }
     }
+
+    /// Sustained sequential write bandwidth — what a checkpoint dump sees.
+    /// Writes trail reads on every class (erase-block overhead on flash,
+    /// platter verify on disk).
+    pub fn sequential_write(self) -> Bandwidth {
+        match self {
+            StorageDevice::Hdd => Bandwidth::from_mb_per_sec(160.0),
+            StorageDevice::SataSsd => Bandwidth::from_mb_per_sec(480.0),
+            StorageDevice::NvmeSsd => Bandwidth::from_gb_per_sec(2.0),
+        }
+    }
 }
 
 impl fmt::Display for StorageDevice {
@@ -230,6 +241,21 @@ mod tests {
             };
             assert!(rate(StorageDevice::Hdd) < rate(StorageDevice::SataSsd));
             assert!(rate(StorageDevice::SataSsd) < rate(StorageDevice::NvmeSsd));
+        }
+    }
+
+    #[test]
+    fn writes_trail_reads_on_every_device() {
+        for d in [
+            StorageDevice::Hdd,
+            StorageDevice::SataSsd,
+            StorageDevice::NvmeSsd,
+        ] {
+            assert!(
+                d.sequential_write().as_bytes_per_sec() < d.sequential_read().as_bytes_per_sec(),
+                "{d}: write should trail read"
+            );
+            assert!(d.sequential_write().as_bytes_per_sec() > 0.0);
         }
     }
 

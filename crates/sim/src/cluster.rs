@@ -122,38 +122,46 @@ pub struct Decision {
     pub width: u64,
 }
 
-/// A scheduling policy: called whenever GPUs free up or jobs arrive;
-/// returns the next job to start immediately, or `None` to wait.
+/// A scheduling policy: called whenever GPUs free up, jobs arrive, or
+/// nodes fail; returns the next job to start immediately, or `None` to
+/// wait.
 ///
 /// The cluster re-invokes the policy after applying each decision, so a
-/// policy can start several jobs at one instant.
+/// policy can start several jobs at one instant. `capacity` is the *live*
+/// pool size — node failures shrink it mid-run, which is how every policy
+/// sees an elastic cluster (a preempted job reappears in `pending` and
+/// can be re-placed at a narrower width).
 pub trait SchedulingPolicy {
-    /// Pick a job to start now on `idle` GPUs, or `None` to leave them
-    /// idle until the next event. Returned decisions must be feasible
-    /// (`width <= idle` and a measured width of the chosen job).
-    fn select(&mut self, pending: &[PendingJob<'_>], idle: u64, now: Seconds) -> Option<Decision>;
+    /// Pick a job to start now on `idle` of the `capacity` surviving
+    /// GPUs, or `None` to leave them idle until the next event. Returned
+    /// decisions must be feasible (`width <= idle` and a measured width
+    /// of the chosen job).
+    fn select(
+        &mut self,
+        pending: &[PendingJob<'_>],
+        idle: u64,
+        capacity: u64,
+        now: Seconds,
+    ) -> Option<Decision>;
 
     /// The policy's display name.
     fn name(&self) -> &'static str;
 }
 
-/// The paper's naive baseline, online: wait until the *whole* cluster is
-/// idle, then run the oldest job at its widest feasible width.
+/// The paper's naive baseline, online: wait until the *whole* surviving
+/// cluster is idle, then run the oldest job at its widest feasible width.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct NaiveWidest {
-    gpu_count: u64,
-}
-
-impl NaiveWidest {
-    /// Build for a cluster of the given size.
-    pub fn new(gpu_count: u64) -> Self {
-        NaiveWidest { gpu_count }
-    }
-}
+pub struct NaiveWidest;
 
 impl SchedulingPolicy for NaiveWidest {
-    fn select(&mut self, pending: &[PendingJob<'_>], idle: u64, _now: Seconds) -> Option<Decision> {
-        if idle < self.gpu_count {
+    fn select(
+        &mut self,
+        pending: &[PendingJob<'_>],
+        idle: u64,
+        capacity: u64,
+        _now: Seconds,
+    ) -> Option<Decision> {
+        if idle < capacity {
             return None; // exclusive use: wait for the full pool
         }
         let oldest = pending.iter().min_by(|a, b| {
@@ -181,7 +189,13 @@ impl SchedulingPolicy for NaiveWidest {
 pub struct GreedyBestFinish;
 
 impl SchedulingPolicy for GreedyBestFinish {
-    fn select(&mut self, pending: &[PendingJob<'_>], idle: u64, _now: Seconds) -> Option<Decision> {
+    fn select(
+        &mut self,
+        pending: &[PendingJob<'_>],
+        idle: u64,
+        _capacity: u64,
+        _now: Seconds,
+    ) -> Option<Decision> {
         let mut best: Option<(f64, u64, usize)> = None; // (minutes, width, id)
         for p in pending {
             for w in p.job.widths().filter(|&w| w <= idle) {
@@ -208,7 +222,13 @@ impl SchedulingPolicy for GreedyBestFinish {
 pub struct AreaEfficient;
 
 impl SchedulingPolicy for AreaEfficient {
-    fn select(&mut self, pending: &[PendingJob<'_>], idle: u64, _now: Seconds) -> Option<Decision> {
+    fn select(
+        &mut self,
+        pending: &[PendingJob<'_>],
+        idle: u64,
+        _capacity: u64,
+        _now: Seconds,
+    ) -> Option<Decision> {
         let mut best: Option<(f64, u64, usize)> = None; // (area, width, id)
         for p in pending {
             for w in p.job.widths().filter(|&w| w <= idle) {
@@ -234,7 +254,13 @@ impl SchedulingPolicy for AreaEfficient {
 pub struct ShortestJobFirst;
 
 impl SchedulingPolicy for ShortestJobFirst {
-    fn select(&mut self, pending: &[PendingJob<'_>], idle: u64, _now: Seconds) -> Option<Decision> {
+    fn select(
+        &mut self,
+        pending: &[PendingJob<'_>],
+        idle: u64,
+        _capacity: u64,
+        _now: Seconds,
+    ) -> Option<Decision> {
         let mut best: Option<(f64, usize, u64)> = None; // (minutes, id, width)
         for p in pending {
             let Some((minutes, width)) = p
@@ -265,7 +291,13 @@ impl SchedulingPolicy for ShortestJobFirst {
 pub struct FcfsWidestFit;
 
 impl SchedulingPolicy for FcfsWidestFit {
-    fn select(&mut self, pending: &[PendingJob<'_>], idle: u64, _now: Seconds) -> Option<Decision> {
+    fn select(
+        &mut self,
+        pending: &[PendingJob<'_>],
+        idle: u64,
+        _capacity: u64,
+        _now: Seconds,
+    ) -> Option<Decision> {
         let oldest = pending.iter().min_by(|a, b| {
             a.arrival
                 .partial_cmp(&b.arrival)
@@ -301,6 +333,33 @@ pub struct Completion {
     pub wait: Seconds,
 }
 
+/// Permanent loss of GPUs at a point in time (a node dies and never
+/// rejoins). The cluster reclaims idle GPUs first; if those don't cover
+/// the loss it preempts running jobs — widest first, ties to the lowest
+/// id — and requeues them, where the policy may re-place them narrower.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeFailure {
+    /// When the node dies.
+    pub at: Seconds,
+    /// GPUs it takes with it.
+    pub gpus: u64,
+}
+
+impl NodeFailure {
+    /// A failure of `gpus` GPUs after `minutes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpus` is zero.
+    pub fn after_minutes(minutes: f64, gpus: u64) -> Self {
+        assert!(gpus > 0, "a failure must take at least one GPU");
+        NodeFailure {
+            at: Seconds::from_minutes(minutes),
+            gpus,
+        }
+    }
+}
+
 /// The full execution record of one cluster run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterTrace {
@@ -308,8 +367,14 @@ pub struct ClusterTrace {
     pub completions: Vec<Completion>,
     /// Time the last job finished.
     pub makespan: Seconds,
-    /// GPUs in the pool.
+    /// GPUs in the pool at the start (node failures only shrink it).
     pub gpu_count: u64,
+    /// Jobs killed by node failures and requeued (their wasted partial
+    /// executions are not in `completions`).
+    pub preemptions: u32,
+    /// Submission ids that became unplaceable (every feasible width
+    /// exceeds the surviving capacity) and were dropped.
+    pub abandoned: Vec<usize>,
 }
 
 impl ClusterTrace {
@@ -346,7 +411,16 @@ impl fmt::Display for ClusterTrace {
             self.makespan,
             self.mean_wait(),
             self.utilization() * 100.0
-        )
+        )?;
+        if self.preemptions > 0 || !self.abandoned.is_empty() {
+            write!(
+                f,
+                " ({} preempted, {} abandoned)",
+                self.preemptions,
+                self.abandoned.len()
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -354,7 +428,16 @@ impl fmt::Display for ClusterTrace {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
     Arrival(usize),
-    Completion { id: usize, width: u64 },
+    Completion { id: usize, width: u64, run: u64 },
+    NodeLoss { gpus: u64 },
+}
+
+/// A job currently executing.
+#[derive(Debug, Clone, Copy)]
+struct Running {
+    id: usize,
+    width: u64,
+    run: u64,
 }
 
 /// A non-preemptive multi-GPU cluster.
@@ -386,6 +469,27 @@ impl Cluster {
         submissions: Vec<Submission>,
         policy: &mut dyn SchedulingPolicy,
     ) -> ClusterTrace {
+        self.run_with_faults(submissions, policy, &[])
+    }
+
+    /// As [`Cluster::run`], with permanent node failures injected: each
+    /// [`NodeFailure`] removes GPUs from the pool at its instant,
+    /// reclaiming idle GPUs first and preempting running jobs (widest
+    /// first, ties to the lowest id) when it must. Preempted jobs restart
+    /// from scratch — they requeue and the policy re-places them on
+    /// whatever capacity survives. Jobs whose narrowest width no longer
+    /// fits are dropped into [`ClusterTrace::abandoned`].
+    ///
+    /// # Panics
+    ///
+    /// As [`Cluster::run`]; feasibility is checked against the *initial*
+    /// pool.
+    pub fn run_with_faults(
+        &self,
+        submissions: Vec<Submission>,
+        policy: &mut dyn SchedulingPolicy,
+        failures: &[NodeFailure],
+    ) -> ClusterTrace {
         for s in &submissions {
             assert!(
                 s.job.widths().any(|w| w <= self.gpu_count),
@@ -399,28 +503,98 @@ impl Cluster {
         for (id, s) in submissions.iter().enumerate() {
             queue.schedule(s.arrival, Event::Arrival(id));
         }
+        for f in failures {
+            assert!(f.gpus > 0, "a failure must take at least one GPU");
+            queue.schedule(f.at, Event::NodeLoss { gpus: f.gpus });
+        }
 
+        let mut capacity = self.gpu_count;
         let mut idle = self.gpu_count;
         let mut pending_ids: Vec<usize> = Vec::new();
+        let mut running: Vec<Running> = Vec::new();
+        // Current run number per submission; bumped on preemption so the
+        // stale completion event of a killed run is ignored.
+        let mut run_of: Vec<u64> = vec![0; submissions.len()];
+        let mut start_of: Vec<Seconds> = vec![Seconds::ZERO; submissions.len()];
         let mut completions: Vec<Completion> = Vec::new();
+        let mut preemptions: u32 = 0;
+        let mut abandoned: Vec<usize> = Vec::new();
         let mut makespan = Seconds::ZERO;
 
-        while let Some((now, event)) = queue.pop() {
-            match event {
-                Event::Arrival(id) => pending_ids.push(id),
-                Event::Completion { id: _, width } => idle += width,
-            }
+        while let Some((now, first)) = queue.pop() {
             // Drain all simultaneous events before consulting the policy,
-            // so same-instant arrivals/releases are seen together.
+            // so same-instant arrivals/releases/failures are seen together.
+            let mut batch = vec![first];
             while queue
                 .next_time()
                 .is_some_and(|t| (t.as_secs() - now.as_secs()).abs() < 1e-12)
             {
-                match queue.pop().expect("peeked event exists").1 {
+                batch.push(queue.pop().expect("peeked event exists").1);
+            }
+            for event in batch {
+                match event {
                     Event::Arrival(id) => pending_ids.push(id),
-                    Event::Completion { id: _, width } => idle += width,
+                    Event::Completion { id, width, run } => {
+                        if run != run_of[id] {
+                            continue; // this run was preempted; GPUs already reclaimed
+                        }
+                        let pos = running
+                            .iter()
+                            .position(|r| r.id == id && r.run == run)
+                            .expect("live completion matches a running job");
+                        running.swap_remove(pos);
+                        idle += width;
+                        let sub = &submissions[id];
+                        completions.push(Completion {
+                            id,
+                            name: sub.job.name().to_string(),
+                            width,
+                            start: start_of[id],
+                            end: now,
+                            wait: start_of[id] - sub.arrival,
+                        });
+                        makespan = makespan.max(now);
+                    }
+                    Event::NodeLoss { gpus } => {
+                        let lost = gpus.min(capacity);
+                        capacity -= lost;
+                        let reclaimed = lost.min(idle);
+                        idle -= reclaimed;
+                        let mut remaining = lost - reclaimed;
+                        while remaining > 0 {
+                            // Deterministic victim: widest running job,
+                            // ties to the lowest submission id.
+                            let victim_pos = running
+                                .iter()
+                                .enumerate()
+                                .max_by(|(_, a), (_, b)| {
+                                    a.width.cmp(&b.width).then(b.id.cmp(&a.id))
+                                })
+                                .map(|(i, _)| i)
+                                .expect("loss exceeds idle GPUs only with jobs running");
+                            let victim = running.swap_remove(victim_pos);
+                            run_of[victim.id] += 1;
+                            preemptions += 1;
+                            pending_ids.push(victim.id);
+                            if victim.width > remaining {
+                                idle += victim.width - remaining;
+                                remaining = 0;
+                            } else {
+                                remaining -= victim.width;
+                            }
+                        }
+                    }
                 }
             }
+            // Jobs that can no longer fit the surviving pool are dropped —
+            // the cluster cannot promise them anything.
+            pending_ids.retain(|&id| {
+                let fits = submissions[id].job.widths().any(|w| w <= capacity);
+                if !fits {
+                    abandoned.push(id);
+                }
+                fits
+            });
             // Let the policy fill the idle GPUs.
             loop {
                 let pending: Vec<PendingJob<'_>> = pending_ids
@@ -431,7 +605,7 @@ impl Cluster {
                         arrival: submissions[id].arrival,
                     })
                     .collect();
-                let Some(decision) = policy.select(&pending, idle, now) else {
+                let Some(decision) = policy.select(&pending, idle, capacity, now) else {
                     break;
                 };
                 let pos = pending_ids
@@ -449,27 +623,25 @@ impl Cluster {
                 });
                 pending_ids.swap_remove(pos);
                 idle -= decision.width;
+                start_of[decision.id] = now;
+                running.push(Running {
+                    id: decision.id,
+                    width: decision.width,
+                    run: run_of[decision.id],
+                });
                 let end = now + Seconds::from_minutes(minutes);
                 queue.schedule(
                     end,
                     Event::Completion {
                         id: decision.id,
                         width: decision.width,
+                        run: run_of[decision.id],
                     },
                 );
-                completions.push(Completion {
-                    id: decision.id,
-                    name: sub.job.name().to_string(),
-                    width: decision.width,
-                    start: now,
-                    end,
-                    wait: now - sub.arrival,
-                });
-                makespan = makespan.max(end);
             }
         }
         assert!(
-            pending_ids.is_empty(),
+            pending_ids.is_empty() && running.is_empty(),
             "every feasible job must eventually run"
         );
         completions.sort_by(|a, b| {
@@ -478,10 +650,13 @@ impl Cluster {
                 .expect("starts are finite")
                 .then(a.id.cmp(&b.id))
         });
+        abandoned.sort_unstable();
         ClusterTrace {
             completions,
             makespan,
             gpu_count: self.gpu_count,
+            preemptions,
+            abandoned,
         }
     }
 }
@@ -509,7 +684,7 @@ mod tests {
 
     #[test]
     fn naive_serializes_at_full_width() {
-        let trace = Cluster::new(4).run(batch(), &mut NaiveWidest::new(4));
+        let trace = Cluster::new(4).run(batch(), &mut NaiveWidest);
         // All three at width 4, back to back: 27 + 76 + 4.
         assert!((trace.makespan.as_minutes() - 107.0).abs() < 1e-9);
         assert!(trace.completions.iter().all(|c| c.width == 4));
@@ -517,7 +692,7 @@ mod tests {
 
     #[test]
     fn area_efficient_beats_naive_on_mixed_batch() {
-        let naive = Cluster::new(4).run(batch(), &mut NaiveWidest::new(4));
+        let naive = Cluster::new(4).run(batch(), &mut NaiveWidest);
         let packed = Cluster::new(4).run(batch(), &mut AreaEfficient);
         assert!(
             packed.makespan < naive.makespan,
@@ -573,7 +748,7 @@ mod tests {
             Submission::at_start(ClusterJobSpec::new("long", [(1, 100.0)])),
             Submission::at_start(ClusterJobSpec::new("next", [(1, 50.0), (2, 30.0)])),
         ];
-        let trace = Cluster::new(2).run(subs, &mut NaiveWidest::new(2));
+        let trace = Cluster::new(2).run(subs, &mut NaiveWidest);
         let next = trace
             .completions
             .iter()
@@ -620,5 +795,98 @@ mod tests {
             [(8, 10.0)],
         ))];
         let _ = Cluster::new(4).run(subs, &mut GreedyBestFinish);
+    }
+
+    #[test]
+    fn fault_free_runs_report_no_preemptions() {
+        let trace = Cluster::new(4).run(batch(), &mut AreaEfficient);
+        assert_eq!(trace.preemptions, 0);
+        assert!(trace.abandoned.is_empty());
+    }
+
+    #[test]
+    fn every_policy_survives_a_node_failure() {
+        let failure = [NodeFailure::after_minutes(10.0, 2)];
+        let policies: Vec<Box<dyn SchedulingPolicy>> = vec![
+            Box::new(NaiveWidest),
+            Box::new(GreedyBestFinish),
+            Box::new(AreaEfficient),
+            Box::new(ShortestJobFirst),
+            Box::new(FcfsWidestFit),
+        ];
+        for mut policy in policies {
+            let trace = Cluster::new(4).run_with_faults(batch(), policy.as_mut(), &failure);
+            assert_eq!(
+                trace.completions.len(),
+                3,
+                "{} lost a job to the failure",
+                policy.name()
+            );
+            assert!(trace.abandoned.is_empty(), "{}", policy.name());
+            // Half the pool died: nothing may run wider than 2 afterwards.
+            for c in &trace.completions {
+                assert!(
+                    c.start.as_minutes() < 10.0 || c.width <= 2,
+                    "{} placed width {} on a 2-GPU pool",
+                    policy.name(),
+                    c.width
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn preempted_job_is_replaced_narrower() {
+        let subs = vec![Submission::at_start(ClusterJobSpec::new(
+            "elastic",
+            [(2, 20.0), (4, 10.0)],
+        ))];
+        let trace = Cluster::new(4).run_with_faults(
+            subs,
+            &mut GreedyBestFinish,
+            &[NodeFailure::after_minutes(5.0, 2)],
+        );
+        assert_eq!(trace.preemptions, 1);
+        assert_eq!(trace.completions.len(), 1);
+        let c = &trace.completions[0];
+        // Killed at minute 5 while running at width 4, restarted from
+        // scratch at width 2: finishes at 5 + 20 minutes.
+        assert_eq!(c.width, 2);
+        assert!((c.start.as_minutes() - 5.0).abs() < 1e-9);
+        assert!((trace.makespan.as_minutes() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_gpus_absorb_a_loss_without_preemption() {
+        let subs = vec![Submission::at_start(ClusterJobSpec::new(
+            "narrow",
+            [(1, 30.0)],
+        ))];
+        let trace = Cluster::new(4).run_with_faults(
+            subs,
+            &mut FcfsWidestFit,
+            &[NodeFailure::after_minutes(5.0, 2)],
+        );
+        assert_eq!(trace.preemptions, 0);
+        assert_eq!(trace.completions.len(), 1);
+        assert!((trace.makespan.as_minutes() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn job_too_wide_for_surviving_pool_is_abandoned() {
+        let subs = vec![Submission::at_start(ClusterJobSpec::new(
+            "wide-only",
+            [(4, 50.0)],
+        ))];
+        let trace = Cluster::new(4).run_with_faults(
+            subs,
+            &mut GreedyBestFinish,
+            &[NodeFailure::after_minutes(10.0, 3)],
+        );
+        assert_eq!(trace.preemptions, 1);
+        assert_eq!(trace.abandoned, vec![0]);
+        assert!(trace.completions.is_empty());
+        let s = trace.to_string();
+        assert!(s.contains("1 preempted, 1 abandoned"), "{s}");
     }
 }

@@ -137,6 +137,7 @@ pub struct RunSpec {
     job: TrainingJob,
     gpus: Vec<u32>,
     record_trace: bool,
+    faults: Option<crate::fault::FaultConfig>,
 }
 
 impl RunSpec {
@@ -146,6 +147,7 @@ impl RunSpec {
             job,
             gpus: gpus.into(),
             record_trace: false,
+            faults: None,
         }
     }
 
@@ -159,6 +161,15 @@ impl RunSpec {
     #[must_use]
     pub fn traced(mut self) -> Self {
         self.record_trace = true;
+        self
+    }
+
+    /// Also replay a seeded fault scenario against the steady-state step:
+    /// the outcome gains [`FaultOutcome`](crate::fault::FaultOutcome)
+    /// statistics (checkpoint tax, lost work, retries, restarts).
+    #[must_use]
+    pub fn with_faults(mut self, config: crate::fault::FaultConfig) -> Self {
+        self.faults = Some(config);
         self
     }
 
@@ -176,6 +187,11 @@ impl RunSpec {
     pub fn records_trace(&self) -> bool {
         self.record_trace
     }
+
+    /// The fault scenario to replay, if any.
+    pub fn faults(&self) -> Option<&crate::fault::FaultConfig> {
+        self.faults.as_ref()
+    }
 }
 
 /// What one [`Simulator::execute`] call produced.
@@ -185,6 +201,8 @@ pub struct RunOutcome {
     pub report: StepReport,
     /// The per-iteration timeline, when the spec asked for one.
     pub trace: Option<crate::trace::RunTrace>,
+    /// Fault/recovery statistics, when the spec carried a fault scenario.
+    pub faults: Option<crate::fault::FaultOutcome>,
 }
 
 /// The simulation engine for one platform.
@@ -243,8 +261,24 @@ impl<'a> Simulator<'a> {
     /// * [`SimError::OutOfMemory`] — replica + overhead exceeds HBM;
     /// * [`SimError::Topology`] — no route between required endpoints.
     pub fn execute(&self, spec: &RunSpec) -> Result<RunOutcome, SimError> {
-        self.run_inner(&spec.job, &spec.gpus, spec.record_trace)
-            .map(|(report, trace)| RunOutcome { report, trace })
+        let (report, trace) = self.run_inner(&spec.job, &spec.gpus, spec.record_trace)?;
+        // Fault replay is deterministic post-processing of the steady
+        // state: the plan walks the run's total steps against the step
+        // report, so the healthy numbers above are untouched.
+        let faults = spec.faults.as_ref().map(|config| {
+            let total_steps =
+                crate::training::outcome_from_step(&spec.job, report.clone()).total_steps();
+            let (stats, fault_trace) = crate::fault::replay(config, &spec.job, &report, total_steps);
+            crate::fault::FaultOutcome {
+                stats,
+                trace: fault_trace,
+            }
+        });
+        Ok(RunOutcome {
+            report,
+            trace,
+            faults,
+        })
     }
 
     /// Simulate `job` on the GPU ordinals `gpus` and report the steady

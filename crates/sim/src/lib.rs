@@ -15,7 +15,10 @@
 //!   [`StepReport`]s;
 //! * [`cluster`] — an event-driven multi-GPU cluster with pluggable online
 //!   scheduling policies (the §IV-D "effective algorithm" extension);
-//! * [`training`] — end-to-end time-to-quality runs.
+//! * [`training`] — end-to-end time-to-quality runs;
+//! * [`fault`] / [`checkpoint`] — seeded fault injection (GPU death, link
+//!   flaps, stragglers, host stalls) replayed deterministically against a
+//!   checkpoint/restart cost model priced through the storage tier.
 //!
 //! # Examples
 //!
@@ -41,17 +44,24 @@
 //! ```
 
 pub mod allreduce;
+pub mod checkpoint;
 pub mod cluster;
 pub mod des;
 pub mod engine;
+pub mod fault;
 pub mod job;
 pub mod kernel;
 pub mod trace;
 pub mod training;
 
 pub use allreduce::AllReduceAlgorithm;
-pub use cluster::{Cluster, ClusterJobSpec, ClusterTrace, SchedulingPolicy, Submission};
+pub use checkpoint::CheckpointSpec;
+pub use cluster::{Cluster, ClusterJobSpec, ClusterTrace, NodeFailure, SchedulingPolicy, Submission};
 pub use engine::{Engine, RunOutcome, RunSpec, SimError, Simulator, StepReport};
+pub use fault::{
+    FaultConfig, FaultEvent, FaultKind, FaultOutcome, FaultPlan, FaultStats, FaultTrace,
+    RetryPolicy,
+};
 pub use job::{ConvergenceModel, TrainingJob, TrainingJobBuilder};
 pub use kernel::{Efficiency, KernelTimer};
 pub use trace::{GpuPhases, IterationRecord, RunTrace};

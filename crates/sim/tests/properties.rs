@@ -182,7 +182,7 @@ mod cluster_properties {
         #[test]
         fn cluster_invariants_hold(subs in arb_submissions(), g in 1u64..=4) {
             let n_jobs = subs.len();
-            let mut naive = NaiveWidest::new(g);
+            let mut naive = NaiveWidest;
             let mut greedy = GreedyBestFinish;
             let mut area = AreaEfficient;
             let mut fcfs = FcfsWidestFit;
@@ -218,6 +218,169 @@ mod cluster_properties {
                 }
                 prop_assert!(trace.utilization() <= 1.0 + 1e-9);
             }
+        }
+    }
+}
+
+mod fault_properties {
+    use mlperf_data::storage::StorageDevice;
+    use mlperf_data::{DatasetId, InputPipeline};
+    use mlperf_hw::systems::SystemId;
+    use mlperf_hw::units::{Bytes, Seconds};
+    use mlperf_models::zoo::resnet::resnet18_cifar;
+    use mlperf_sim::checkpoint::{daly_interval, expected_runtime, failure_free_overhead};
+    use mlperf_sim::fault::{replay, FaultConfig, FaultPlan, RetryPolicy};
+    use mlperf_sim::{
+        CheckpointSpec, ConvergenceModel, RunSpec, Simulator, StepReport, TrainingJob,
+    };
+    use mlperf_testkit::prop::*;
+    use std::sync::OnceLock;
+
+    fn cifar_job() -> TrainingJob {
+        TrainingJob::builder(
+            "cifar",
+            resnet18_cifar(),
+            InputPipeline::new(DatasetId::Cifar10, Bytes::new(32 * 32 * 3 * 2)),
+            256,
+            ConvergenceModel::new(24.0, 512, 0.0),
+        )
+        .build()
+    }
+
+    /// One steady-state report shared across property cases (the replay
+    /// input is deterministic; re-simulating per case is pure waste).
+    fn step() -> &'static StepReport {
+        static STEP: OnceLock<StepReport> = OnceLock::new();
+        STEP.get_or_init(|| {
+            let system = SystemId::C4140K.spec();
+            Simulator::new(&system)
+                .execute(&RunSpec::on_first(cifar_job(), 4))
+                .expect("run succeeds")
+                .report
+        })
+    }
+
+    /// Named regression for the DES tie-break contract the fault replay
+    /// leans on: events scheduled at the *same* instant pop in insertion
+    /// order, so a checkpoint landing on a fault's timestamp resolves
+    /// the same way on every run.
+    #[test]
+    fn regression_equal_timestamps_pop_fifo() {
+        use mlperf_sim::des::EventQueue;
+        let mut q = EventQueue::new();
+        let t = Seconds::new(42.0);
+        for label in ["first", "second", "third", "fourth"] {
+            q.schedule(t, label);
+        }
+        q.schedule(Seconds::new(41.0), "earlier");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, ["earlier", "first", "second", "third", "fourth"]);
+    }
+
+    mlperf_testkit::properties! {
+        /// The seeded-replay contract: equal seeds yield byte-identical
+        /// fault plans, draw logs, and replay traces. Failures shrink on
+        /// the seed, i.e. on the fault-plan draw stream behind it.
+        #[test]
+        fn equal_seeds_replay_byte_identically(
+            seed in 0u64..1 << 48,
+            mtbf_min in 3.0f64..30.0
+        ) {
+            let horizon = Seconds::from_minutes(30.0);
+            let mtbf = Seconds::from_minutes(mtbf_min);
+            let a = FaultPlan::generate(seed, horizon, mtbf, 4);
+            let b = FaultPlan::generate(seed, horizon, mtbf, 4);
+            prop_assert_eq!(&a, &b);
+            prop_assert_eq!(a.script_trace(), b.script_trace());
+            let cfg = FaultConfig {
+                plan: a,
+                checkpoint: CheckpointSpec::new(
+                    Seconds::from_minutes(2.0),
+                    StorageDevice::NvmeSsd,
+                ),
+                retry: RetryPolicy::default(),
+            };
+            let job = cifar_job();
+            let (s1, t1) = replay(&cfg, &job, step(), 2_000);
+            let (s2, t2) = replay(&cfg, &job, step(), 2_000);
+            prop_assert_eq!(s1, s2);
+            prop_assert_eq!(t1.to_bytes(), t2.to_bytes());
+        }
+
+        /// Failure-free checkpoint overhead is strictly monotone in
+        /// checkpoint *frequency*: halving the interval doubles the tax.
+        #[test]
+        fn checkpoint_overhead_monotone_in_frequency(
+            tau_min in 1.0f64..120.0,
+            c_secs in 0.5f64..60.0,
+            halvings in 1u32..6
+        ) {
+            let work = Seconds::from_hours(10.0);
+            let c = Seconds::new(c_secs);
+            let mut tau = Seconds::from_minutes(tau_min);
+            let mut last = failure_free_overhead(work, tau, c);
+            for _ in 0..halvings {
+                tau = tau.scale(0.5);
+                let next = failure_free_overhead(work, tau, c);
+                prop_assert!(
+                    next.as_secs() > last.as_secs(),
+                    "overhead fell as checkpoints got more frequent"
+                );
+                prop_assert!((next.as_secs() - 2.0 * last.as_secs()).abs() < 1e-6);
+                last = next;
+            }
+        }
+
+        /// Daly's expected runtime is quasi-convex in the interval: on a
+        /// geometric grid it falls to a single minimum and rises after.
+        #[test]
+        fn expected_ttt_quasi_convex_in_interval(
+            c_secs in 1.0f64..120.0,
+            mtbf_hours in 0.5f64..24.0
+        ) {
+            let work = Seconds::from_hours(20.0);
+            let c = Seconds::new(c_secs);
+            let r = Seconds::new(2.0 * c_secs + 30.0);
+            let m = Seconds::from_hours(mtbf_hours);
+            let grid: Vec<f64> = (0..40)
+                .map(|i| 10.0 * 1.35f64.powi(i)) // ~10 s … ~1.7 e5 s
+                .collect();
+            let times: Vec<f64> = grid
+                .iter()
+                .map(|&tau| expected_runtime(work, Seconds::new(tau), c, r, m).as_secs())
+                .collect();
+            let min_idx = times
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .map(|(i, _)| i)
+                .expect("grid nonempty");
+            for w in times[..=min_idx].windows(2) {
+                prop_assert!(w[1] <= w[0] * (1.0 + 1e-9), "rise before the minimum");
+            }
+            for w in times[min_idx..].windows(2) {
+                prop_assert!(w[1] >= w[0] * (1.0 - 1e-9), "dip after the minimum");
+            }
+        }
+
+        /// The Daly-optimal interval is never worse than the endpoints of
+        /// any sweep bracketing it.
+        #[test]
+        fn daly_interval_beats_sweep_endpoints(
+            c_secs in 1.0f64..120.0,
+            mtbf_hours in 0.5f64..24.0,
+            spread in 2.0f64..64.0
+        ) {
+            let work = Seconds::from_hours(20.0);
+            let c = Seconds::new(c_secs);
+            let r = Seconds::new(2.0 * c_secs + 30.0);
+            let m = Seconds::from_hours(mtbf_hours);
+            let opt = daly_interval(c, m);
+            prop_assert!(opt.as_secs() > 0.0);
+            let at = |tau: Seconds| expected_runtime(work, tau, c, r, m).as_secs();
+            let best = at(opt);
+            prop_assert!(best <= at(opt.scale(1.0 / spread)) * (1.0 + 1e-6));
+            prop_assert!(best <= at(opt.scale(spread)) * (1.0 + 1e-6));
         }
     }
 }

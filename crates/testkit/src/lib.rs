@@ -11,12 +11,16 @@
 //!   [`properties!`](crate::properties) macro close to `proptest!`, greedy
 //!   draw-stream shrinking, failure-seed reporting);
 //! * [`bench`] — a wall-clock micro-bench runner (warmup, N samples,
-//!   median/p95, JSON-line output) standing in for `criterion`.
+//!   median/p95, JSON-line output) standing in for `criterion`;
+//! * [`fault`] — a seeded-replay draw log ([`fault::FaultScript`]) that
+//!   fault-plan generators draw through, so an injected failure scenario
+//!   replays byte-identically from its seed.
 //!
 //! The whole workspace builds and tests offline because of this crate: it
 //! has **zero dependencies** by design. See DESIGN.md §"Offline build &
 //! determinism policy".
 
 pub mod bench;
+pub mod fault;
 pub mod prop;
 pub mod rng;

@@ -23,6 +23,13 @@ echo "== executor determinism: golden artifacts at MLPERF_JOBS=1 and 4 =="
 MLPERF_JOBS=1 cargo test -q --offline -p mlperf-suite --test golden_artifacts
 MLPERF_JOBS=4 cargo test -q --offline -p mlperf-suite --test golden_artifacts
 
+echo "== fault injection: suite serial and oversubscribed =="
+# The fault subsystem's determinism contract: seeded plans, DES replay,
+# and elastic rescheduling behave identically at any worker count.
+MLPERF_JOBS=1 cargo test -q --offline -p mlperf-suite --test failure_injection
+MLPERF_JOBS=4 cargo test -q --offline -p mlperf-suite --test failure_injection
+MLPERF_JOBS=4 cargo test -q --offline -p mlperf-sim fault
+
 report_tmp="$(mktemp -d)"
 trap 'rm -rf "$report_tmp"' EXIT
 MLPERF_JOBS=1 cargo run -q --release --offline -p mlperf-suite --bin repro -- \
@@ -33,6 +40,16 @@ diff -u "$report_tmp/serial.md" "$report_tmp/pooled.md" \
     || { echo "report bytes depend on MLPERF_JOBS" >&2; exit 1; }
 diff -u REPORT.md "$report_tmp/serial.md" \
     || { echo "committed REPORT.md is stale; regenerate with repro --report REPORT.md" >&2; exit 1; }
+
+echo "== fault replay smoke: fixed seed, byte-identical twice =="
+# Two fresh processes replay the seeded fault study; the rendered trace
+# fingerprint and every digit must match byte for byte.
+cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    --figure fault > "$report_tmp/fault_a.txt"
+cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    --figure fault > "$report_tmp/fault_b.txt"
+diff -u "$report_tmp/fault_a.txt" "$report_tmp/fault_b.txt" \
+    || { echo "fault replay is not reproducible across processes" >&2; exit 1; }
 
 echo "== executor bench (JSON) =="
 cargo bench -q --offline -p mlperf-bench --bench executor

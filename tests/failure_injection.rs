@@ -163,6 +163,114 @@ fn shard_corruption_is_loud() {
     ));
 }
 
+/// Mid-run fail-stop: a GPU dies at step k, the run resumes from the
+/// last checkpoint, and the recomputed-work accounting in the stats
+/// matches the `lost_time` the trace reports — the whole path through
+/// `RunSpec::with_faults` and the engine, not just the replay function.
+#[test]
+fn regression_gpu_death_resumes_from_checkpoint_with_matching_accounting() {
+    use mlperf_data::storage::StorageDevice;
+    use mlperf_hw::units::Seconds;
+    use mlperf_sim::fault::{FaultConfig, FaultEvent, FaultKind, FaultPlan, RetryPolicy};
+    use mlperf_sim::CheckpointSpec;
+
+    let system = SystemId::Dss8440.spec();
+    let sim = Simulator::new(&system);
+    let job = BenchmarkId::MlpfRes50Mx.job();
+    let step = sim
+        .execute(&RunSpec::on_first(job.clone(), 4))
+        .unwrap()
+        .report;
+    let checkpoint = CheckpointSpec::new(Seconds::from_minutes(2.0), StorageDevice::NvmeSsd);
+    let per_ckpt = checkpoint.interval_steps(&step);
+    // Die at step k = 2.5 checkpoint windows in: one full window committed
+    // plus half a window of uncommitted work to roll back.
+    let kill_at = step.step_time.scale(2.5 * per_ckpt as f64);
+    let cfg = FaultConfig {
+        plan: FaultPlan::from_events(
+            9,
+            Seconds::from_hours(1.0),
+            vec![FaultEvent {
+                at: kill_at,
+                kind: FaultKind::GpuFailure { gpu: 1 },
+            }],
+        ),
+        checkpoint,
+        retry: RetryPolicy::default(),
+    };
+    let outcome = sim
+        .execute(&RunSpec::on_first(job, 4).with_faults(cfg))
+        .unwrap();
+    let faults = outcome.faults.expect("fault replay attached");
+    assert_eq!(faults.stats.gpu_failures, 1);
+    assert_eq!(faults.stats.restarts, 1);
+    assert!(faults.stats.recomputed_time.as_secs() > 0.0);
+    // The trace and the stats must tell the same story, byte for byte.
+    let text = String::from_utf8(faults.trace.to_bytes()).unwrap();
+    assert!(text.contains(&format!("restart from_step={}", 2 * per_ckpt)));
+    let traced_lost: f64 = text
+        .lines()
+        .filter_map(|l| l.split("lost_time=").nth(1))
+        .map(|v| v.parse::<f64>().expect("fixed-precision float"))
+        .sum();
+    let drift = (traced_lost - faults.stats.recomputed_time.as_secs()).abs();
+    assert!(drift < 1e-5, "trace says {traced_lost}, stats disagree");
+    // Everything the run paid partitions the wall-clock.
+    let s = &faults.stats;
+    let accounted = s.healthy_time + s.checkpoint_time + s.recomputed_time
+        + s.stalled_time
+        + s.restart_time;
+    assert!((accounted.as_secs() - s.total_time.as_secs()).abs() < 1e-3);
+}
+
+/// Straggler injection: the deeper one GPU throttles, the worse the
+/// synchronous run's scaling efficiency — monotonically.
+#[test]
+fn regression_straggler_degrades_scaling_efficiency_monotonically() {
+    use mlperf_data::storage::StorageDevice;
+    use mlperf_hw::units::Seconds;
+    use mlperf_sim::fault::{replay, FaultConfig, FaultEvent, FaultKind, FaultPlan, RetryPolicy};
+    use mlperf_sim::CheckpointSpec;
+
+    let system = SystemId::Dss8440.spec();
+    let sim = Simulator::new(&system);
+    let job = BenchmarkId::MlpfRes50Mx.job();
+    let step = sim
+        .execute(&RunSpec::on_first(job.clone(), 4))
+        .unwrap()
+        .report;
+    let total_steps = 5_000;
+    let ideal = step.step_time.scale(total_steps as f64);
+    let efficiency_at = |factor: f64| {
+        let cfg = FaultConfig {
+            plan: FaultPlan::from_events(
+                7,
+                Seconds::from_hours(1.0),
+                vec![FaultEvent {
+                    at: step.step_time.scale(100.5),
+                    kind: FaultKind::ThermalThrottle {
+                        gpu: 3,
+                        factor,
+                        duration: step.step_time.scale(3_000.0),
+                    },
+                }],
+            ),
+            checkpoint: CheckpointSpec::new(Seconds::from_hours(10.0), StorageDevice::NvmeSsd),
+            retry: RetryPolicy::default(),
+        };
+        let (stats, _) = replay(&cfg, &job, &step, total_steps);
+        ideal.as_secs() / stats.total_time.as_secs()
+    };
+    let effs: Vec<f64> = [1.0, 0.9, 0.7, 0.5].map(efficiency_at).to_vec();
+    assert!((effs[0] - 1.0).abs() < 1e-6, "no straggler, no loss");
+    for pair in effs.windows(2) {
+        assert!(
+            pair[1] < pair[0],
+            "deeper throttle must cost more: {effs:?}"
+        );
+    }
+}
+
 /// Memory pressure: shrinking HBM headroom (a leaked allocation,
 /// modelled as extra overhead) turns a fitting job into an OOM.
 #[test]
