@@ -10,8 +10,7 @@
 
 use crate::experiments::figure1;
 use crate::report::Table;
-use crate::runner::{self, Ctx, Pool};
-use mlperf_sim::SimError;
+use crate::runner::{self, Ctx, ExperimentError, Pool, ResilienceConfig};
 use mlperf_telemetry::csv::characteristics_to_csv;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -86,12 +85,13 @@ impl<'a> IntoIterator for &'a ArtifactSet {
     }
 }
 
-/// Why an export run failed: either the simulation itself, or writing the
-/// results to disk.
+/// Why an export run failed: either an experiment (typed through the
+/// executor's taxonomy), or writing the results to disk.
 #[derive(Debug)]
 pub enum ExportError {
-    /// An experiment failed to simulate.
-    Sim(SimError),
+    /// An experiment failed (strict mode only; resilient exports emit
+    /// placeholders instead).
+    Run(ExperimentError),
     /// A file or directory could not be written.
     Io {
         /// The path involved.
@@ -104,7 +104,7 @@ pub enum ExportError {
 impl fmt::Display for ExportError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ExportError::Sim(e) => write!(f, "simulation failed: {e}"),
+            ExportError::Run(e) => write!(f, "experiment failed: {e}"),
             ExportError::Io { path, source } => write!(f, "writing {path}: {source}"),
         }
     }
@@ -113,15 +113,15 @@ impl fmt::Display for ExportError {
 impl std::error::Error for ExportError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ExportError::Sim(e) => Some(e),
+            ExportError::Run(e) => Some(e),
             ExportError::Io { source, .. } => Some(source),
         }
     }
 }
 
-impl From<SimError> for ExportError {
-    fn from(e: SimError) -> Self {
-        ExportError::Sim(e)
+impl From<ExperimentError> for ExportError {
+    fn from(e: ExperimentError) -> Self {
+        ExportError::Run(e)
     }
 }
 
@@ -140,209 +140,357 @@ fn export_experiments() -> Vec<&'static dyn runner::Experiment> {
 }
 
 /// Build every export, with pool and worker count from the environment.
+/// Strict (fail-fast).
 ///
 /// # Errors
 ///
-/// Propagates [`SimError`] from the underlying experiments.
-pub fn build_all() -> Result<ArtifactSet, SimError> {
+/// Propagates the first [`ExperimentError`] from the underlying
+/// experiments.
+pub fn build_all() -> Result<ArtifactSet, ExperimentError> {
     build_all_with(&Pool::from_env(), &Ctx::new())
 }
 
 /// Build every export on an explicit pool and context. The bytes depend
 /// only on the simulated numbers, never on the schedule — the golden-file
-/// tests pin them against `artifacts/`.
+/// tests pin them against `artifacts/`. Strict (fail-fast).
 ///
 /// # Errors
 ///
-/// Propagates [`SimError`] from the underlying experiments.
-///
-/// # Panics
-///
-/// Panics if the executor reports success but an artifact is missing or of
-/// the wrong variant (a programming error in the experiment wiring).
-pub fn build_all_with(pool: &Pool, ctx: &Ctx) -> Result<ArtifactSet, SimError> {
-    runner::execute(pool, ctx, &export_experiments())?;
-    let artifact = |id: &str| ctx.artifact(id).expect("executor stored the artifact");
+/// Propagates the first [`ExperimentError`] from the underlying
+/// experiments.
+pub fn build_all_with(pool: &Pool, ctx: &Ctx) -> Result<ArtifactSet, ExperimentError> {
+    let execution = runner::execute(pool, ctx, &export_experiments())?;
+    Ok(assemble(ctx, &execution))
+}
 
+/// Build every export with failure isolation: a failed experiment's files
+/// are emitted as placeholder CSVs (headers plus a `# degraded:` comment
+/// naming the failure) while every healthy file's bytes stay identical to
+/// a fully-healthy run.
+pub fn build_all_resilient(
+    pool: &Pool,
+    ctx: &Ctx,
+    cfg: &ResilienceConfig,
+) -> (ArtifactSet, runner::Execution) {
+    let execution = runner::execute_resilient(pool, ctx, &export_experiments(), cfg);
+    (assemble(ctx, &execution), execution)
+}
+
+/// A placeholder export for a failed experiment: the real header row plus
+/// a comment naming the failure, so downstream tooling sees the schema
+/// and an explicit degradation marker instead of a missing file.
+fn placeholder(headers: Table, note: &str) -> String {
+    let mut csv = headers.to_csv();
+    csv.push_str(&format!("# degraded: {note}\n"));
+    csv
+}
+
+/// Assemble the export set from whatever artifacts the execution stored;
+/// sections whose experiment failed degrade to [`placeholder`] files.
+fn assemble(ctx: &Ctx, execution: &runner::Execution) -> ArtifactSet {
+    // The failure summary rendered into placeholder files (deterministic:
+    // the executor's error text contains no wall-clock or addresses).
+    let note = |id: &str| -> String {
+        execution
+            .reports
+            .iter()
+            .find(|r| r.id == id)
+            .and_then(|r| r.error.as_ref())
+            .map_or_else(
+                || format!("{id} produced no artifact"),
+                |e| format!("{id} failed ({}): {e}", e.kind()),
+            )
+    };
     let mut out = ArtifactSet::default();
 
     // Table IV rows.
-    let t4_artifact = artifact("table4");
-    let t4 = t4_artifact.as_table4().expect("table4 artifact");
-    let mut csv = Table::new(
-        "",
-        [
-            "benchmark",
-            "p100_min",
-            "v100_1_min",
-            "speedup_2",
-            "speedup_4",
-            "speedup_8",
-        ],
-    );
-    for row in &t4.rows {
-        csv.add_row([
-            row.name().to_string(),
-            format!("{:.2}", row.p100_minutes()),
-            format!("{:.2}", row.v100_minutes(1).expect("anchor measured")),
-            format!("{:.4}", row.speedup(2).expect("measured")),
-            format!("{:.4}", row.speedup(4).expect("measured")),
-            format!("{:.4}", row.speedup(8).expect("measured")),
-        ]);
+    let t4_headers = || {
+        Table::new(
+            "",
+            [
+                "benchmark",
+                "p100_min",
+                "v100_1_min",
+                "speedup_2",
+                "speedup_4",
+                "speedup_8",
+            ],
+        )
+    };
+    if let Some(t4) = ctx.artifact("table4") {
+        let t4 = t4.as_table4().expect("table4 artifact");
+        let mut csv = t4_headers();
+        for row in &t4.rows {
+            csv.add_row([
+                row.name().to_string(),
+                format!("{:.2}", row.p100_minutes()),
+                format!("{:.2}", row.v100_minutes(1).expect("anchor measured")),
+                format!("{:.4}", row.speedup(2).expect("measured")),
+                format!("{:.4}", row.speedup(4).expect("measured")),
+                format!("{:.4}", row.speedup(8).expect("measured")),
+            ]);
+        }
+        out.insert("table4", "table4_scaling.csv", csv.to_csv());
+    } else {
+        out.insert(
+            "table4",
+            "table4_scaling.csv",
+            placeholder(t4_headers(), &note("table4")),
+        );
     }
-    out.insert("table4", "table4_scaling.csv", csv.to_csv());
 
     // Table V rows.
-    let t5_artifact = artifact("table5");
-    let t5 = t5_artifact.as_table5().expect("table5 artifact");
-    let mut csv = Table::new(
-        "",
-        [
-            "workload",
-            "gpus",
-            "cpu_pct",
-            "gpu_pct",
-            "dram_mb",
-            "hbm_mb",
-            "pcie_mbps",
-            "nvlink_mbps",
-        ],
-    );
-    for r in &t5.runs {
-        csv.add_row([
-            r.name.clone(),
-            r.n_gpus.to_string(),
-            format!("{:.3}", r.usage.cpu_util_pct),
-            format!("{:.3}", r.usage.gpu_util_pct),
-            format!("{:.1}", r.usage.dram_mb),
-            format!("{:.1}", r.usage.hbm_mb),
-            format!("{:.1}", r.usage.pcie_mbps),
-            format!("{:.1}", r.usage.nvlink_mbps),
-        ]);
+    let t5_headers = || {
+        Table::new(
+            "",
+            [
+                "workload",
+                "gpus",
+                "cpu_pct",
+                "gpu_pct",
+                "dram_mb",
+                "hbm_mb",
+                "pcie_mbps",
+                "nvlink_mbps",
+            ],
+        )
+    };
+    if let Some(t5) = ctx.artifact("table5") {
+        let t5 = t5.as_table5().expect("table5 artifact");
+        let mut csv = t5_headers();
+        for r in &t5.runs {
+            csv.add_row([
+                r.name.clone(),
+                r.n_gpus.to_string(),
+                format!("{:.3}", r.usage.cpu_util_pct),
+                format!("{:.3}", r.usage.gpu_util_pct),
+                format!("{:.1}", r.usage.dram_mb),
+                format!("{:.1}", r.usage.hbm_mb),
+                format!("{:.1}", r.usage.pcie_mbps),
+                format!("{:.1}", r.usage.nvlink_mbps),
+            ]);
+        }
+        out.insert("table5", "table5_resources.csv", csv.to_csv());
+    } else {
+        out.insert(
+            "table5",
+            "table5_resources.csv",
+            placeholder(t5_headers(), &note("table5")),
+        );
     }
-    out.insert("table5", "table5_resources.csv", csv.to_csv());
 
     // Figure 1: both the raw feature matrix and the projections. The
     // workload runs are all cache hits by now (Figure 1 just priced them).
-    let runs = figure1::collect_runs_ctx(ctx)?;
-    let chars: Vec<_> = runs.iter().map(|r| r.characteristics()).collect();
-    out.insert("figure1", "figure1_features.csv", characteristics_to_csv(&chars));
-    let f1_artifact = artifact("figure1");
-    let f1 = f1_artifact.as_figure1().expect("figure1 artifact");
-    let mut csv = Table::new("", ["workload", "suite", "pc1", "pc2", "pc3", "pc4"]);
-    for (name, suite, p) in &f1.projections {
-        csv.add_row([
-            name.clone(),
-            suite.clone(),
-            format!("{:.4}", p[0]),
-            format!("{:.4}", p[1]),
-            format!("{:.4}", p[2]),
-            format!("{:.4}", p[3]),
-        ]);
+    let f1_headers = || Table::new("", ["workload", "suite", "pc1", "pc2", "pc3", "pc4"]);
+    let f1_runs = ctx
+        .artifact("figure1")
+        .and_then(|a| figure1::collect_runs_ctx(ctx).ok().map(|runs| (a, runs)));
+    if let Some((f1_artifact, runs)) = f1_runs {
+        let chars: Vec<_> = runs.iter().map(|r| r.characteristics()).collect();
+        out.insert("figure1", "figure1_features.csv", characteristics_to_csv(&chars));
+        let f1 = f1_artifact.as_figure1().expect("figure1 artifact");
+        let mut csv = f1_headers();
+        for (name, suite, p) in &f1.projections {
+            csv.add_row([
+                name.clone(),
+                suite.clone(),
+                format!("{:.4}", p[0]),
+                format!("{:.4}", p[1]),
+                format!("{:.4}", p[2]),
+                format!("{:.4}", p[3]),
+            ]);
+        }
+        out.insert("figure1", "figure1_projections.csv", csv.to_csv());
+    } else {
+        out.insert(
+            "figure1",
+            "figure1_features.csv",
+            placeholder(Table::new("", ["workload"]), &note("figure1")),
+        );
+        out.insert(
+            "figure1",
+            "figure1_projections.csv",
+            placeholder(f1_headers(), &note("figure1")),
+        );
     }
-    out.insert("figure1", "figure1_projections.csv", csv.to_csv());
 
     // Figure 3 speedups.
-    let f3_artifact = artifact("figure3");
-    let f3 = f3_artifact.as_figure3().expect("figure3 artifact");
-    let mut csv = Table::new(
-        "",
-        ["benchmark", "amp_samples_s", "fp32_samples_s", "speedup"],
-    );
-    for s in &f3.speedups {
-        csv.add_row([
-            s.id.abbreviation().to_string(),
-            format!("{:.1}", s.amp_throughput),
-            format!("{:.1}", s.fp32_throughput),
-            format!("{:.4}", s.speedup()),
-        ]);
+    let f3_headers = || {
+        Table::new(
+            "",
+            ["benchmark", "amp_samples_s", "fp32_samples_s", "speedup"],
+        )
+    };
+    if let Some(f3) = ctx.artifact("figure3") {
+        let f3 = f3.as_figure3().expect("figure3 artifact");
+        let mut csv = f3_headers();
+        for s in &f3.speedups {
+            csv.add_row([
+                s.id.abbreviation().to_string(),
+                format!("{:.1}", s.amp_throughput),
+                format!("{:.1}", s.fp32_throughput),
+                format!("{:.4}", s.speedup()),
+            ]);
+        }
+        out.insert("figure3", "figure3_amp.csv", csv.to_csv());
+    } else {
+        out.insert(
+            "figure3",
+            "figure3_amp.csv",
+            placeholder(f3_headers(), &note("figure3")),
+        );
     }
-    out.insert("figure3", "figure3_amp.csv", csv.to_csv());
 
     // Figure 5 matrix.
-    let f5_artifact = artifact("figure5");
-    let f5 = f5_artifact.as_figure5().expect("figure5 artifact");
-    let mut headers = vec!["benchmark".to_string()];
-    headers.extend(
-        mlperf_hw::SystemId::FOUR_GPU_PLATFORMS
-            .iter()
-            .map(|s| s.name().replace(' ', "_")),
-    );
-    let mut csv = Table::new("", headers);
-    for row in &f5.rows {
-        let mut cells = vec![row.id.abbreviation().to_string()];
-        for sys in mlperf_hw::SystemId::FOUR_GPU_PLATFORMS {
-            cells.push(format!("{:.2}", row.on(sys)));
+    let f5_headers = || {
+        let mut headers = vec!["benchmark".to_string()];
+        headers.extend(
+            mlperf_hw::SystemId::FOUR_GPU_PLATFORMS
+                .iter()
+                .map(|s| s.name().replace(' ', "_")),
+        );
+        Table::new("", headers)
+    };
+    if let Some(f5) = ctx.artifact("figure5") {
+        let f5 = f5.as_figure5().expect("figure5 artifact");
+        let mut csv = f5_headers();
+        for row in &f5.rows {
+            let mut cells = vec![row.id.abbreviation().to_string()];
+            for sys in mlperf_hw::SystemId::FOUR_GPU_PLATFORMS {
+                cells.push(format!("{:.2}", row.on(sys)));
+            }
+            csv.add_row(cells);
         }
-        csv.add_row(cells);
+        out.insert("figure5", "figure5_topology.csv", csv.to_csv());
+    } else {
+        out.insert(
+            "figure5",
+            "figure5_topology.csv",
+            placeholder(f5_headers(), &note("figure5")),
+        );
     }
-    out.insert("figure5", "figure5_topology.csv", csv.to_csv());
 
     // Fault study: the analytic sweep and the elastic-cluster outcomes.
-    let fault_artifact = artifact("fault_study");
-    let fs = fault_artifact.as_fault().expect("fault_study artifact");
-    let mut csv = Table::new(
-        "",
-        [
-            "mtbf_hours",
-            "interval_min",
-            "expected_hours",
-            "overhead_pct",
-            "policy",
-        ],
-    );
-    for r in &fs.sweep {
-        csv.add_row([
-            format!("{:.1}", r.mtbf_hours),
-            format!("{:.3}", r.interval_min),
-            format!("{:.4}", r.expected_hours),
-            format!("{:.4}", r.overhead_pct),
-            if r.daly { "daly" } else { "fixed" }.to_string(),
-        ]);
-    }
-    out.insert("fault_study", "fault_study_sweep.csv", csv.to_csv());
+    let sweep_headers = || {
+        Table::new(
+            "",
+            [
+                "mtbf_hours",
+                "interval_min",
+                "expected_hours",
+                "overhead_pct",
+                "policy",
+            ],
+        )
+    };
+    let elastic_headers = || {
+        Table::new(
+            "",
+            [
+                "policy",
+                "makespan_min",
+                "mean_wait_min",
+                "utilization",
+                "preempted",
+                "abandoned",
+            ],
+        )
+    };
+    if let Some(fs) = ctx.artifact("fault_study") {
+        let fs = fs.as_fault().expect("fault_study artifact");
+        let mut csv = sweep_headers();
+        for r in &fs.sweep {
+            csv.add_row([
+                format!("{:.1}", r.mtbf_hours),
+                format!("{:.3}", r.interval_min),
+                format!("{:.4}", r.expected_hours),
+                format!("{:.4}", r.overhead_pct),
+                if r.daly { "daly" } else { "fixed" }.to_string(),
+            ]);
+        }
+        out.insert("fault_study", "fault_study_sweep.csv", csv.to_csv());
 
-    let mut csv = Table::new(
-        "",
-        [
-            "policy",
-            "makespan_min",
-            "mean_wait_min",
-            "utilization",
-            "preempted",
-            "abandoned",
-        ],
-    );
-    for r in &fs.elastic {
-        csv.add_row([
-            r.policy.to_string(),
-            format!("{:.2}", r.trace.makespan.as_minutes()),
-            format!("{:.2}", r.trace.mean_wait().as_minutes()),
-            format!("{:.4}", r.trace.utilization()),
-            r.trace.preemptions.to_string(),
-            r.trace.abandoned.len().to_string(),
-        ]);
+        let mut csv = elastic_headers();
+        for r in &fs.elastic {
+            csv.add_row([
+                r.policy.to_string(),
+                format!("{:.2}", r.trace.makespan.as_minutes()),
+                format!("{:.2}", r.trace.mean_wait().as_minutes()),
+                format!("{:.4}", r.trace.utilization()),
+                r.trace.preemptions.to_string(),
+                r.trace.abandoned.len().to_string(),
+            ]);
+        }
+        out.insert("fault_study", "fault_study_elastic.csv", csv.to_csv());
+    } else {
+        out.insert(
+            "fault_study",
+            "fault_study_sweep.csv",
+            placeholder(sweep_headers(), &note("fault_study")),
+        );
+        out.insert(
+            "fault_study",
+            "fault_study_elastic.csv",
+            placeholder(elastic_headers(), &note("fault_study")),
+        );
     }
-    out.insert("fault_study", "fault_study_elastic.csv", csv.to_csv());
 
-    Ok(out)
+    out
 }
 
 /// Write every export into a directory (created if absent), returning the
-/// paths written.
+/// paths written. Strict (fail-fast).
 ///
 /// # Errors
 ///
-/// [`ExportError::Sim`] if an experiment fails, [`ExportError::Io`] if the
+/// [`ExportError::Run`] if an experiment fails, [`ExportError::Io`] if the
 /// directory or a file cannot be written.
 pub fn write_all(dir: &Path) -> Result<Vec<String>, ExportError> {
     let exports = build_all()?;
+    write_set(dir, &exports)
+}
+
+/// Write every export fail-fast under an explicit [`ResilienceConfig`]
+/// (honoring its chaos injection and step budget, unlike [`write_all`]):
+/// any experiment failure aborts with the root cause before a single
+/// file is written.
+///
+/// # Errors
+///
+/// [`ExportError::Run`] with the root-cause failure, [`ExportError::Io`]
+/// if the directory or a file cannot be written.
+pub fn write_all_strict(dir: &Path, cfg: &ResilienceConfig) -> Result<Vec<String>, ExportError> {
+    let (exports, execution) = build_all_resilient(&Pool::from_env(), &Ctx::new(), cfg);
+    if let Some(f) = execution.root_cause() {
+        return Err(ExportError::Run(f.error.clone()));
+    }
+    write_set(dir, &exports)
+}
+
+/// Write every export with failure isolation: placeholder files for the
+/// failed experiments, byte-identical healthy files otherwise. Returns
+/// the paths written plus the execution (whose
+/// [`degraded`](runner::Execution::degraded) flag drives the exit code).
+///
+/// # Errors
+///
+/// Only [`ExportError::Io`] — experiment failures degrade instead.
+pub fn write_all_resilient(
+    dir: &Path,
+    cfg: &ResilienceConfig,
+) -> Result<(Vec<String>, runner::Execution), ExportError> {
+    let (exports, execution) = build_all_resilient(&Pool::from_env(), &Ctx::new(), cfg);
+    let written = write_set(dir, &exports)?;
+    Ok((written, execution))
+}
+
+fn write_set(dir: &Path, exports: &ArtifactSet) -> Result<Vec<String>, ExportError> {
     let mut written = Vec::new();
     std::fs::create_dir_all(dir).map_err(|source| ExportError::Io {
         path: dir.display().to_string(),
         source,
     })?;
-    for export in &exports {
+    for export in exports {
         let path = dir.join(export.file);
         std::fs::write(&path, &export.contents).map_err(|source| ExportError::Io {
             path: path.display().to_string(),

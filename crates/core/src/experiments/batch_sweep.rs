@@ -9,7 +9,7 @@
 
 use crate::benchmark::BenchmarkId;
 use crate::report::Table;
-use crate::runner::{Artifact, Ctx, Experiment, TrainPoint};
+use crate::runner::{Artifact, Ctx, Experiment, ExperimentError, TrainPoint};
 use mlperf_hw::systems::SystemId;
 use mlperf_sim::SimError;
 
@@ -118,8 +118,8 @@ impl Experiment for Exp {
         "Extension: batch-size sweep (ResNet-50/MXNet)"
     }
 
-    fn run(&self, ctx: &Ctx) -> Result<Artifact, SimError> {
-        run_ctx(ctx, BenchmarkId::MlpfRes50Mx).map(Artifact::BatchSweep)
+    fn run(&self, ctx: &Ctx) -> Result<Artifact, ExperimentError> {
+        run_ctx(ctx, BenchmarkId::MlpfRes50Mx).map(Artifact::BatchSweep).map_err(ExperimentError::from)
     }
 
     fn render(&self, artifact: &Artifact) -> String {

@@ -9,7 +9,7 @@
 
 use crate::experiments::figure4;
 use crate::report::Table;
-use crate::runner::{Artifact, Ctx, Experiment};
+use crate::runner::{Artifact, Ctx, Experiment, ExperimentError};
 use mlperf_sim::cluster::{
     AreaEfficient, Cluster, ClusterJobSpec, ClusterTrace, FcfsWidestFit, GreedyBestFinish,
     NaiveWidest, SchedulingPolicy, Submission,
@@ -151,8 +151,8 @@ impl Experiment for Exp {
         &["figure4"]
     }
 
-    fn run(&self, ctx: &Ctx) -> Result<Artifact, SimError> {
-        run_ctx(ctx).map(Artifact::Cluster)
+    fn run(&self, ctx: &Ctx) -> Result<Artifact, ExperimentError> {
+        run_ctx(ctx).map(Artifact::Cluster).map_err(ExperimentError::from)
     }
 
     fn render(&self, artifact: &Artifact) -> String {

@@ -8,7 +8,7 @@
 
 use crate::benchmark::BenchmarkId;
 use crate::report::Table;
-use crate::runner::{Artifact, Ctx, Experiment, TrainPoint};
+use crate::runner::{Artifact, Ctx, Experiment, ExperimentError, TrainPoint};
 use mlperf_hw::power::{cpu_tdp_watts, draw_watts, gpu_tdp_watts};
 use mlperf_hw::systems::{SystemId, SystemSpec};
 use mlperf_sim::{SimError, TrainingOutcome};
@@ -146,8 +146,8 @@ impl Experiment for Exp {
         "Extension: energy and dollar cost to train"
     }
 
-    fn run(&self, ctx: &Ctx) -> Result<Artifact, SimError> {
-        run_on_ctx(ctx, SystemId::Dss8440, 8).map(Artifact::Energy)
+    fn run(&self, ctx: &Ctx) -> Result<Artifact, ExperimentError> {
+        run_on_ctx(ctx, SystemId::Dss8440, 8).map(Artifact::Energy).map_err(ExperimentError::from)
     }
 
     fn render(&self, artifact: &Artifact) -> String {

@@ -19,7 +19,7 @@
 use crate::benchmark::BenchmarkId;
 use crate::experiments::figure4;
 use crate::report::Table;
-use crate::runner::{Artifact, Ctx, Experiment, TrainPoint};
+use crate::runner::{Artifact, Ctx, Experiment, ExperimentError, TrainPoint};
 use mlperf_data::storage::StorageDevice;
 use mlperf_hw::systems::SystemId;
 use mlperf_hw::units::Seconds;
@@ -351,8 +351,8 @@ impl Experiment for Exp {
         &["figure4"]
     }
 
-    fn run(&self, ctx: &Ctx) -> Result<Artifact, SimError> {
-        run_ctx(ctx).map(Artifact::Fault)
+    fn run(&self, ctx: &Ctx) -> Result<Artifact, ExperimentError> {
+        run_ctx(ctx).map(Artifact::Fault).map_err(ExperimentError::from)
     }
 
     fn render(&self, artifact: &Artifact) -> String {

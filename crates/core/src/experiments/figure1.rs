@@ -13,7 +13,7 @@
 
 use crate::benchmark::BenchmarkId;
 use crate::report::Table;
-use crate::runner::{Artifact, Ctx, Experiment};
+use crate::runner::{Artifact, Ctx, Experiment, ExperimentError};
 use crate::workloads::{DeepBenchId, WorkloadRun, WorkloadSpec};
 use mlperf_analysis::pca::Pca;
 use mlperf_hw::systems::SystemId;
@@ -189,8 +189,8 @@ impl Experiment for Exp {
         "Figure 1: PCA of the workload space"
     }
 
-    fn run(&self, ctx: &Ctx) -> Result<Artifact, SimError> {
-        run_ctx(ctx).map(Artifact::Figure1)
+    fn run(&self, ctx: &Ctx) -> Result<Artifact, ExperimentError> {
+        run_ctx(ctx).map(Artifact::Figure1).map_err(ExperimentError::from)
     }
 
     fn render(&self, artifact: &Artifact) -> String {

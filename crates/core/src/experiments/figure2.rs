@@ -9,7 +9,7 @@
 
 use crate::benchmark::BenchmarkId;
 use crate::report::Table;
-use crate::runner::{Artifact, Ctx, Experiment};
+use crate::runner::{Artifact, Ctx, Experiment, ExperimentError};
 use crate::workloads::{DeepBenchId, WorkloadRun, WorkloadSpec};
 use mlperf_analysis::roofline::{RooflineModel, RooflinePoint};
 use mlperf_hw::gpu::Precision;
@@ -151,8 +151,8 @@ impl Experiment for Exp {
         "Figure 2: V100 roofline and workload placement"
     }
 
-    fn run(&self, ctx: &Ctx) -> Result<Artifact, SimError> {
-        run_ctx(ctx).map(Artifact::Figure2)
+    fn run(&self, ctx: &Ctx) -> Result<Artifact, ExperimentError> {
+        run_ctx(ctx).map(Artifact::Figure2).map_err(ExperimentError::from)
     }
 
     fn render(&self, artifact: &Artifact) -> String {

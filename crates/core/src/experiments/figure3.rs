@@ -8,7 +8,7 @@
 
 use crate::benchmark::BenchmarkId;
 use crate::report::Table;
-use crate::runner::{Artifact, Ctx, Experiment, TrainPoint};
+use crate::runner::{Artifact, Ctx, Experiment, ExperimentError, TrainPoint};
 use mlperf_hw::systems::SystemId;
 use mlperf_models::PrecisionPolicy;
 use mlperf_sim::{SimError, StepReport};
@@ -129,8 +129,8 @@ impl Experiment for Exp {
         "Figure 3: mixed-precision speedups"
     }
 
-    fn run(&self, ctx: &Ctx) -> Result<Artifact, SimError> {
-        run_ctx(ctx).map(Artifact::Figure3)
+    fn run(&self, ctx: &Ctx) -> Result<Artifact, ExperimentError> {
+        run_ctx(ctx).map(Artifact::Figure3).map_err(ExperimentError::from)
     }
 
     fn render(&self, artifact: &Artifact) -> String {

@@ -8,7 +8,7 @@
 
 use crate::benchmark::BenchmarkId;
 use crate::report::Table;
-use crate::runner::{Artifact, Ctx, Experiment, TrainPoint};
+use crate::runner::{Artifact, Ctx, Experiment, ExperimentError, TrainPoint};
 use mlperf_analysis::scheduling::{
     lpt_schedule, naive_schedule, optimal_schedule, JobTimes, Schedule,
 };
@@ -176,8 +176,8 @@ impl Experiment for Exp {
         "Figure 4: naive vs optimal multi-job scheduling"
     }
 
-    fn run(&self, ctx: &Ctx) -> Result<Artifact, SimError> {
-        run_ctx(ctx).map(Artifact::Figure4)
+    fn run(&self, ctx: &Ctx) -> Result<Artifact, ExperimentError> {
+        run_ctx(ctx).map(Artifact::Figure4).map_err(ExperimentError::from)
     }
 
     fn render(&self, artifact: &Artifact) -> String {

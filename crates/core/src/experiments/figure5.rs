@@ -8,7 +8,7 @@
 
 use crate::benchmark::BenchmarkId;
 use crate::report::Table;
-use crate::runner::{Artifact, Ctx, Experiment, TrainPoint};
+use crate::runner::{Artifact, Ctx, Experiment, ExperimentError, TrainPoint};
 use mlperf_hw::systems::SystemId;
 use mlperf_sim::SimError;
 
@@ -117,8 +117,8 @@ impl Experiment for Exp {
         "Figure 5: training time across interconnect topologies"
     }
 
-    fn run(&self, ctx: &Ctx) -> Result<Artifact, SimError> {
-        run_ctx(ctx).map(Artifact::Figure5)
+    fn run(&self, ctx: &Ctx) -> Result<Artifact, ExperimentError> {
+        run_ctx(ctx).map(Artifact::Figure5).map_err(ExperimentError::from)
     }
 
     fn render(&self, artifact: &Artifact) -> String {

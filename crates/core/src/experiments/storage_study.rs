@@ -8,7 +8,7 @@
 
 use crate::benchmark::BenchmarkId;
 use crate::report::Table;
-use crate::runner::{Artifact, Ctx, Experiment, TrainPoint};
+use crate::runner::{Artifact, Ctx, Experiment, ExperimentError, TrainPoint};
 use mlperf_data::storage::{ReadPattern, StagingPlan, StorageDevice};
 use mlperf_hw::systems::SystemId;
 use mlperf_hw::units::Seconds;
@@ -107,8 +107,8 @@ impl Experiment for Exp {
         "Extension: storage staging feasibility"
     }
 
-    fn run(&self, ctx: &Ctx) -> Result<Artifact, SimError> {
-        run_ctx(ctx).map(Artifact::Storage)
+    fn run(&self, ctx: &Ctx) -> Result<Artifact, ExperimentError> {
+        run_ctx(ctx).map(Artifact::Storage).map_err(ExperimentError::from)
     }
 
     fn render(&self, artifact: &Artifact) -> String {

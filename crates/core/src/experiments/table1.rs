@@ -6,7 +6,7 @@
 
 use crate::experiments::{figure1, figure2, figure3, figure4, figure5, table4};
 use crate::report::Table;
-use crate::runner::{Artifact, Ctx, Experiment};
+use crate::runner::{Artifact, Ctx, Experiment, ExperimentError};
 use mlperf_analysis::roofline::Boundedness;
 use mlperf_analysis::scaling::{classify, ScalingClass};
 use mlperf_hw::gpu::Precision;
@@ -208,8 +208,8 @@ impl Experiment for Exp {
         ]
     }
 
-    fn run(&self, ctx: &Ctx) -> Result<Artifact, SimError> {
-        run_ctx(ctx).map(Artifact::Table1)
+    fn run(&self, ctx: &Ctx) -> Result<Artifact, ExperimentError> {
+        run_ctx(ctx).map(Artifact::Table1).map_err(ExperimentError::from)
     }
 
     fn render(&self, artifact: &Artifact) -> String {

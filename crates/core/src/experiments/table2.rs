@@ -2,10 +2,9 @@
 
 use crate::benchmark::BenchmarkId;
 use crate::report::Table;
-use crate::runner::{Artifact, Ctx, Experiment};
+use crate::runner::{Artifact, Ctx, Experiment, ExperimentError};
 use crate::workloads::DeepBenchId;
 use mlperf_models::zoo::deepbench;
-use mlperf_sim::SimError;
 
 /// Render the benchmark-composition table (MLPerf + DAWNBench top, the
 /// DeepBench kernel workloads below).
@@ -74,7 +73,7 @@ impl Experiment for Exp {
         "Table II: suite composition"
     }
 
-    fn run(&self, _ctx: &Ctx) -> Result<Artifact, SimError> {
+    fn run(&self, _ctx: &Ctx) -> Result<Artifact, ExperimentError> {
         Ok(Artifact::Table2)
     }
 

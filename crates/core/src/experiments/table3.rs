@@ -1,10 +1,9 @@
 //! Table III: hardware specifications of the experimental platforms.
 
 use crate::report::Table;
-use crate::runner::{Artifact, Ctx, Experiment};
+use crate::runner::{Artifact, Ctx, Experiment, ExperimentError};
 use mlperf_hw::systems::SystemId;
 use mlperf_hw::topology::P2pClass;
-use mlperf_sim::SimError;
 
 /// Render the platform-specification table, including the derived
 /// GPU-to-GPU path classification that drives §V-E.
@@ -77,7 +76,7 @@ impl Experiment for Exp {
         "Table III: platform hardware specifications"
     }
 
-    fn run(&self, _ctx: &Ctx) -> Result<Artifact, SimError> {
+    fn run(&self, _ctx: &Ctx) -> Result<Artifact, ExperimentError> {
         Ok(Artifact::Table3)
     }
 

@@ -7,7 +7,7 @@
 
 use crate::benchmark::BenchmarkId;
 use crate::report::Table;
-use crate::runner::{Artifact, Ctx, Experiment, TrainPoint};
+use crate::runner::{Artifact, Ctx, Experiment, ExperimentError, TrainPoint};
 use mlperf_analysis::scaling::{amdahl_serial_fraction, ScalingRow};
 use mlperf_hw::systems::SystemId;
 use mlperf_sim::SimError;
@@ -154,8 +154,8 @@ impl Experiment for Exp {
         "Table IV: training time and scaling efficiency"
     }
 
-    fn run(&self, ctx: &Ctx) -> Result<Artifact, SimError> {
-        run_ctx(ctx).map(Artifact::Table4)
+    fn run(&self, ctx: &Ctx) -> Result<Artifact, ExperimentError> {
+        run_ctx(ctx).map(Artifact::Table4).map_err(ExperimentError::from)
     }
 
     fn render(&self, artifact: &Artifact) -> String {

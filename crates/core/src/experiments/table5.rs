@@ -9,7 +9,7 @@
 
 use crate::benchmark::BenchmarkId;
 use crate::report::Table;
-use crate::runner::{Artifact, Ctx, Experiment};
+use crate::runner::{Artifact, Ctx, Experiment, ExperimentError};
 use crate::workloads::{DeepBenchId, WorkloadRun, WorkloadSpec};
 use mlperf_hw::systems::SystemId;
 use mlperf_sim::SimError;
@@ -103,8 +103,8 @@ impl Experiment for Exp {
         "Table V: system resource usage on the C4140 (K)"
     }
 
-    fn run(&self, ctx: &Ctx) -> Result<Artifact, SimError> {
-        run_ctx(ctx).map(Artifact::Table5)
+    fn run(&self, ctx: &Ctx) -> Result<Artifact, ExperimentError> {
+        run_ctx(ctx).map(Artifact::Table5).map_err(ExperimentError::from)
     }
 
     fn render(&self, artifact: &Artifact) -> String {

@@ -8,8 +8,7 @@
 //! bytes are identical for any `MLPERF_JOBS` worker count.
 
 use crate::report::Table;
-use crate::runner::{self, Ctx, ExecutorStats, Pool};
-use mlperf_sim::SimError;
+use crate::runner::{self, Ctx, ExecutorStats, ExperimentError, Pool, ResilienceConfig};
 
 /// How many of the scheduled experiments belong to the "Paper artifacts"
 /// section (Tables I–V and Figures 1–5, in [`runner::all_experiments`]
@@ -18,12 +17,13 @@ use mlperf_sim::SimError;
 const PAPER_ARTIFACTS: usize = 10;
 
 /// Build the full report as a markdown string, with pool and worker count
-/// taken from the environment (`MLPERF_JOBS`).
+/// taken from the environment (`MLPERF_JOBS`). Strict (fail-fast).
 ///
 /// # Errors
 ///
-/// Propagates [`SimError`] from the underlying experiments.
-pub fn build() -> Result<String, SimError> {
+/// Propagates the first [`ExperimentError`] from the underlying
+/// experiments.
+pub fn build() -> Result<String, ExperimentError> {
     build_with(&Pool::from_env(), &Ctx::new()).map(|(md, _)| md)
 }
 
@@ -31,17 +31,42 @@ pub fn build() -> Result<String, SimError> {
 /// executor's instrumentation alongside the markdown. The markdown bytes
 /// depend only on the simulated numbers — never on the pool size or the
 /// wall-clock — which is what the golden-file and parity tests pin down.
+/// Strict (fail-fast).
 ///
 /// # Errors
 ///
-/// Propagates [`SimError`] from the underlying experiments.
-pub fn build_with(pool: &Pool, ctx: &Ctx) -> Result<(String, ExecutorStats), SimError> {
+/// Propagates the first [`ExperimentError`] from the underlying
+/// experiments.
+pub fn build_with(pool: &Pool, ctx: &Ctx) -> Result<(String, ExecutorStats), ExperimentError> {
     // Table I cross-checks six other artifacts; before the shared artifact
     // store existed, including it would have doubled the report's cost, so
     // it was left out. Under the executor it reuses the stored results and
     // the complete artifact set ships in one document.
     let experiments = runner::all_experiments();
     let execution = runner::execute(pool, ctx, &experiments)?;
+    let stats = execution.stats.clone();
+    Ok((assemble(&execution), stats))
+}
+
+/// Build the full report with failure isolation: failed experiments
+/// contribute a deterministic placeholder section plus a row in the
+/// failure appendix, and every healthy section's bytes are identical to a
+/// fully-healthy run. Inspect [`runner::Execution::degraded`] on the
+/// returned execution to decide the exit status.
+pub fn build_resilient(
+    pool: &Pool,
+    ctx: &Ctx,
+    cfg: &ResilienceConfig,
+) -> (String, runner::Execution) {
+    let experiments = runner::all_experiments();
+    let execution = runner::execute_resilient(pool, ctx, &experiments, cfg);
+    (assemble(&execution), execution)
+}
+
+/// Assemble the markdown from an execution (healthy or degraded). The
+/// failure appendix is appended only when there is something to report,
+/// so healthy-run bytes are untouched by the resilience layer.
+fn assemble(execution: &runner::Execution) -> String {
     let rendered: Vec<&str> = execution
         .reports
         .iter()
@@ -68,9 +93,71 @@ pub fn build_with(pool: &Pool, ctx: &Ctx) -> Result<(String, ExecutorStats), Sim
     md.push_str("```\n");
 
     md.push('\n');
-    md.push_str(&appendix(&execution));
+    md.push_str(&appendix(execution));
+    md.push_str(&failure_appendix(execution));
+    md
+}
 
-    Ok((md, execution.stats))
+/// Render the failure appendix: one row per failed experiment (error
+/// kind, retry count, recorded backoff draws, retry stream) plus the
+/// recovered-after-retry table. Empty string for a fully-healthy,
+/// no-retry run — the appendix never perturbs healthy-run bytes.
+fn failure_appendix(execution: &runner::Execution) -> String {
+    if execution.failures.is_empty() && execution.recoveries.is_empty() {
+        return String::new();
+    }
+    let backoffs = |retries: &[runner::RetryEvent]| -> String {
+        if retries.is_empty() {
+            "-".to_string()
+        } else {
+            retries
+                .iter()
+                .map(|r| r.backoff_ms.to_string())
+                .collect::<Vec<_>>()
+                .join("+")
+        }
+    };
+    let mut md = String::from(
+        "\n## Appendix: failures\n\n\
+         Degraded mode: the experiments below produced no artifact. Every\n\
+         unaffected section above is byte-identical to a fully-healthy run;\n\
+         retry backoff is drawn from the seeded per-experiment stream and\n\
+         recorded (never slept), so this appendix replays byte-identically.\n\n",
+    );
+    md.push_str("```text\n");
+    if !execution.failures.is_empty() {
+        let mut t = Table::new(
+            "Failure appendix",
+            ["Experiment", "Error", "Retries", "Backoff (ms)", "Retry stream"],
+        );
+        for f in &execution.failures {
+            t.add_row([
+                f.id.to_string(),
+                f.error.to_string(),
+                f.retries.len().to_string(),
+                backoffs(&f.retries),
+                format!("{:#018x}", f.stream),
+            ]);
+        }
+        md.push_str(&t.to_string());
+    }
+    if !execution.recoveries.is_empty() {
+        let mut t = Table::new(
+            "Recovered after retry",
+            ["Experiment", "Retries", "Backoff (ms)", "Retry stream"],
+        );
+        for r in &execution.recoveries {
+            t.add_row([
+                r.id.to_string(),
+                r.retries.len().to_string(),
+                backoffs(&r.retries),
+                format!("{:#018x}", r.stream),
+            ]);
+        }
+        md.push_str(&t.to_string());
+    }
+    md.push_str("```\n");
+    md
 }
 
 /// The deterministic execution appendix: the experiment DAG and the cache

@@ -13,7 +13,14 @@
 //!   each simulation point is priced exactly once per report;
 //! * [`Experiment`] — the one trait every experiment module implements;
 //! * [`execute`] — topological scheduling of an experiment DAG onto the
-//!   pool, with output assembled in declaration order.
+//!   pool, with output assembled in declaration order (strict,
+//!   fail-fast);
+//! * [`execute_resilient`] — the same schedule with full failure
+//!   isolation: panics, budget trips, and non-finite outputs become
+//!   typed [`ExperimentError`]s, transient failures retry with seeded
+//!   recorded backoff, dependents of a failure degrade as
+//!   [`ExperimentError::DependencyFailed`], and every independent
+//!   subgraph still completes (see [`ResilienceConfig`]).
 //!
 //! **Determinism policy.** Report and CSV bytes must be identical for any
 //! worker count (`MLPERF_JOBS=1` vs `=N`), so nothing nondeterministic may
@@ -24,11 +31,13 @@
 //! bench JSON, never in the report body. DESIGN.md "Execution model" is
 //! the long-form writeup.
 
+mod error;
 mod memo;
 mod pool;
 
+pub use error::{fnv1a64, BudgetExceeded, ExperimentError};
 pub use memo::ShardedCache;
-pub use pool::{Pool, JOBS_ENV};
+pub use pool::{Pool, TaskFailure, JOBS_ENV};
 
 use crate::benchmark::BenchmarkId;
 use crate::experiments::{
@@ -39,12 +48,16 @@ use crate::workloads::{self, WorkloadRun, WorkloadSpec};
 use crate::{sensitivity, validation};
 use mlperf_hw::systems::SystemId;
 use mlperf_models::PrecisionPolicy;
+use error::panic_message;
 use mlperf_sim::engine::{RunSpec, SimError, Simulator, StepReport};
 use mlperf_sim::training::{outcome_from_step, train, TrainingOutcome};
 use mlperf_sim::TrainingJob;
-use std::collections::HashMap;
+use mlperf_testkit::rng::Rng;
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::ThreadId;
 use std::time::{Duration, Instant};
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -209,6 +222,16 @@ pub struct Ctx {
     artifacts: Mutex<HashMap<&'static str, Arc<Artifact>>>,
     uncached: AtomicU64,
     memoize: bool,
+    /// Armed per worker thread by the executor around each experiment
+    /// attempt; every simulation request charges one unit against it.
+    budgets: Mutex<HashMap<ThreadId, BudgetCell>>,
+}
+
+/// One armed step budget (see [`Ctx::charge`]).
+#[derive(Debug, Clone, Copy)]
+struct BudgetCell {
+    used: u64,
+    budget: u64,
 }
 
 impl Ctx {
@@ -220,6 +243,7 @@ impl Ctx {
             artifacts: Mutex::new(HashMap::new()),
             uncached: AtomicU64::new(0),
             memoize: true,
+            budgets: Mutex::new(HashMap::new()),
         }
     }
 
@@ -256,7 +280,50 @@ impl Ctx {
         Ok(outcome_from_step(&job, step))
     }
 
+    /// Arm a cooperative step budget for the calling thread: subsequent
+    /// simulation requests from this thread charge against it until
+    /// [`Ctx::disarm_budget`].
+    fn arm_budget(&self, budget: u64) {
+        lock(&self.budgets).insert(
+            std::thread::current().id(),
+            BudgetCell { used: 0, budget },
+        );
+    }
+
+    /// Disarm the calling thread's budget, returning the units charged.
+    fn disarm_budget(&self) -> u64 {
+        lock(&self.budgets)
+            .remove(&std::thread::current().id())
+            .map_or(0, |c| c.used)
+    }
+
+    /// Cooperative budget checkpoint: charge `n` simulation requests
+    /// against the calling thread's armed budget, if any. Budgets count
+    /// requests — not wall-clock — so the verdict is a pure function of
+    /// the experiment, identical for any worker count or cache state.
+    ///
+    /// # Panics
+    ///
+    /// Throws a [`BudgetExceeded`] payload (via [`std::panic::panic_any`])
+    /// when the budget trips; the executor's unwind boundary downcasts it
+    /// into [`ExperimentError::DeadlineExceeded`].
+    pub fn charge(&self, n: u64) {
+        let mut budgets = lock(&self.budgets);
+        if let Some(cell) = budgets.get_mut(&std::thread::current().id()) {
+            cell.used += n;
+            if cell.used > cell.budget {
+                let exceeded = BudgetExceeded {
+                    used: cell.used,
+                    budget: cell.budget,
+                };
+                drop(budgets);
+                std::panic::panic_any(exceeded);
+            }
+        }
+    }
+
     fn step_for(&self, point: &TrainPoint, job: &TrainingJob) -> Result<StepReport, SimError> {
+        self.charge(1);
         let simulate = || {
             let system = point.system.spec();
             Simulator::new(&system)
@@ -294,6 +361,7 @@ impl Ctx {
                 ))
             }
             WorkloadSpec::DeepBench(id) => {
+                self.charge(1);
                 let compute = || workloads::run(spec, &system.spec(), gpus);
                 if !self.memoize {
                     self.uncached.fetch_add(1, Ordering::Relaxed);
@@ -318,6 +386,7 @@ impl Ctx {
         job: &TrainingJob,
         gpus: u32,
     ) -> Result<TrainingOutcome, SimError> {
+        self.charge(1);
         self.uncached.fetch_add(1, Ordering::Relaxed);
         let spec = system.spec();
         let sim = Simulator::new(&spec);
@@ -528,9 +597,11 @@ pub trait Experiment: Sync {
     ///
     /// # Errors
     ///
-    /// Propagates [`SimError`] from the simulation points the experiment
-    /// prices.
-    fn run(&self, ctx: &Ctx) -> Result<Artifact, SimError>;
+    /// An [`ExperimentError`] — typically [`ExperimentError::Sim`] or
+    /// [`ExperimentError::NonFiniteOutput`] converted from the simulation
+    /// points the experiment prices (the executor supplies the panic,
+    /// budget, and dependency variants itself).
+    fn run(&self, ctx: &Ctx) -> Result<Artifact, ExperimentError>;
 
     /// Render the artifact to the report's text form.
     fn render(&self, artifact: &Artifact) -> String;
@@ -545,11 +616,54 @@ pub struct ExperimentReport {
     pub title: &'static str,
     /// Declared dependencies.
     pub deps: &'static [&'static str],
-    /// The rendered section text.
+    /// The rendered section text; for a failed experiment this is a
+    /// deterministic degraded-mode placeholder, so downstream assembly
+    /// stays positional.
     pub rendered: String,
+    /// Why the experiment failed, if it did.
+    pub error: Option<ExperimentError>,
     /// Wall-clock of `run` + `render` on the worker that executed it
     /// (nondeterministic; never rendered into report bytes).
     pub wall: Duration,
+}
+
+/// One deterministic retry of a transient failure: the PRNG draw and the
+/// backoff derived from it are *recorded*, never slept — the run trace is
+/// byte-replayable from the seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryEvent {
+    /// 1-based retry number.
+    pub attempt: u32,
+    /// The raw draw from the experiment's retry stream.
+    pub draw: u64,
+    /// Deterministic exponential backoff with seeded jitter, in ms.
+    pub backoff_ms: u64,
+}
+
+/// One experiment that exhausted its attempts (failure-appendix row).
+#[derive(Debug, Clone)]
+pub struct ExperimentFailure {
+    /// The experiment's id.
+    pub id: &'static str,
+    /// Display title.
+    pub title: &'static str,
+    /// The final attempt's error.
+    pub error: ExperimentError,
+    /// Retries taken before giving up.
+    pub retries: Vec<RetryEvent>,
+    /// The experiment's retry-PRNG stream ([`fnv1a64`] of its id).
+    pub stream: u64,
+}
+
+/// One experiment that failed transiently but succeeded on retry.
+#[derive(Debug, Clone)]
+pub struct ExperimentRecovery {
+    /// The experiment's id.
+    pub id: &'static str,
+    /// Retries taken before the successful attempt.
+    pub retries: Vec<RetryEvent>,
+    /// The experiment's retry-PRNG stream ([`fnv1a64`] of its id).
+    pub stream: u64,
 }
 
 /// Executor instrumentation. Everything here except [`CacheStats`] is
@@ -588,34 +702,225 @@ impl ExecutorStats {
     }
 }
 
-/// Everything [`execute`] produced.
+/// Everything the executor produced.
 #[derive(Debug, Clone)]
 pub struct Execution {
-    /// Per-experiment outputs, in the order the experiments were given.
+    /// Per-experiment outputs, in the order the experiments were given —
+    /// one entry per experiment even in degraded mode (failed ones carry
+    /// a placeholder section and their error).
     pub reports: Vec<ExperimentReport>,
+    /// Experiments that exhausted their attempts, in declaration order.
+    pub failures: Vec<ExperimentFailure>,
+    /// Experiments that succeeded only after retrying, in declaration
+    /// order.
+    pub recoveries: Vec<ExperimentRecovery>,
     /// Pool and cache instrumentation.
     pub stats: ExecutorStats,
 }
 
+impl Execution {
+    /// Whether any experiment failed (the run is degraded but complete).
+    pub fn degraded(&self) -> bool {
+        !self.failures.is_empty()
+    }
+
+    /// The first failure in declaration order that is not a dependency
+    /// cascade (falling back to the cascade if every failure is one) —
+    /// what strict mode reports as the hard error.
+    pub fn root_cause(&self) -> Option<&ExperimentFailure> {
+        self.failures
+            .iter()
+            .find(|f| !matches!(f.error, ExperimentError::DependencyFailed { .. }))
+            .or_else(|| self.failures.first())
+    }
+}
+
+/// Environment variable: `MLPERF_STRICT=1` restores fail-fast execution
+/// (no retries, first failure aborts the run) for CI.
+pub const STRICT_ENV: &str = "MLPERF_STRICT";
+/// Environment variable naming one experiment id to chaos-panic.
+pub const CHAOS_ENV: &str = "MLPERF_CHAOS";
+/// Environment variable bounding how many attempts the chaos injection
+/// sabotages (default: all of them).
+pub const CHAOS_ATTEMPTS_ENV: &str = "MLPERF_CHAOS_ATTEMPTS";
+/// Environment variable overriding the transient-failure retry count.
+pub const RETRIES_ENV: &str = "MLPERF_RETRIES";
+/// Environment variable setting a per-experiment simulation-request
+/// budget (cooperative, deterministic — not wall-clock).
+pub const STEP_BUDGET_ENV: &str = "MLPERF_STEP_BUDGET";
+
+/// Seed of the retry-backoff PRNG; each experiment draws from stream
+/// [`fnv1a64`]`(id)` of this seed, so the trace is schedule-invariant.
+pub const DEFAULT_RETRY_SEED: u64 = 0x4D4C_5045_5246; // "MLPERF"
+
+/// Deterministic chaos injection: force `target`'s first `attempts`
+/// attempts to panic inside the executor's unwind boundary (exercising
+/// the real conversion path).
+#[derive(Debug, Clone)]
+pub struct ChaosSpec {
+    /// Id of the sabotaged experiment.
+    pub target: String,
+    /// How many leading attempts panic; with retries configured and
+    /// `attempts <= retries`, the experiment recovers.
+    pub attempts: u32,
+}
+
+/// How [`execute_resilient`] treats failure.
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Max retries per experiment for transient failures.
+    pub retries: u32,
+    /// Seed of the retry-backoff PRNG.
+    pub retry_seed: u64,
+    /// Per-experiment simulation-request budget, if any.
+    pub step_budget: Option<u64>,
+    /// Fail-fast mode: the caller turns the first failure into a hard
+    /// error instead of a degraded report.
+    pub strict: bool,
+    /// Deterministic fault injection, if any.
+    pub chaos: Option<ChaosSpec>,
+}
+
+impl ResilienceConfig {
+    /// Fail-fast: no retries, no chaos, no budget (today's CI behavior).
+    pub fn strict() -> Self {
+        ResilienceConfig {
+            retries: 0,
+            retry_seed: DEFAULT_RETRY_SEED,
+            step_budget: None,
+            strict: true,
+            chaos: None,
+        }
+    }
+
+    /// Degrade gracefully: up to 2 seeded retries for transient failures.
+    pub fn resilient() -> Self {
+        ResilienceConfig {
+            retries: 2,
+            strict: false,
+            ..ResilienceConfig::strict()
+        }
+    }
+
+    /// Read the knobs from the environment: [`STRICT_ENV`],
+    /// [`RETRIES_ENV`], [`STEP_BUDGET_ENV`], [`CHAOS_ENV`] and
+    /// [`CHAOS_ATTEMPTS_ENV`]. Strict mode forces zero retries.
+    pub fn from_env() -> Self {
+        let strict = std::env::var(STRICT_ENV).is_ok_and(|v| v.trim() == "1");
+        let mut cfg = if strict {
+            ResilienceConfig::strict()
+        } else {
+            ResilienceConfig::resilient()
+        };
+        if !strict {
+            if let Some(n) = env_u64(RETRIES_ENV) {
+                cfg.retries = n.min(u64::from(u32::MAX)) as u32;
+            }
+        }
+        cfg.step_budget = env_u64(STEP_BUDGET_ENV);
+        if let Ok(target) = std::env::var(CHAOS_ENV) {
+            let target = target.trim().to_string();
+            if !target.is_empty() {
+                let attempts = env_u64(CHAOS_ATTEMPTS_ENV)
+                    .map_or(u32::MAX, |n| n.min(u64::from(u32::MAX)) as u32);
+                cfg.chaos = Some(ChaosSpec { target, attempts });
+            }
+        }
+        cfg
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+}
+
+/// The deterministic placeholder section a failed experiment contributes,
+/// keeping downstream assembly positional in degraded mode.
+fn degraded_section(e: &dyn Experiment, err: &ExperimentError) -> String {
+    format!(
+        "[degraded] {} ({}) produced no artifact: {} — see the failure appendix\n",
+        e.title(),
+        e.id(),
+        err.kind(),
+    )
+}
+
+/// One isolated attempt at an experiment: chaos injection, the budget
+/// window, and the unwind boundary that converts panics and budget trips
+/// into typed errors.
+fn attempt_experiment(
+    e: &dyn Experiment,
+    ctx: &Ctx,
+    cfg: &ResilienceConfig,
+    attempt: u32,
+) -> Result<String, ExperimentError> {
+    if let Some(budget) = cfg.step_budget {
+        ctx.arm_budget(budget);
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        // The injection panics *inside* the unwind boundary so chaos runs
+        // exercise exactly the conversion path a real panic would take.
+        if let Some(chaos) = &cfg.chaos {
+            if chaos.target == e.id() && attempt < chaos.attempts {
+                std::panic::panic_any(format!(
+                    "chaos: injected panic in '{}' (attempt {attempt})",
+                    e.id()
+                ));
+            }
+        }
+        e.run(ctx)
+    }));
+    if cfg.step_budget.is_some() {
+        ctx.disarm_budget();
+    }
+    match outcome {
+        Ok(Ok(artifact)) => {
+            let artifact = Arc::new(artifact);
+            ctx.store_artifact(e.id(), Arc::clone(&artifact));
+            Ok(e.render(&artifact))
+        }
+        Ok(Err(err)) => Err(err),
+        Err(payload) => {
+            if let Some(b) = payload.downcast_ref::<BudgetExceeded>() {
+                Err(ExperimentError::DeadlineExceeded {
+                    used: b.used,
+                    budget: b.budget,
+                })
+            } else {
+                Err(ExperimentError::Panicked {
+                    message: panic_message(payload.as_ref()),
+                })
+            }
+        }
+    }
+}
+
+/// One executor task's outcome, before declaration-order assembly.
+struct TaskOutput {
+    rendered: Result<String, ExperimentError>,
+    retries: Vec<RetryEvent>,
+    wall: Duration,
+}
+
 /// Topologically schedule `experiments` onto `pool`, sharing `ctx`'s memo
-/// caches, and assemble the rendered outputs in declaration order.
-///
-/// An experiment whose dependency failed is skipped and inherits the
-/// dependency's error; the first error in declaration order is returned.
-///
-/// # Errors
-///
-/// The first [`SimError`] any experiment produced, in declaration order.
+/// caches, with full failure isolation: a panicking, erroring, or
+/// over-budget experiment is converted into a typed [`ExperimentError`],
+/// transient failures retry with seeded recorded backoff, dependents of a
+/// failed experiment are marked [`ExperimentError::DependencyFailed`],
+/// and every independent subgraph completes. The returned [`Execution`]
+/// always has one report per experiment.
 ///
 /// # Panics
 ///
-/// Re-raises experiment panics (via [`Pool::run_dag`]) and panics on
-/// duplicate experiment ids.
-pub fn execute(
+/// Panics on duplicate experiment ids (a programming error).
+pub fn execute_resilient(
     pool: &Pool,
     ctx: &Ctx,
     experiments: &[&dyn Experiment],
-) -> Result<Execution, SimError> {
+    cfg: &ResilienceConfig,
+) -> Execution {
     let index: HashMap<&str, usize> = experiments
         .iter()
         .enumerate()
@@ -628,59 +933,112 @@ pub fn execute(
         .iter()
         .map(|e| e.deps().iter().filter_map(|d| index.get(d).copied()).collect())
         .collect();
-    let failed: Mutex<HashMap<&'static str, SimError>> = Mutex::new(HashMap::new());
+    let failed: Mutex<HashSet<&'static str>> = Mutex::new(HashSet::new());
     let started = Instant::now();
     let tasks: Vec<_> = experiments
         .iter()
         .map(|&e| {
             let failed = &failed;
-            move || -> (Result<String, SimError>, Duration) {
+            move || -> TaskOutput {
                 for dep in e.deps() {
-                    if let Some(err) = lock(failed).get(dep) {
-                        let err = err.clone();
-                        lock(failed).insert(e.id(), err.clone());
-                        return (Err(err), Duration::ZERO);
+                    if lock(failed).contains(dep) {
+                        lock(failed).insert(e.id());
+                        return TaskOutput {
+                            rendered: Err(ExperimentError::DependencyFailed {
+                                dependency: (*dep).to_string(),
+                            }),
+                            retries: Vec::new(),
+                            wall: Duration::ZERO,
+                        };
                     }
                 }
                 let t0 = Instant::now();
-                match e.run(ctx) {
-                    Ok(artifact) => {
-                        let artifact = Arc::new(artifact);
-                        ctx.store_artifact(e.id(), Arc::clone(&artifact));
-                        let rendered = e.render(&artifact);
-                        (Ok(rendered), t0.elapsed())
-                    }
-                    Err(err) => {
-                        lock(failed).insert(e.id(), err.clone());
-                        (Err(err), t0.elapsed())
+                let mut rng = Rng::stream(cfg.retry_seed, fnv1a64(e.id()));
+                let mut retries = Vec::new();
+                let mut attempt = 0u32;
+                loop {
+                    match attempt_experiment(e, ctx, cfg, attempt) {
+                        Ok(rendered) => {
+                            return TaskOutput {
+                                rendered: Ok(rendered),
+                                retries,
+                                wall: t0.elapsed(),
+                            };
+                        }
+                        Err(err) => {
+                            if err.is_transient() && attempt < cfg.retries {
+                                attempt += 1;
+                                let draw = rng.gen_u64();
+                                // Exponential backoff with seeded jitter.
+                                // Recorded in the trace, never slept: the
+                                // schedule stays deterministic and fast.
+                                let backoff_ms =
+                                    (50u64 << (attempt - 1).min(6)) + draw % 50;
+                                retries.push(RetryEvent {
+                                    attempt,
+                                    draw,
+                                    backoff_ms,
+                                });
+                                continue;
+                            }
+                            lock(failed).insert(e.id());
+                            return TaskOutput {
+                                rendered: Err(err),
+                                retries,
+                                wall: t0.elapsed(),
+                            };
+                        }
                     }
                 }
             }
         })
         .collect();
+    // The closures never unwind (each attempt is caught above), so the
+    // pool's own catching layer is purely a backstop here.
     let outputs = pool.run_dag(tasks, &deps);
     let total_wall = started.elapsed();
 
     let mut reports = Vec::with_capacity(outputs.len());
-    let mut first_error = None;
-    for (e, (result, wall)) in experiments.iter().zip(outputs) {
-        match result {
-            Ok(rendered) => reports.push(ExperimentReport {
-                id: e.id(),
-                title: e.title(),
-                deps: e.deps(),
-                rendered,
-                wall,
-            }),
-            Err(err) => {
-                if first_error.is_none() {
-                    first_error = Some(err);
+    let mut failures = Vec::new();
+    let mut recoveries = Vec::new();
+    for (e, out) in experiments.iter().zip(outputs) {
+        let stream = fnv1a64(e.id());
+        match out.rendered {
+            Ok(rendered) => {
+                if !out.retries.is_empty() {
+                    recoveries.push(ExperimentRecovery {
+                        id: e.id(),
+                        retries: out.retries,
+                        stream,
+                    });
                 }
+                reports.push(ExperimentReport {
+                    id: e.id(),
+                    title: e.title(),
+                    deps: e.deps(),
+                    rendered,
+                    error: None,
+                    wall: out.wall,
+                });
+            }
+            Err(err) => {
+                failures.push(ExperimentFailure {
+                    id: e.id(),
+                    title: e.title(),
+                    error: err.clone(),
+                    retries: out.retries,
+                    stream,
+                });
+                reports.push(ExperimentReport {
+                    id: e.id(),
+                    title: e.title(),
+                    deps: e.deps(),
+                    rendered: degraded_section(*e, &err),
+                    error: Some(err),
+                    wall: out.wall,
+                });
             }
         }
-    }
-    if let Some(err) = first_error {
-        return Err(err);
     }
     let stats = ExecutorStats {
         workers: pool.workers(),
@@ -688,7 +1046,37 @@ pub fn execute(
         per_experiment: reports.iter().map(|r| (r.id, r.wall)).collect(),
         cache: ctx.cache_stats(),
     };
-    Ok(Execution { reports, stats })
+    Execution {
+        reports,
+        failures,
+        recoveries,
+        stats,
+    }
+}
+
+/// Strict (fail-fast) execution: schedule the DAG with no retries and
+/// return the first root-cause failure in declaration order as a hard
+/// error.
+///
+/// # Errors
+///
+/// The first [`ExperimentError`] in declaration order that is not a
+/// dependency cascade (falling back to the cascade if every failure is
+/// one).
+///
+/// # Panics
+///
+/// Panics on duplicate experiment ids.
+pub fn execute(
+    pool: &Pool,
+    ctx: &Ctx,
+    experiments: &[&dyn Experiment],
+) -> Result<Execution, ExperimentError> {
+    let execution = execute_resilient(pool, ctx, experiments, &ResilienceConfig::strict());
+    if let Some(f) = execution.root_cause() {
+        return Err(f.error.clone());
+    }
+    Ok(execution)
 }
 
 /// The sixteen experiments of the full report, in the report's output

@@ -12,9 +12,10 @@
 //! experiment layer is memoized, so report bytes are identical for any
 //! worker count (the determinism policy in DESIGN.md "Execution model").
 
+use super::error::panic_message;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::thread::Thread;
 use std::time::Duration;
@@ -30,10 +31,37 @@ pub const JOBS_ENV: &str = "MLPERF_JOBS";
 const IDLE_PARK: Duration = Duration::from_micros(100);
 
 /// Lock that survives a poisoned mutex: a panicking task must not wedge
-/// the pool (panics are re-raised on the caller, see `run_dag`), so every
-/// internal lock recovers the guard instead of propagating the poison.
+/// the pool (failures are recorded per slot and the DAG keeps draining,
+/// see `run_dag_catching`), so every internal lock recovers the guard
+/// instead of propagating the poison.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Why one DAG task produced no value (the catching scheduler's
+/// per-slot failure record).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskFailure {
+    /// The task's closure panicked; `message` is the stringified payload.
+    Panicked {
+        /// The panic payload, as text.
+        message: String,
+    },
+    /// An upstream task failed, so this one never ran.
+    Dependency {
+        /// Submission index of the failed dependency.
+        dep: usize,
+        /// That dependency's failure, as text.
+        message: String,
+    },
+}
+
+impl TaskFailure {
+    fn message(&self) -> &str {
+        match self {
+            TaskFailure::Panicked { message } | TaskFailure::Dependency { message, .. } => message,
+        }
+    }
 }
 
 /// A fixed-width scoped thread pool executing dependency DAGs of tasks.
@@ -74,8 +102,11 @@ impl Pool {
     ///
     /// # Panics
     ///
-    /// Re-raises the first task panic on the calling thread (remaining
-    /// tasks are abandoned). Also panics on malformed input: `deps` and
+    /// Re-raises the first task panic on the calling thread — but only
+    /// after the rest of the DAG has drained: every task independent of
+    /// the panicking one still runs to completion (transitive dependents
+    /// are skipped). Use [`Pool::run_dag_catching`] to receive failures
+    /// as values instead. Also panics on malformed input: `deps` and
     /// `tasks` lengths differing, an out-of-range or self dependency, or
     /// a dependency cycle.
     pub fn run_dag<T, F>(&self, tasks: Vec<F>, deps: &[Vec<usize>]) -> Vec<T>
@@ -83,10 +114,59 @@ impl Pool {
         T: Send,
         F: FnOnce() -> T + Send,
     {
+        let (results, payload) = self.run_dag_inner(tasks, deps);
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+        results
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => v,
+                // Unreachable: a Dependency failure implies an upstream
+                // panic, whose payload was just re-raised above.
+                Err(f) => unreachable!("task failed without a panic payload: {}", f.message()),
+            })
+            .collect()
+    }
+
+    /// Execute a task DAG, catching failures per slot: a panicking task
+    /// yields [`TaskFailure::Panicked`], its transitive dependents yield
+    /// [`TaskFailure::Dependency`] without running, and every other task
+    /// completes normally. The first panic payload is dropped (its
+    /// message survives in the failure record).
+    ///
+    /// # Panics
+    ///
+    /// Only on malformed input, as [`Pool::run_dag`].
+    pub fn run_dag_catching<T, F>(
+        &self,
+        tasks: Vec<F>,
+        deps: &[Vec<usize>],
+    ) -> Vec<Result<T, TaskFailure>>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        self.run_dag_inner(tasks, deps).0
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_dag_inner<T, F>(
+        &self,
+        tasks: Vec<F>,
+        deps: &[Vec<usize>],
+    ) -> (
+        Vec<Result<T, TaskFailure>>,
+        Option<Box<dyn std::any::Any + Send>>,
+    )
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
         let n = tasks.len();
         assert_eq!(n, deps.len(), "one dependency list per task");
         if n == 0 {
-            return Vec::new();
+            return (Vec::new(), None);
         }
         let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut pending: Vec<AtomicUsize> = Vec::with_capacity(n);
@@ -122,9 +202,9 @@ impl Pool {
             tasks: tasks.into_iter().map(|t| Mutex::new(Some(t))).collect(),
             results: (0..n).map(|_| Mutex::new(None)).collect(),
             pending,
+            deps: deps.to_vec(),
             dependents,
             remaining: AtomicUsize::new(n),
-            abort: AtomicBool::new(false),
             panic: Mutex::new(None),
             injector: Mutex::new((0..n).filter(|&i| deps[i].is_empty()).collect()),
             locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
@@ -136,23 +216,22 @@ impl Pool {
                 scope.spawn(move || st.work(w));
             }
         });
-        if let Some(payload) = lock(&state.panic).take() {
-            resume_unwind(payload);
-        }
         assert_eq!(
             state.remaining.load(Ordering::SeqCst),
             0,
             "task DAG contains a dependency cycle"
         );
-        state
+        let payload = lock(&state.panic).take();
+        let results = state
             .results
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
                     .unwrap_or_else(PoisonError::into_inner)
-                    .expect("every task completed")
+                    .expect("every task completed or was marked failed")
             })
-            .collect()
+            .collect();
+        (results, payload)
     }
 
     /// Run independent tasks (a DAG with no edges) and return their
@@ -175,17 +254,21 @@ impl Pool {
 struct DagState<F, T> {
     /// Each task, taken exactly once by the worker that executes it.
     tasks: Vec<Mutex<Option<F>>>,
-    /// Result slots, indexed like `tasks`.
-    results: Vec<Mutex<Option<T>>>,
+    /// Result slots, indexed like `tasks`. A slot is filled exactly once:
+    /// with the task's value, its panic record, or the upstream failure
+    /// that kept it from running — so a failure never abandons the DAG.
+    results: Vec<Mutex<Option<Result<T, TaskFailure>>>>,
     /// Unmet-dependency counts; a task is ready when its count hits 0.
     pending: Vec<AtomicUsize>,
+    /// Forward edges, consulted before running a ready task so failures
+    /// cascade to dependents instead of abandoning them.
+    deps: Vec<Vec<usize>>,
     /// Reverse edges: who becomes ready when task `i` completes.
     dependents: Vec<Vec<usize>>,
     /// Tasks not yet completed (cycle detection + shutdown signal).
     remaining: AtomicUsize,
-    /// Set after a task panic; workers drain out instead of starting more.
-    abort: AtomicBool,
-    /// First panic payload, re-raised on the calling thread.
+    /// First panic payload, re-raised by `run_dag` (dropped by
+    /// `run_dag_catching`).
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
     /// Global FIFO holding the initially-ready tasks.
     injector: Mutex<VecDeque<usize>>,
@@ -199,7 +282,7 @@ impl<F: FnOnce() -> T + Send, T: Send> DagState<F, T> {
     fn work(&self, me: usize) {
         lock(&self.parked).push(std::thread::current());
         loop {
-            if self.abort.load(Ordering::Acquire) || self.remaining.load(Ordering::Acquire) == 0 {
+            if self.remaining.load(Ordering::Acquire) == 0 {
                 return;
             }
             match self.find_task(me) {
@@ -230,31 +313,46 @@ impl<F: FnOnce() -> T + Send, T: Send> DagState<F, T> {
     }
 
     fn run_task(&self, me: usize, i: usize) {
-        let task = lock(&self.tasks[i]).take().expect("task runs exactly once");
-        match catch_unwind(AssertUnwindSafe(task)) {
-            Ok(value) => {
-                *lock(&self.results[i]) = Some(value);
-                // Push newly-ready dependents onto our own deque: we will
-                // pop them LIFO (cache-warm), peers steal them FIFO if we
-                // stay busy.
-                for &dep in &self.dependents[i] {
-                    if self.pending[dep].fetch_sub(1, Ordering::AcqRel) == 1 {
-                        lock(&self.locals[me]).push_back(dep);
+        // A failed dependency cascades: the task is dropped unrun and its
+        // slot records which upstream task took it down. Dependency slots
+        // are already filled (the pool only readies a task after all its
+        // deps completed), so the probe never races a concurrent write.
+        let upstream = self.deps[i].iter().find_map(|&d| {
+            lock(&self.results[d]).as_ref().and_then(|r| match r {
+                Ok(_) => None,
+                Err(f) => Some((d, f.message().to_string())),
+            })
+        });
+        let outcome = match upstream {
+            Some((dep, message)) => Err(TaskFailure::Dependency { dep, message }),
+            None => {
+                let task = lock(&self.tasks[i]).take().expect("task runs exactly once");
+                match catch_unwind(AssertUnwindSafe(task)) {
+                    Ok(value) => Ok(value),
+                    Err(payload) => {
+                        let message = panic_message(payload.as_ref());
+                        let mut slot = lock(&self.panic);
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
+                        drop(slot);
+                        Err(TaskFailure::Panicked { message })
                     }
                 }
-                self.remaining.fetch_sub(1, Ordering::AcqRel);
-                self.wake_all();
             }
-            Err(payload) => {
-                let mut slot = lock(&self.panic);
-                if slot.is_none() {
-                    *slot = Some(payload);
-                }
-                drop(slot);
-                self.abort.store(true, Ordering::Release);
-                self.wake_all();
+        };
+        *lock(&self.results[i]) = Some(outcome);
+        // Push newly-ready dependents onto our own deque: we will pop
+        // them LIFO (cache-warm), peers steal them FIFO if we stay busy.
+        // Failures ready their dependents too — those cascade above
+        // instead of vanishing from the result set.
+        for &dep in &self.dependents[i] {
+            if self.pending[dep].fetch_sub(1, Ordering::AcqRel) == 1 {
+                lock(&self.locals[me]).push_back(dep);
             }
         }
+        self.remaining.fetch_sub(1, Ordering::AcqRel);
+        self.wake_all();
     }
 
     fn wake_all(&self) {
@@ -336,6 +434,47 @@ mod tests {
             .or_else(|| err.downcast_ref::<String>().cloned())
             .unwrap_or_default();
         assert!(msg.contains("boom in task"), "payload was {msg:?}");
+    }
+
+    #[test]
+    fn regression_panicked_dag_drains_all_tasks() {
+        // Before the resilience layer the first panic set an abort flag
+        // and every remaining queued task was abandoned; the result
+        // vector then had holes. Now the DAG drains: independent tasks
+        // all run, the panicker's dependents cascade as failures, and
+        // every slot is filled.
+        let ran = AtomicU64::new(0);
+        let pool = Pool::with_workers(2);
+        let tasks: Vec<Box<dyn FnOnce() -> u64 + Send + '_>> = vec![
+            Box::new(|| panic!("boom at task 0")),
+            Box::new(|| ran.fetch_add(1, Ordering::SeqCst)),
+            Box::new(|| ran.fetch_add(1, Ordering::SeqCst)),
+            Box::new(|| ran.fetch_add(1, Ordering::SeqCst)),
+            Box::new(|| ran.fetch_add(1, Ordering::SeqCst)),
+        ];
+        // 1 depends on the panicker, 4 depends on 1 (transitive); 2 and 3
+        // are independent and must still run.
+        let deps = vec![vec![], vec![0], vec![], vec![], vec![1]];
+        let results = pool.run_dag_catching(tasks, &deps);
+        assert_eq!(results.len(), 5, "no slot may vanish");
+        match &results[0] {
+            Err(TaskFailure::Panicked { message }) => {
+                assert!(message.contains("boom at task 0"), "{message}");
+            }
+            other => panic!("task 0 should be Panicked, got {other:?}"),
+        }
+        match &results[1] {
+            Err(TaskFailure::Dependency { dep: 0, message }) => {
+                assert!(message.contains("boom at task 0"), "{message}");
+            }
+            other => panic!("task 1 should cascade from 0, got {other:?}"),
+        }
+        assert!(matches!(&results[4], Err(TaskFailure::Dependency { .. })));
+        assert!(results[2].is_ok() && results[3].is_ok());
+        assert_eq!(ran.load(Ordering::SeqCst), 2, "independent tasks drained");
+
+        // The pool object stays usable afterwards.
+        assert_eq!(pool.run_all((0..8).map(|i| move || i).collect::<Vec<_>>()), (0..8).collect::<Vec<_>>());
     }
 
     #[test]

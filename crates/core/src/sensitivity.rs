@@ -10,7 +10,7 @@
 
 use crate::benchmark::BenchmarkId;
 use crate::report::Table;
-use crate::runner::{Artifact, Ctx, Experiment, TrainPoint};
+use crate::runner::{Artifact, Ctx, Experiment, ExperimentError, TrainPoint};
 use mlperf_hw::SystemId;
 use mlperf_sim::{Efficiency, SimError, TrainingJob};
 use std::fmt;
@@ -209,8 +209,8 @@ impl Experiment for Exp {
         "Extension: calibration-knob sensitivity"
     }
 
-    fn run(&self, ctx: &Ctx) -> Result<Artifact, SimError> {
-        run_ctx(ctx).map(Artifact::Sensitivity)
+    fn run(&self, ctx: &Ctx) -> Result<Artifact, ExperimentError> {
+        run_ctx(ctx).map(Artifact::Sensitivity).map_err(ExperimentError::from)
     }
 
     fn render(&self, artifact: &Artifact) -> String {

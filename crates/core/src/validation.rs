@@ -10,7 +10,7 @@
 use crate::benchmark::BenchmarkId;
 use crate::experiments::{figure5, table4, table5};
 use crate::report::Table;
-use crate::runner::{Artifact, Ctx, Experiment};
+use crate::runner::{Artifact, Ctx, Experiment, ExperimentError};
 use mlperf_sim::SimError;
 use std::fmt;
 
@@ -272,8 +272,8 @@ impl Experiment for Exp {
         &["table4", "table5", "figure5"]
     }
 
-    fn run(&self, ctx: &Ctx) -> Result<Artifact, SimError> {
-        run_ctx(ctx).map(Artifact::Validation)
+    fn run(&self, ctx: &Ctx) -> Result<Artifact, ExperimentError> {
+        run_ctx(ctx).map(Artifact::Validation).map_err(ExperimentError::from)
     }
 
     fn render(&self, artifact: &Artifact) -> String {

@@ -234,6 +234,27 @@ impl IterationCost {
     pub fn arithmetic_intensity(&self) -> f64 {
         self.total_flops() / self.mem_bytes
     }
+
+    /// The integrity violation this cost would inject into downstream f64
+    /// pricing, if any.
+    ///
+    /// The cost fields themselves are integers (always finite), so the
+    /// dangerous shapes are the *degenerate* ones: zero memory traffic
+    /// makes [`arithmetic_intensity`](IterationCost::arithmetic_intensity)
+    /// and every roofline division non-finite, and an all-zero cost prices
+    /// to a zero step time that later shows up as infinite throughput.
+    /// The simulation engine checks this at the model boundary and turns a
+    /// violation into a typed `NonFinite` error naming the offending
+    /// point instead of letting NaN/Inf propagate into reports.
+    pub fn finite_violation(&self) -> Option<&'static str> {
+        if self.mem_bytes.as_u64() == 0 {
+            return Some("zero device-memory traffic (arithmetic intensity diverges)");
+        }
+        if self.total_flops().as_u64() == 0 && self.gradient_bytes.as_u64() == 0 {
+            return Some("all-zero iteration cost (degenerate model graph)");
+        }
+        None
+    }
 }
 
 #[cfg(test)]

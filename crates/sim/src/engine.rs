@@ -48,6 +48,13 @@ pub enum SimError {
     },
     /// Topology routing failed.
     Topology(mlperf_hw::TopologyError),
+    /// An analytical-model boundary produced NaN/Inf or a degenerate
+    /// cost; `context` names the offending (benchmark, system,
+    /// precision, batch) point.
+    NonFinite {
+        /// Human-readable description of the offending point.
+        context: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -61,6 +68,9 @@ impl fmt::Display for SimError {
                 write!(f, "replica needs {required} but device has {available}")
             }
             SimError::Topology(e) => write!(f, "topology error: {e}"),
+            SimError::NonFinite { context } => {
+                write!(f, "non-finite output: {context}")
+            }
         }
     }
 }
@@ -337,6 +347,16 @@ impl<'a> Simulator<'a> {
         let gpu_spec = self.system.gpu_model().spec();
         let timer = KernelTimer::new(gpu_spec.clone(), job.efficiency());
         let pass = job.model().pass_cost(batch, job.precision());
+        if let Some(why) = pass.finite_violation() {
+            return Err(SimError::NonFinite {
+                context: format!(
+                    "{why} pricing {} on {} ({n} GPUs, {:?}, batch {batch})",
+                    job.name(),
+                    self.system.id().name(),
+                    job.precision(),
+                ),
+            });
+        }
         // Fixed launch/dispatch overhead is part of the device phase but
         // batch-independent — the small-batch underutilization mechanism.
         let launch_overhead = job.gpu_step_overhead();
@@ -527,6 +547,37 @@ impl<'a> Simulator<'a> {
             iterations,
             warmup: warmup_iters,
         });
+
+        // --- numeric-integrity gate ---------------------------------------
+        // Every priced phase must come out finite and non-negative, and the
+        // step itself strictly positive; anything else is a model-boundary
+        // bug surfaced as a typed error naming the offending point.
+        let phases = [
+            ("step time", step_time),
+            ("compute time", compute_time),
+            ("optimizer time", opt_time),
+            ("all-reduce time", ar_full),
+            ("exposed communication", exposed_comm),
+            ("data stall", data_stall),
+        ];
+        let bad_phase = phases
+            .iter()
+            .find(|(_, s)| !s.as_secs().is_finite() || s.as_secs() < 0.0)
+            .map(|(what, s)| format!("{what} = {}s", s.as_secs()))
+            .or_else(|| {
+                (step_time.as_secs() <= 0.0).then(|| "non-positive step time".to_string())
+            });
+        if let Some(what) = bad_phase {
+            return Err(SimError::NonFinite {
+                context: format!(
+                    "{what} simulating {} on {} ({n} GPUs, {:?}, batch {batch})",
+                    job.name(),
+                    self.system.id().name(),
+                    job.precision(),
+                ),
+            });
+        }
+
         Ok((
             StepReport {
                 n_gpus: n,

@@ -14,13 +14,17 @@
 //!   median/p95, JSON-line output) standing in for `criterion`;
 //! * [`fault`] — a seeded-replay draw log ([`fault::FaultScript`]) that
 //!   fault-plan generators draw through, so an injected failure scenario
-//!   replays byte-identically from its seed.
+//!   replays byte-identically from its seed;
+//! * [`chaos`] — a seeded failure-injection plan ([`chaos::ChaosPlan`])
+//!   deciding panic / error / non-finite actions at named draw points,
+//!   used to chaos-test the experiment executor's resilience layer.
 //!
 //! The whole workspace builds and tests offline because of this crate: it
 //! has **zero dependencies** by design. See DESIGN.md §"Offline build &
 //! determinism policy".
 
 pub mod bench;
+pub mod chaos;
 pub mod fault;
 pub mod prop;
 pub mod rng;

@@ -41,6 +41,63 @@ diff -u "$report_tmp/serial.md" "$report_tmp/pooled.md" \
 diff -u REPORT.md "$report_tmp/serial.md" \
     || { echo "committed REPORT.md is stale; regenerate with repro --report REPORT.md" >&2; exit 1; }
 
+echo "== chaos gate: injected panic degrades one section, nothing else =="
+# The executor failure model (DESIGN.md "Executor failure model"): an
+# injected panic in one experiment must (a) exit 2 (degraded but
+# complete), (b) name the victim in the failure appendix, (c) leave every
+# CSV outside the victim's blast radius byte-identical to a healthy run,
+# and (d) replay byte-identically — retry backoff is drawn from a seeded
+# stream and recorded, never slept.
+mkdir -p "$report_tmp/csv_healthy" "$report_tmp/csv_chaos"
+cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    --csv "$report_tmp/csv_healthy" >/dev/null
+set +e
+MLPERF_CHAOS=figure3 cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    --report "$report_tmp/chaos_a.md" >/dev/null 2>"$report_tmp/chaos_a.log"
+chaos_status=$?
+set -e
+[ "$chaos_status" -eq 2 ] \
+    || { echo "chaos report run must exit 2 (degraded), got $chaos_status" >&2; exit 1; }
+grep -q "Failure appendix" "$report_tmp/chaos_a.md" \
+    || { echo "degraded report is missing the failure appendix" >&2; exit 1; }
+grep -q "figure3" "$report_tmp/chaos_a.md" \
+    || { echo "failure appendix does not name the sabotaged experiment" >&2; exit 1; }
+set +e
+MLPERF_CHAOS=figure3 cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    --report "$report_tmp/chaos_b.md" >/dev/null 2>/dev/null
+set -e
+diff -u "$report_tmp/chaos_a.md" "$report_tmp/chaos_b.md" \
+    || { echo "degraded report (retry trace included) is not replayable" >&2; exit 1; }
+set +e
+MLPERF_CHAOS=figure3 cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    --csv "$report_tmp/csv_chaos" >/dev/null 2>/dev/null
+chaos_status=$?
+set -e
+[ "$chaos_status" -eq 2 ] \
+    || { echo "chaos csv run must exit 2 (degraded), got $chaos_status" >&2; exit 1; }
+for f in "$report_tmp"/csv_healthy/*.csv; do
+    name="$(basename "$f")"
+    case "$name" in
+    figure3*)
+        grep -q "# degraded: figure3" "$report_tmp/csv_chaos/$name" \
+            || { echo "$name: expected a degraded placeholder" >&2; exit 1; }
+        ;;
+    *)
+        cmp -s "$f" "$report_tmp/csv_chaos/$name" \
+            || { echo "$name: bytes changed under chaos in an unrelated experiment" >&2; exit 1; }
+        ;;
+    esac
+done
+set +e
+MLPERF_STRICT=1 MLPERF_CHAOS=figure3 cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    --report "$report_tmp/strict.md" >/dev/null 2>/dev/null
+strict_status=$?
+set -e
+[ "$strict_status" -eq 1 ] \
+    || { echo "MLPERF_STRICT=1 must fail fast (exit 1), got $strict_status" >&2; exit 1; }
+[ ! -s "$report_tmp/strict.md" ] \
+    || { echo "strict mode must not write a degraded report" >&2; exit 1; }
+
 echo "== fault replay smoke: fixed seed, byte-identical twice =="
 # Two fresh processes replay the seeded fault study; the rendered trace
 # fingerprint and every digit must match byte for byte.
