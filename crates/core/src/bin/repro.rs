@@ -5,11 +5,13 @@
 //! repro --table 4        # one table
 //! repro --figure 5       # one figure
 //! repro --figure fault   # the seeded fault-injection study
+//! repro sweep --list     # declarative parameter sweeps
 //! repro --list           # what's available
 //! ```
 
 use mlperf_suite::experiments as exp;
 use mlperf_suite::runner::{Ctx, Pool, ResilienceConfig};
+use mlperf_suite::sweep::{self, DiskCache};
 use std::process::ExitCode;
 
 /// Exit code for a degraded-but-complete run: every requested output was
@@ -20,6 +22,7 @@ const EXIT_DEGRADED: u8 = 2;
 
 fn usage() -> &'static str {
     "usage: repro [--table N | --figure N | --extra NAME | --csv DIR | --report FILE | --list]\n\
+     \u{20}      repro sweep [--list | NAME... | --all] [--out DIR]   (long-form CSV per sweep)\n\
      tables: 1 (insights) 2 (suites) 3 (systems) 4 (scaling) 5 (resources)\n\
      figures: 1 (PCA) 2 (roofline) 3 (mixed precision) 4 (scheduling) 5 (topology)\n\
               fault (seeded fault injection, checkpoint/restart, expected TTT)\n\
@@ -30,9 +33,73 @@ fn usage() -> &'static str {
              energy   (kWh and USD to train, DAWNBench's second metric)\n\
              storage  (disk-staging feasibility per benchmark and device)\n\
              sensitivity (derived-output elasticity to calibration knobs)\n\
+     cache: --report/--csv/sweep answer from the persistent result cache in\n\
+            artifacts/cache/ when warm; disable with --no-cache or MLPERF_CACHE=off,\n\
+            relocate with MLPERF_CACHE_DIR=DIR\n\
      env: MLPERF_JOBS=N (workers), MLPERF_STRICT=1 (fail fast, no degraded mode),\n\
           MLPERF_RETRIES=N, MLPERF_STEP_BUDGET=N (see README)\n\
      exit: 0 healthy, 1 error, 2 degraded-but-complete (--report/--csv only)"
+}
+
+/// `repro sweep ...`: run registered sweeps and write one long-form CSV
+/// each (a cell that degrades is a data row with `status=error`, not a
+/// process failure — the grid shape is part of the output contract).
+fn run_sweeps(args: &[String], cache: Option<&DiskCache>) -> Result<ExitCode, String> {
+    let registry = sweep::registry();
+    let mut out_dir = String::from("artifacts/sweeps");
+    let mut names: Vec<&str> = Vec::new();
+    let mut all = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" => {
+                for s in &registry {
+                    println!("{:<18} {} ({} cells)", s.name, s.title, s.cells().len());
+                }
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--all" => all = true,
+            "--out" => {
+                out_dir = it.next().ok_or("--out needs a directory")?.clone();
+            }
+            name if !name.starts_with('-') => names.push(name),
+            other => return Err(format!("unknown sweep flag '{other}'; {}", usage())),
+        }
+    }
+    let selected: Vec<&sweep::SweepSpec> = if all {
+        registry.iter().collect()
+    } else {
+        names
+            .iter()
+            .map(|n| {
+                registry
+                    .iter()
+                    .find(|s| s.name == *n)
+                    .ok_or_else(|| format!("no sweep '{n}' (try: repro sweep --list)"))
+            })
+            .collect::<Result<_, _>>()?
+    };
+    if selected.is_empty() {
+        return Err(format!("no sweep named; {}", usage()));
+    }
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("creating {out_dir}: {e}"))?;
+    let pool = Pool::from_env();
+    let ctx = Ctx::new();
+    for spec in selected {
+        let run = sweep::run_pooled(&pool, &ctx, spec, cache);
+        let path = format!("{out_dir}/{}.csv", spec.name);
+        std::fs::write(&path, sweep::to_csv(&run)).map_err(|e| format!("writing {path}: {e}"))?;
+        println!(
+            "wrote {path} ({} cells, {} degraded, {} from cache)",
+            run.cells.len(),
+            run.errors(),
+            run.disk_hits(),
+        );
+    }
+    if let Some(c) = cache {
+        eprint!("{}", c.summary());
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn run_extra(ctx: &Ctx, name: &str) -> Result<String, String> {
@@ -114,7 +181,13 @@ fn report_failures(execution: &mlperf_suite::runner::Execution) {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--no-cache` is positionless and composes with every mode; it (or
+    // MLPERF_CACHE=off, or active chaos injection) disables the
+    // persistent result cache for this invocation.
+    let no_cache = args.iter().any(|a| a == "--no-cache");
+    args.retain(|a| a != "--no-cache");
+    let cache = if no_cache { None } else { DiskCache::from_env() };
     // One memoized context per invocation: tables and figures share their
     // overlapping simulation points instead of re-pricing them.
     let ctx = Ctx::new();
@@ -146,6 +219,7 @@ fn main() -> ExitCode {
             println!("{}", usage());
             Ok(ExitCode::SUCCESS)
         }
+        [cmd, rest @ ..] if cmd == "sweep" => run_sweeps(rest, cache.as_ref()),
         [flag, n] if flag == "--table" => n
             .parse::<u32>()
             .map_err(|e| e.to_string())
@@ -182,10 +256,18 @@ fn main() -> ExitCode {
             } else {
                 // Degraded-but-complete: failed experiments become
                 // placeholder sections + a failure appendix; exit 2 tells
-                // callers the document is incomplete.
-                let (md, execution) =
-                    mlperf_suite::report_gen::build_resilient(&Pool::from_env(), &ctx, &cfg);
+                // callers the document is incomplete. A warm persistent
+                // cache answers every section from disk.
+                let (md, execution) = mlperf_suite::report_gen::build_cached(
+                    &Pool::from_env(),
+                    &ctx,
+                    &cfg,
+                    cache.as_ref(),
+                );
                 eprint!("{}", execution.stats.summary());
+                if let Some(c) = &cache {
+                    eprint!("{}", c.summary());
+                }
                 report_failures(&execution);
                 std::fs::write(file, md)
                     .map(|()| {
@@ -212,13 +294,17 @@ fn main() -> ExitCode {
                     Err(e) => Err(e.to_string()),
                 }
             } else {
-                match mlperf_suite::csv_export::write_all_resilient(
+                match mlperf_suite::csv_export::write_all_cached(
                     std::path::Path::new(dir),
                     &cfg,
+                    cache.as_ref(),
                 ) {
                     Ok((written, execution)) => {
                         for path in written {
                             println!("wrote {path}");
+                        }
+                        if let Some(c) = &cache {
+                            eprint!("{}", c.summary());
                         }
                         report_failures(&execution);
                         Ok(if execution.degraded() {

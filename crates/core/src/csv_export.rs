@@ -11,10 +11,12 @@
 use crate::experiments::figure1;
 use crate::report::Table;
 use crate::runner::{self, Ctx, ExperimentError, Pool, ResilienceConfig};
+use crate::sweep::DiskCache;
 use mlperf_telemetry::csv::characteristics_to_csv;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::Path;
+use std::time::Duration;
 
 /// One generated CSV file, tagged with the experiment it came from.
 #[derive(Debug, Clone)]
@@ -137,6 +139,125 @@ fn export_experiments() -> Vec<&'static dyn runner::Experiment> {
         &figure5::Exp,
         &fault_study::Exp,
     ]
+}
+
+/// Every export file and the experiment that owns it ([`export_experiments`]
+/// vocabulary; `figure4` is in the set only as `fault_study`'s dependency
+/// and owns no file). File-name order, matching [`ArtifactSet::iter`].
+const EXPORT_FILES: [(&str, &str); 8] = [
+    ("fault_study_elastic.csv", "fault_study"),
+    ("fault_study_sweep.csv", "fault_study"),
+    ("figure1_features.csv", "figure1"),
+    ("figure1_projections.csv", "figure1"),
+    ("figure3_amp.csv", "figure3"),
+    ("figure5_topology.csv", "figure5"),
+    ("table4_scaling.csv", "table4"),
+    ("table5_resources.csv", "table5"),
+];
+
+/// The persistent-cache entry spec of one export file: the file name plus
+/// its owning experiment's canonical
+/// [`spec_bytes`](runner::Experiment::spec_bytes) (public for the cache
+/// test battery's eviction probes).
+pub fn file_spec(file: &str, owner: &dyn runner::Experiment) -> Vec<u8> {
+    let mut s = format!("csv:{file}:").into_bytes();
+    s.extend_from_slice(&owner.spec_bytes());
+    s
+}
+
+/// [`build_all_resilient`] through the persistent result cache: with every
+/// file on disk nothing re-runs; with some files evicted only their owning
+/// experiments re-run (healthy re-runs re-store their files); with
+/// `cache == None` this is plain [`build_all_resilient`].
+pub fn build_all_cached(
+    pool: &Pool,
+    ctx: &Ctx,
+    cfg: &ResilienceConfig,
+    cache: Option<&DiskCache>,
+) -> (ArtifactSet, runner::Execution) {
+    let Some(cache) = cache else {
+        return build_all_resilient(pool, ctx, cfg);
+    };
+    let experiments = export_experiments();
+    let owner = |id: &str| -> &'static dyn runner::Experiment {
+        *experiments
+            .iter()
+            .find(|e| e.id() == id)
+            .expect("every export file's owner is an export experiment")
+    };
+    let cached: Vec<Option<String>> = EXPORT_FILES
+        .iter()
+        .map(|(file, id)| {
+            cache
+                .load(&file_spec(file, owner(id)))
+                .and_then(|b| String::from_utf8(b).ok())
+        })
+        .collect();
+
+    if cached.iter().all(Option::is_some) {
+        // Fully warm: no experiment runs at all.
+        let mut out = ArtifactSet::default();
+        for ((file, id), contents) in EXPORT_FILES.iter().zip(cached) {
+            // Leak-free &'static lookup: EXPORT_FILES strings are 'static.
+            out.insert(id, file, contents.expect("checked above"));
+        }
+        let reports = experiments
+            .iter()
+            .map(|e| runner::ExperimentReport {
+                id: e.id(),
+                title: e.title(),
+                deps: e.deps(),
+                rendered: String::new(),
+                error: None,
+                wall: Duration::ZERO,
+            })
+            .collect();
+        let execution = runner::Execution {
+            reports,
+            failures: Vec::new(),
+            recoveries: Vec::new(),
+            stats: runner::ExecutorStats {
+                workers: pool.workers(),
+                total_wall: Duration::ZERO,
+                per_experiment: Vec::new(),
+                cache: runner::CacheStats::default(),
+            },
+        };
+        return (out, execution);
+    }
+
+    // Re-run only the experiments owning a missing file (their
+    // dependencies outside the subset fall back to the memoized context),
+    // then overlay the still-cached files on the fresh assembly.
+    let rerun: Vec<&'static dyn runner::Experiment> = experiments
+        .iter()
+        .filter(|e| {
+            EXPORT_FILES
+                .iter()
+                .zip(&cached)
+                .any(|((_, id), c)| *id == e.id() && c.is_none())
+        })
+        .copied()
+        .collect();
+    let execution = runner::execute_resilient(pool, ctx, &rerun, cfg);
+    let mut fresh = assemble(ctx, &execution);
+    for ((file, id), contents) in EXPORT_FILES.iter().zip(cached) {
+        match contents {
+            Some(c) => fresh.insert(id, file, c),
+            None => {
+                let healthy = execution
+                    .reports
+                    .iter()
+                    .any(|r| r.id == *id && r.error.is_none());
+                if healthy {
+                    if let Some(e) = fresh.get(file) {
+                        cache.store(&file_spec(file, owner(id)), e.contents.as_bytes());
+                    }
+                }
+            }
+        }
+    }
+    (fresh, execution)
 }
 
 /// Build every export, with pool and worker count from the environment.
@@ -480,6 +601,23 @@ pub fn write_all_resilient(
     cfg: &ResilienceConfig,
 ) -> Result<(Vec<String>, runner::Execution), ExportError> {
     let (exports, execution) = build_all_resilient(&Pool::from_env(), &Ctx::new(), cfg);
+    let written = write_set(dir, &exports)?;
+    Ok((written, execution))
+}
+
+/// Write every export through the persistent result cache (see
+/// [`build_all_cached`]); with `cache == None` this is
+/// [`write_all_resilient`].
+///
+/// # Errors
+///
+/// Only [`ExportError::Io`] — experiment failures degrade instead.
+pub fn write_all_cached(
+    dir: &Path,
+    cfg: &ResilienceConfig,
+    cache: Option<&DiskCache>,
+) -> Result<(Vec<String>, runner::Execution), ExportError> {
+    let (exports, execution) = build_all_cached(&Pool::from_env(), &Ctx::new(), cfg, cache);
     let written = write_set(dir, &exports)?;
     Ok((written, execution))
 }

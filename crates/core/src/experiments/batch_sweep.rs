@@ -9,8 +9,8 @@
 
 use crate::benchmark::BenchmarkId;
 use crate::report::Table;
-use crate::runner::{Artifact, Ctx, Experiment, ExperimentError, TrainPoint};
-use mlperf_hw::systems::SystemId;
+use crate::runner::{Artifact, Ctx, Experiment, ExperimentError};
+use crate::sweep;
 use mlperf_sim::SimError;
 
 /// One batch point of the sweep.
@@ -48,36 +48,35 @@ pub fn run(id: BenchmarkId) -> Result<BatchSweep, SimError> {
     run_ctx(&Ctx::new(), id)
 }
 
-/// Sweep `id` through a shared executor context.
+/// Sweep `id` through a shared executor context. The grid is the
+/// declarative [`sweep::batch_wall`] sweep; the rendered table still
+/// stops at the first OOM batch, exactly as the hand-rolled loop did.
 ///
 /// # Errors
 ///
 /// Propagates non-OOM [`SimError`]s from the engine.
 pub fn run_ctx(ctx: &Ctx, id: BenchmarkId) -> Result<BatchSweep, SimError> {
-    let base = id.job();
+    use sweep::CellKind::Training;
+    let spec = sweep::batch_wall(id);
+    let swept = sweep::run_serial(ctx, &spec, None);
     let mut points = Vec::new();
     let mut oom_at = None;
-    let mut batch = 16u64;
-    while batch <= 1 << 14 {
-        let point = TrainPoint::new(id, SystemId::C4140K, 1).with_per_gpu_batch(batch);
-        match ctx.step(&point) {
-            Ok(step) => {
-                let epochs = base.convergence().epochs_at(batch);
-                points.push(BatchPoint {
-                    batch,
-                    step_ms: step.step_time.as_secs() * 1e3,
-                    throughput: step.throughput_samples_per_sec(),
-                    hbm_gib: step.hbm_per_gpu.as_gib(),
-                    epochs,
-                });
-            }
-            Err(SimError::OutOfMemory { .. }) => {
+    for cell in &swept.cells {
+        let batch = cell.spec.batch.expect("batch axis set on every cell");
+        match &cell.outcome {
+            Ok(v) => points.push(BatchPoint {
+                batch,
+                step_ms: v.get(Training, "step_ms"),
+                throughput: v.get(Training, "throughput_sps"),
+                hbm_gib: v.get(Training, "hbm_gib"),
+                epochs: v.get(Training, "epochs"),
+            }),
+            Err(e) if e.is_oom() => {
                 oom_at = Some(batch);
                 break;
             }
-            Err(e) => return Err(e),
+            Err(e) => return Err(e.to_sim()),
         }
-        batch *= 2;
     }
     Ok(BatchSweep { id, points, oom_at })
 }
@@ -116,6 +115,12 @@ impl Experiment for Exp {
 
     fn title(&self) -> &'static str {
         "Extension: batch-size sweep (ResNet-50/MXNet)"
+    }
+
+    fn spec_bytes(&self) -> Vec<u8> {
+        let mut s = format!("exp:{};", self.id()).into_bytes();
+        s.extend_from_slice(&sweep::batch_wall(BenchmarkId::MlpfRes50Mx).canonical_bytes());
+        s
     }
 
     fn run(&self, ctx: &Ctx) -> Result<Artifact, ExperimentError> {

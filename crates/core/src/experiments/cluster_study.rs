@@ -151,6 +151,14 @@ impl Experiment for Exp {
         &["figure4"]
     }
 
+    fn spec_bytes(&self) -> Vec<u8> {
+        // Job times come from Figure 4's scaling grid; a grid edit must
+        // invalidate this section's cache too.
+        let mut s = format!("exp:{};", self.id()).into_bytes();
+        s.extend_from_slice(&crate::sweep::figure4_scaling().canonical_bytes());
+        s
+    }
+
     fn run(&self, ctx: &Ctx) -> Result<Artifact, ExperimentError> {
         run_ctx(ctx).map(Artifact::Cluster).map_err(ExperimentError::from)
     }

@@ -23,13 +23,14 @@ use crate::runner::{Artifact, Ctx, Experiment, ExperimentError, TrainPoint};
 use mlperf_data::storage::StorageDevice;
 use mlperf_hw::systems::SystemId;
 use mlperf_hw::units::Seconds;
-use mlperf_sim::checkpoint::{daly_interval, expected_runtime};
+use mlperf_sim::checkpoint::daly_interval;
 use mlperf_sim::cluster::{
     AreaEfficient, Cluster, ClusterJobSpec, ClusterTrace, FcfsWidestFit, GreedyBestFinish,
     NaiveWidest, NodeFailure, SchedulingPolicy, ShortestJobFirst, Submission,
 };
 use mlperf_sim::fault::{replay, FaultConfig, FaultPlan, FaultStats, RetryPolicy};
 use mlperf_sim::{CheckpointSpec, SimError};
+use mlperf_testkit::hash::fnv1a64;
 
 /// The fault-study workload: the Transformer has the suite's heaviest
 /// checkpoint (Adam keeps two FP32 moments per parameter), so the
@@ -42,9 +43,12 @@ const GPUS: u32 = 4;
 const DEVICE: StorageDevice = StorageDevice::SataSsd;
 /// The fixed seed of the DES replay point (the CI replay-smoke contract).
 const SEED: u64 = 0xF00D;
-/// MTBF column of the analytic sweep, hours.
+/// MTBF column of the analytic sweep, hours (the `sweep::fault_ttt` grid;
+/// kept here as the test oracle for the rendered rows).
+#[cfg(test)]
 const MTBF_HOURS: [f64; 3] = [1.0, 4.0, 24.0];
-/// Naive fixed checkpoint intervals, minutes.
+/// Naive fixed checkpoint intervals, minutes (likewise `sweep::fault_ttt`).
+#[cfg(test)]
 const INTERVAL_MIN: [f64; 4] = [1.0, 10.0, 60.0, 240.0];
 /// MTBF of the replayed sample path, hours.
 const REPLAY_MTBF_HOURS: f64 = 1.0;
@@ -113,16 +117,6 @@ pub struct FaultStudy {
     pub elastic: Vec<ElasticRow>,
 }
 
-/// FNV-1a, 64-bit: a stable in-tree fingerprint for the trace bytes.
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
 fn checkpoint_spec(interval: Seconds) -> CheckpointSpec {
     CheckpointSpec::new(interval, DEVICE)
 }
@@ -155,24 +149,22 @@ pub fn run_ctx(ctx: &Ctx) -> Result<FaultStudy, SimError> {
     let write_cost = probe.write_cost(&job);
     let restart_cost = probe.restart_cost(&job);
 
-    // 1. Analytic sweep: fixed intervals vs the Daly-optimal one.
+    // 1. Analytic sweep: fixed intervals vs the Daly-optimal one, as the
+    // declarative `sweep::fault_ttt` grid (MTBF outermost, interval
+    // inner — the exact order the hand-rolled loop produced).
+    let spec = crate::sweep::fault_ttt();
+    let swept = crate::sweep::run_serial(ctx, &spec, None);
     let mut sweep = Vec::new();
-    for &mtbf_h in &MTBF_HOURS {
-        let mtbf = Seconds::from_hours(mtbf_h);
-        let mut row = |tau: Seconds, daly: bool| {
-            let expected = expected_runtime(work, tau, write_cost, restart_cost, mtbf);
-            sweep.push(SweepRow {
-                mtbf_hours: mtbf_h,
-                interval_min: tau.as_minutes(),
-                expected_hours: expected.as_hours(),
-                overhead_pct: (expected.as_secs() / work.as_secs() - 1.0) * 100.0,
-                daly,
-            });
-        };
-        for &m in &INTERVAL_MIN {
-            row(Seconds::from_minutes(m), false);
-        }
-        row(daly_interval(write_cost, mtbf), true);
+    for cell in &swept.cells {
+        use crate::sweep::{CellKind, IntervalChoice};
+        let v = cell.outcome.as_ref().map_err(crate::sweep::CellError::to_sim)?;
+        sweep.push(SweepRow {
+            mtbf_hours: cell.spec.mtbf_hours.expect("mtbf axis set"),
+            interval_min: v.get(CellKind::ExpectedTtt, "interval_min"),
+            expected_hours: v.get(CellKind::ExpectedTtt, "expected_hours"),
+            overhead_pct: v.get(CellKind::ExpectedTtt, "overhead_pct"),
+            daly: cell.spec.interval == Some(IntervalChoice::Daly),
+        });
     }
 
     // 2. One seeded sample path through the DES replay.
@@ -349,6 +341,16 @@ impl Experiment for Exp {
 
     fn deps(&self) -> &'static [&'static str] {
         &["figure4"]
+    }
+
+    fn spec_bytes(&self) -> Vec<u8> {
+        // The analytic grid plus the elastic part's Figure 4 grid: a
+        // change to either sweep must invalidate this section's cache.
+        let mut s = format!("exp:{};seed={SEED:x};", self.id()).into_bytes();
+        s.extend_from_slice(&crate::sweep::fault_ttt().canonical_bytes());
+        s.push(b'|');
+        s.extend_from_slice(&crate::sweep::figure4_scaling().canonical_bytes());
+        s
     }
 
     fn run(&self, ctx: &Ctx) -> Result<Artifact, ExperimentError> {

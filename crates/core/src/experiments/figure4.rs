@@ -8,11 +8,11 @@
 
 use crate::benchmark::BenchmarkId;
 use crate::report::Table;
-use crate::runner::{Artifact, Ctx, Experiment, ExperimentError, TrainPoint};
+use crate::runner::{Artifact, Ctx, Experiment, ExperimentError};
+use crate::sweep;
 use mlperf_analysis::scheduling::{
     lpt_schedule, naive_schedule, optimal_schedule, JobTimes, Schedule,
 };
-use mlperf_hw::systems::SystemId;
 use mlperf_sim::SimError;
 
 /// The scheduling study at one GPU-pool size.
@@ -54,23 +54,25 @@ pub fn measure_job_times() -> Result<Vec<JobTimes>, SimError> {
     measure_job_times_ctx(&Ctx::new())
 }
 
-/// [`measure_job_times`] through a shared executor context; the 1/2/4/8-GPU
-/// DSS-8440 points are the same ones Table IV prices, so in a shared
-/// context this costs nothing extra.
+/// [`measure_job_times`] through a shared executor context; the grid is
+/// the declarative [`sweep::figure4_scaling`] sweep (workload outermost,
+/// GPU width inner), and its 1/2/4/8-GPU DSS-8440 points are the same
+/// ones Table IV prices, so in a shared context this costs nothing extra.
 ///
 /// # Errors
 ///
 /// Propagates [`SimError`] from the engine.
 pub fn measure_job_times_ctx(ctx: &Ctx) -> Result<Vec<JobTimes>, SimError> {
+    let spec = sweep::figure4_scaling();
+    let run = sweep::run_serial(ctx, &spec, None);
+    let widths = [1u64, 2, 4, 8];
     let mut jobs = Vec::new();
-    for id in BenchmarkId::MLPERF {
+    for (i, id) in BenchmarkId::MLPERF.iter().enumerate() {
         let mut times = Vec::new();
-        for n in [1u32, 2, 4, 8] {
-            let t = ctx
-                .outcome(&TrainPoint::new(id, SystemId::Dss8440, n))?
-                .total_time
-                .as_minutes();
-            times.push((n as u64, t));
+        for (j, &n) in widths.iter().enumerate() {
+            let cell = &run.cells[i * widths.len() + j];
+            let v = cell.outcome.as_ref().map_err(sweep::CellError::to_sim)?;
+            times.push((n, v.get(sweep::CellKind::Training, "total_minutes")));
         }
         jobs.push(JobTimes::new(id.abbreviation(), times));
     }
@@ -174,6 +176,12 @@ impl Experiment for Exp {
 
     fn title(&self) -> &'static str {
         "Figure 4: naive vs optimal multi-job scheduling"
+    }
+
+    fn spec_bytes(&self) -> Vec<u8> {
+        let mut s = format!("exp:{};", self.id()).into_bytes();
+        s.extend_from_slice(&sweep::figure4_scaling().canonical_bytes());
+        s
     }
 
     fn run(&self, ctx: &Ctx) -> Result<Artifact, ExperimentError> {

@@ -8,12 +8,14 @@ pub mod report;
 pub mod report_gen;
 pub mod runner;
 pub mod sensitivity;
+pub mod sweep;
 pub mod validation;
 pub mod workloads;
 
 pub use benchmark::{BenchmarkId, Suite};
 pub use report::Table;
 pub use runner::{Ctx, Experiment, Pool, RunKey, TrainPoint};
+pub use sweep::{DiskCache, DiskStats, SweepSpec};
 pub use workloads::{DeepBenchId, WorkloadRun, WorkloadSpec};
 #[allow(deprecated)]
 pub use workloads::{deepbench_run, trainable_run};

@@ -124,13 +124,12 @@ pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 /// FNV-1a 64-bit over a string: the executor's stable experiment-id →
 /// retry-stream mapping (schedule- and declaration-order-invariant).
+/// Delegates to the workspace's single implementation in
+/// [`mlperf_testkit::hash`]; kept as a re-exportable name because the
+/// retry-seed contract (`Rng::stream(retry_seed, fnv1a64(id))`) is
+/// documented against it.
 pub fn fnv1a64(s: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in s.as_bytes() {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    mlperf_testkit::hash::fnv1a64_str(s)
 }
 
 #[cfg(test)]

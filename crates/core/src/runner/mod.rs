@@ -593,6 +593,19 @@ pub trait Experiment: Sync {
         &[]
     }
 
+    /// Canonical bytes describing everything the experiment's output
+    /// depends on besides the code itself. The persistent result cache
+    /// (`mlperf-core::sweep::cache`) keys each rendered section by
+    /// `fnv1a64(code_epoch ‖ spec_bytes)`; the default — the experiment's
+    /// id — is correct for experiments whose parameters are all
+    /// compile-time constants. Experiments built on a declarative
+    /// [`SweepSpec`](crate::sweep::SweepSpec) override this to append the
+    /// sweep's canonical bytes, so editing a grid invalidates exactly the
+    /// sections that consume it.
+    fn spec_bytes(&self) -> Vec<u8> {
+        format!("exp:{}", self.id()).into_bytes()
+    }
+
     /// Produce the experiment's artifact.
     ///
     /// # Errors

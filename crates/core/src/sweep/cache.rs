@@ -1,0 +1,328 @@
+//! Persistent, content-addressed result cache (`artifacts/cache/`).
+//!
+//! Every entry is addressed by `fnv1a64(code_epoch ‖ canonical-spec-bytes)`
+//! where the *code epoch* fingerprints the running binary: rebuild the
+//! code and every old entry is invalidated (and garbage-collected the
+//! next time the cache is opened). Canonical spec bytes come from the
+//! sweep layer ([`super::CellSpec::canonical_bytes`], the experiments'
+//! [`Experiment::spec_bytes`](crate::runner::Experiment::spec_bytes)),
+//! so two requests share an entry exactly when their specs are
+//! canonically equal.
+//!
+//! Policy, enforced by the callers in `report_gen` / `csv_export` /
+//! `sweep`:
+//!
+//! * only deterministic payloads are stored (rendered section bytes, CSV
+//!   bytes, sweep-cell results) — never wall-clock;
+//! * a degraded cell is cached **as the error it produced**, never as a
+//!   success; panics and retried/degraded experiment runs are not
+//!   persisted at all;
+//! * chaos runs (`MLPERF_CHAOS`) disable the cache entirely, so injected
+//!   failures can never be masked by a warm entry.
+//!
+//! Escape hatches: `--no-cache` on the `repro` CLI, `MLPERF_CACHE=off` in
+//! the environment. `MLPERF_CACHE_DIR` moves the directory,
+//! `MLPERF_CACHE_EPOCH` pins the epoch (tests use this to exercise
+//! invalidation deterministically).
+
+use mlperf_testkit::hash::{fnv1a64, Fnv1a64};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable: `off` (or `0`) disables the persistent cache.
+pub const CACHE_ENV: &str = "MLPERF_CACHE";
+/// Environment variable overriding the cache directory.
+pub const CACHE_DIR_ENV: &str = "MLPERF_CACHE_DIR";
+/// Environment variable pinning the code epoch (u64; tests only).
+pub const CACHE_EPOCH_ENV: &str = "MLPERF_CACHE_EPOCH";
+/// Default cache directory, relative to the working directory.
+pub const DEFAULT_CACHE_DIR: &str = "artifacts/cache";
+
+/// Deterministic-by-construction counters of one cache handle's traffic.
+/// These are *live* (a warm run reports hits where a cold run reported
+/// misses), so they are surfaced on stderr and in tests — never in
+/// report bytes, which must be identical cold vs warm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiskStats {
+    /// Entries served from disk.
+    pub hits: u64,
+    /// Lookups that found no (valid) entry.
+    pub misses: u64,
+    /// Entries written.
+    pub stores: u64,
+    /// Stale-epoch entries garbage-collected when the cache was opened.
+    pub invalidated: u64,
+}
+
+impl DiskStats {
+    /// Fraction of lookups served from disk.
+    pub fn hit_rate(&self) -> f64 {
+        if self.hits + self.misses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / (self.hits + self.misses) as f64
+        }
+    }
+}
+
+/// A handle on the on-disk cache directory. Opening it garbage-collects
+/// entries from other code epochs; lookups and stores are lock-free
+/// (atomic counters, write-to-temp + rename stores).
+#[derive(Debug)]
+pub struct DiskCache {
+    dir: PathBuf,
+    epoch: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    invalidated: AtomicU64,
+}
+
+/// Fingerprint of the running binary: FNV-1a over the executable's bytes
+/// (falling back to the crate version if the executable is unreadable).
+/// Computed once per process.
+pub fn code_epoch() -> u64 {
+    static EPOCH: OnceLock<u64> = OnceLock::new();
+    *EPOCH.get_or_init(|| {
+        if let Some(e) = std::env::var(CACHE_EPOCH_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+        {
+            return e;
+        }
+        std::env::current_exe()
+            .ok()
+            .and_then(|p| std::fs::read(p).ok())
+            .map_or_else(
+                || fnv1a64(env!("CARGO_PKG_VERSION").as_bytes()),
+                |bytes| fnv1a64(&bytes),
+            )
+    })
+}
+
+impl DiskCache {
+    /// Open (creating if needed) the cache at `dir` under the process's
+    /// [`code_epoch`], garbage-collecting entries from other epochs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`std::io::Error`] if the directory cannot be created
+    /// or scanned.
+    pub fn open(dir: &Path) -> std::io::Result<DiskCache> {
+        DiskCache::open_with_epoch(dir, code_epoch())
+    }
+
+    /// [`DiskCache::open`] under an explicit epoch (tests pin this to
+    /// exercise key derivation and invalidation deterministically).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`std::io::Error`] if the directory cannot be created
+    /// or scanned.
+    pub fn open_with_epoch(dir: &Path, epoch: u64) -> std::io::Result<DiskCache> {
+        std::fs::create_dir_all(dir)?;
+        let prefix = format!("{epoch:016x}-");
+        let mut invalidated = 0;
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.ends_with(".art") && !name.starts_with(&prefix) {
+                // A different build wrote this; its numbers may no longer
+                // be reproducible by the current code, so drop it.
+                if std::fs::remove_file(entry.path()).is_ok() {
+                    invalidated += 1;
+                }
+            }
+        }
+        Ok(DiskCache {
+            dir: dir.to_path_buf(),
+            epoch,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            invalidated: AtomicU64::new(invalidated),
+        })
+    }
+
+    /// Open the cache as the environment dictates: `None` when
+    /// `MLPERF_CACHE=off`/`0`, when a chaos run is configured
+    /// (`MLPERF_CHAOS` — injected failures must never be masked by warm
+    /// entries), or when the directory cannot be opened.
+    pub fn from_env() -> Option<DiskCache> {
+        if std::env::var(CACHE_ENV)
+            .is_ok_and(|v| matches!(v.trim(), "off" | "0"))
+        {
+            return None;
+        }
+        if std::env::var(crate::runner::CHAOS_ENV).is_ok_and(|v| !v.trim().is_empty()) {
+            return None;
+        }
+        let dir = std::env::var(CACHE_DIR_ENV)
+            .map_or_else(|_| PathBuf::from(DEFAULT_CACHE_DIR), PathBuf::from);
+        match DiskCache::open(&dir) {
+            Ok(cache) => Some(cache),
+            Err(e) => {
+                eprintln!("persistent cache disabled: {}: {e}", dir.display());
+                None
+            }
+        }
+    }
+
+    /// The directory this cache lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The epoch this handle addresses entries under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The content address of `spec`: `fnv1a64(epoch ‖ spec)`.
+    pub fn key(&self, spec: &[u8]) -> u64 {
+        let mut h = Fnv1a64::new();
+        h.write_u64(self.epoch);
+        h.update(spec);
+        h.finish()
+    }
+
+    fn path_for(&self, spec: &[u8]) -> PathBuf {
+        self.dir
+            .join(format!("{:016x}-{:016x}.art", self.epoch, self.key(spec)))
+    }
+
+    /// Load the entry for `spec`, counting a hit or a miss.
+    pub fn load(&self, spec: &[u8]) -> Option<Vec<u8>> {
+        match std::fs::read(self.path_for(spec)) {
+            Ok(bytes) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(bytes)
+            }
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store `bytes` under `spec`, best-effort (an unwritable cache never
+    /// fails the run): write to a temp file, then rename, so a concurrent
+    /// reader sees either the old entry or the complete new one.
+    pub fn store(&self, spec: &[u8], bytes: &[u8]) {
+        let path = self.path_for(spec);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        if std::fs::write(&tmp, bytes).is_ok() && std::fs::rename(&tmp, &path).is_ok() {
+            self.stores.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    /// Remove the entry for `spec`, if present (tests exercise the
+    /// evict-and-reproduce property with this).
+    pub fn evict(&self, spec: &[u8]) -> bool {
+        std::fs::remove_file(self.path_for(spec)).is_ok()
+    }
+
+    /// Entries currently on disk for this epoch.
+    pub fn entries(&self) -> usize {
+        let prefix = format!("{:016x}-", self.epoch);
+        std::fs::read_dir(&self.dir).map_or(0, |rd| {
+            rd.filter_map(Result::ok)
+                .filter(|e| {
+                    let n = e.file_name();
+                    let n = n.to_string_lossy();
+                    n.starts_with(&prefix) && n.ends_with(".art")
+                })
+                .count()
+        })
+    }
+
+    /// This handle's traffic counters.
+    pub fn stats(&self) -> DiskStats {
+        DiskStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
+        }
+    }
+
+    /// One stderr line of live counters. Never rendered into report
+    /// bytes: a warm run's counters differ from a cold run's, and the
+    /// report must be byte-identical across the two.
+    pub fn summary(&self) -> String {
+        let s = self.stats();
+        format!(
+            "persistent cache [{}]: {} hits / {} misses ({:.0}% hit rate), \
+             {} stored, {} invalidated\n",
+            self.dir.display(),
+            s.hits,
+            s.misses,
+            s.hit_rate() * 100.0,
+            s.stores,
+            s.invalidated,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mlperf_diskcache_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trips_and_counts() {
+        let dir = tmp("round_trip");
+        let c = DiskCache::open_with_epoch(&dir, 7).unwrap();
+        assert_eq!(c.load(b"spec-a"), None);
+        c.store(b"spec-a", b"payload");
+        assert_eq!(c.load(b"spec-a").as_deref(), Some(&b"payload"[..]));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.stores), (1, 1, 1));
+        assert_eq!(c.entries(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_epoch_entries_are_invalidated_on_open() {
+        let dir = tmp("invalidate");
+        let old = DiskCache::open_with_epoch(&dir, 1).unwrap();
+        old.store(b"spec", b"old-build");
+        let new = DiskCache::open_with_epoch(&dir, 2).unwrap();
+        assert_eq!(new.stats().invalidated, 1);
+        assert_eq!(new.load(b"spec"), None, "old-epoch entry must not hit");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_mixes_epoch_and_spec() {
+        let dir = tmp("keys");
+        let a = DiskCache::open_with_epoch(&dir, 1).unwrap();
+        let b = DiskCache::open_with_epoch(&dir, 2).unwrap();
+        assert_ne!(a.key(b"x"), b.key(b"x"), "epoch must re-key entries");
+        assert_ne!(a.key(b"x"), a.key(b"y"));
+        assert_eq!(a.key(b"x"), a.key(b"x"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn evict_removes_exactly_one_entry() {
+        let dir = tmp("evict");
+        let c = DiskCache::open_with_epoch(&dir, 3).unwrap();
+        c.store(b"a", b"1");
+        c.store(b"b", b"2");
+        assert!(c.evict(b"a"));
+        assert!(!c.evict(b"a"), "second evict finds nothing");
+        assert_eq!(c.load(b"a"), None);
+        assert_eq!(c.load(b"b").as_deref(), Some(&b"2"[..]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

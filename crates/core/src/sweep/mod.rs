@@ -1,0 +1,824 @@
+//! First-class parameter sweeps with a persistent result cache.
+//!
+//! The paper's conclusions all come from grids — batch sizes × systems,
+//! GPU counts × workloads, MTBF × checkpoint interval — and until now
+//! every experiment hand-rolled its own nested loops. A [`SweepSpec`]
+//! declares the axes once and expands them *deterministically* (first
+//! axis outermost, declaration order) into [`CellSpec`]s, each priced
+//! through the shared memoized [`Ctx`] so overlapping sweeps share their
+//! simulation points. Figure 4's scaling grid, the batch sweep, and the
+//! fault study's MTBF × interval grid are all expressed this way (the
+//! cluster study consumes Figure 4's grid).
+//!
+//! The second half is the persistence layer ([`cache`]): every cell (and,
+//! one level up, every rendered report section and CSV file) is stored
+//! under `fnv1a64(code_epoch ‖ canonical-spec-bytes)` in
+//! `artifacts/cache/`, making a second `repro` run — or an overlapping
+//! sweep — near-instant. A cell that fails is cached **as its error**,
+//! never as a success; see [`cache`] for the full policy and the env
+//! knobs (`MLPERF_CACHE`, `MLPERF_CACHE_DIR`).
+//!
+//! `repro sweep NAME` runs one registered sweep and emits a long-form CSV
+//! (one row per cell, axes as columns); `repro sweep --list` enumerates
+//! the registry.
+
+pub mod cache;
+
+pub use cache::{DiskCache, DiskStats};
+
+use crate::benchmark::BenchmarkId;
+use crate::report::Table;
+use crate::runner::{Ctx, Pool, TrainPoint};
+use mlperf_data::storage::StorageDevice;
+use mlperf_hw::systems::SystemId;
+use mlperf_hw::units::Seconds;
+use mlperf_models::PrecisionPolicy;
+use mlperf_sim::checkpoint::{daly_interval, expected_runtime};
+use mlperf_sim::{CheckpointSpec, SimError};
+
+/// How a checkpoint interval is chosen in an expected-TTT cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IntervalChoice {
+    /// A fixed interval, minutes.
+    FixedMin(f64),
+    /// The Young/Daly-optimal interval for the cell's MTBF.
+    Daly,
+}
+
+/// One value along one sweep axis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AxisValue {
+    /// The benchmark under test.
+    Workload(BenchmarkId),
+    /// The system it runs on.
+    System(SystemId),
+    /// GPUs of the system it uses.
+    Gpus(u32),
+    /// Per-GPU batch-size override.
+    Batch(u64),
+    /// Precision-policy override.
+    Precision(PrecisionPolicy),
+    /// Mean time between failures, hours (expected-TTT cells).
+    MtbfHours(f64),
+    /// Checkpoint-interval policy (expected-TTT cells).
+    Interval(IntervalChoice),
+}
+
+/// What a cell computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellKind {
+    /// A training-simulation point: step time, throughput, memory,
+    /// epochs, end-to-end minutes.
+    Training,
+    /// Daly's expected time-to-train under a checkpoint policy
+    /// (checkpoints priced to [`CHECKPOINT_DEVICE`]).
+    ExpectedTtt,
+}
+
+/// Checkpoint target of every [`CellKind::ExpectedTtt`] cell (part of the
+/// cell's canonical identity; see [`CellSpec::canonical_bytes`]).
+pub const CHECKPOINT_DEVICE: StorageDevice = StorageDevice::SataSsd;
+
+impl CellKind {
+    /// Stable token in canonical spec bytes.
+    fn token(self) -> &'static str {
+        match self {
+            CellKind::Training => "training",
+            CellKind::ExpectedTtt => "expected-ttt",
+        }
+    }
+
+    /// The metric columns a cell of this kind produces, in order.
+    pub fn columns(self) -> &'static [&'static str] {
+        match self {
+            CellKind::Training => &[
+                "total_minutes",
+                "step_ms",
+                "throughput_sps",
+                "hbm_gib",
+                "epochs",
+            ],
+            CellKind::ExpectedTtt => &["interval_min", "expected_hours", "overhead_pct"],
+        }
+    }
+}
+
+/// One fully-resolved cell of a sweep: the base point with every axis
+/// value applied. Canonically comparable via [`CellSpec::canonical_bytes`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSpec {
+    /// What this cell computes.
+    pub kind: CellKind,
+    /// The benchmark (required to price anything).
+    pub workload: Option<BenchmarkId>,
+    /// The system (required to price anything).
+    pub system: Option<SystemId>,
+    /// GPU count (required to price anything).
+    pub gpus: Option<u32>,
+    /// Per-GPU batch override.
+    pub batch: Option<u64>,
+    /// Precision override.
+    pub precision: Option<PrecisionPolicy>,
+    /// MTBF, hours (expected-TTT cells).
+    pub mtbf_hours: Option<f64>,
+    /// Checkpoint-interval policy (expected-TTT cells).
+    pub interval: Option<IntervalChoice>,
+}
+
+impl CellSpec {
+    fn empty(kind: CellKind) -> CellSpec {
+        CellSpec {
+            kind,
+            workload: None,
+            system: None,
+            gpus: None,
+            batch: None,
+            precision: None,
+            mtbf_hours: None,
+            interval: None,
+        }
+    }
+
+    fn apply(&mut self, v: AxisValue) {
+        match v {
+            AxisValue::Workload(w) => self.workload = Some(w),
+            AxisValue::System(s) => self.system = Some(s),
+            AxisValue::Gpus(g) => self.gpus = Some(g),
+            AxisValue::Batch(b) => self.batch = Some(b),
+            AxisValue::Precision(p) => self.precision = Some(p),
+            AxisValue::MtbfHours(m) => self.mtbf_hours = Some(m),
+            AxisValue::Interval(i) => self.interval = Some(i),
+        }
+    }
+
+    /// The cell's canonical identity: a stable, readable byte string in
+    /// which floats are spelled as their IEEE-754 bit patterns, so two
+    /// specs are canonically equal **iff** their bytes are equal. This is
+    /// what the persistent cache hashes (together with the code epoch).
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        fn f64_token(v: Option<f64>) -> String {
+            v.map_or_else(|| "-".to_string(), |x| format!("{:016x}", x.to_bits()))
+        }
+        let interval = match self.interval {
+            None => "-".to_string(),
+            Some(IntervalChoice::Daly) => "daly".to_string(),
+            Some(IntervalChoice::FixedMin(m)) => format!("fixed:{:016x}", m.to_bits()),
+        };
+        let mut s = format!(
+            "cell.v1;kind={};wl={};sys={};gpus={};batch={};prec={};mtbf={};int={}",
+            self.kind.token(),
+            self.workload.map_or("-", BenchmarkId::abbreviation),
+            self.system.map_or("-", SystemId::name),
+            self.gpus.map_or_else(|| "-".to_string(), |g| g.to_string()),
+            self.batch.map_or_else(|| "-".to_string(), |b| b.to_string()),
+            self.precision.map_or("-", |p| match p {
+                PrecisionPolicy::Fp32 => "fp32",
+                PrecisionPolicy::Amp => "amp",
+            }),
+            f64_token(self.mtbf_hours),
+            interval,
+        );
+        if self.kind == CellKind::ExpectedTtt {
+            // The checkpoint device is fixed today but part of the cell's
+            // physical identity; bake it in so a future device axis
+            // cannot silently collide with old entries.
+            s.push_str(";dev=SataSsd");
+        }
+        s.into_bytes()
+    }
+}
+
+/// Why one cell produced no value. `sim` carries the typed simulator
+/// error when the cell was priced in-process; a cell deserialized from
+/// the persistent cache keeps only the stable `kind` token and message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellError {
+    /// Stable short token (`oom`, `non-finite`, `bad-gpu-set`,
+    /// `topology`, `invalid-spec`).
+    pub kind: String,
+    /// Human-readable message.
+    pub message: String,
+    /// The typed error, when priced in-process.
+    pub sim: Option<SimError>,
+}
+
+impl CellError {
+    fn from_sim(e: SimError) -> CellError {
+        let kind = match &e {
+            SimError::OutOfMemory { .. } => "oom",
+            SimError::NonFinite { .. } => "non-finite",
+            SimError::BadGpuSet(_) => "bad-gpu-set",
+            SimError::Topology(_) => "topology",
+        };
+        CellError {
+            kind: kind.to_string(),
+            message: e.to_string(),
+            sim: Some(e),
+        }
+    }
+
+    fn invalid(message: &str) -> CellError {
+        CellError {
+            kind: "invalid-spec".to_string(),
+            message: message.to_string(),
+            sim: None,
+        }
+    }
+
+    /// Whether this is the out-of-memory wall.
+    pub fn is_oom(&self) -> bool {
+        self.kind == "oom"
+    }
+
+    /// Recover a [`SimError`] for callers with `SimError`-typed error
+    /// paths. Lossless when priced in-process; a disk-loaded error is
+    /// re-wrapped as [`SimError::NonFinite`] carrying the message.
+    pub fn to_sim(&self) -> SimError {
+        self.sim.clone().unwrap_or(SimError::NonFinite {
+            context: self.message.clone(),
+        })
+    }
+}
+
+/// One cell's metric values, aligned with [`CellKind::columns`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellValue {
+    values: Vec<f64>,
+}
+
+impl CellValue {
+    /// The value of a named column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` does not have a column `name` (a programming
+    /// error in the caller).
+    pub fn get(&self, kind: CellKind, name: &str) -> f64 {
+        let i = kind
+            .columns()
+            .iter()
+            .position(|c| *c == name)
+            .unwrap_or_else(|| panic!("no column '{name}' in {kind:?}"));
+        self.values[i]
+    }
+
+    /// All values, in column order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// One named axis of a sweep.
+#[derive(Debug, Clone)]
+pub struct Axis {
+    /// Display name (CSV column vocabulary).
+    pub name: &'static str,
+    /// The values, in declared order.
+    pub values: Vec<AxisValue>,
+}
+
+/// A declarative parameter sweep: a base cell plus axes that expand into
+/// the cartesian grid, first axis outermost. Expansion is deterministic:
+/// same spec, same cell order, every time.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Stable name (cache vocabulary and output file stem).
+    pub name: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// What each cell computes.
+    pub kind: CellKind,
+    base: CellSpec,
+    axes: Vec<Axis>,
+}
+
+impl SweepSpec {
+    /// A sweep with no axes yet.
+    pub fn new(name: &'static str, title: &'static str, kind: CellKind) -> SweepSpec {
+        SweepSpec {
+            name,
+            title,
+            kind,
+            base: CellSpec::empty(kind),
+            axes: Vec::new(),
+        }
+    }
+
+    /// Fix one dimension for every cell.
+    #[must_use]
+    pub fn fix(mut self, v: AxisValue) -> SweepSpec {
+        self.base.apply(v);
+        self
+    }
+
+    /// Add an axis; the grid is the cartesian product of all axes, first
+    /// axis outermost.
+    #[must_use]
+    pub fn axis(mut self, name: &'static str, values: Vec<AxisValue>) -> SweepSpec {
+        self.axes.push(Axis { name, values });
+        self
+    }
+
+    /// The declared axes.
+    pub fn axes(&self) -> &[Axis] {
+        &self.axes
+    }
+
+    /// Deterministic expansion into cells (odometer over the axes,
+    /// last axis fastest — exactly the nested-loop order the experiments
+    /// used to hand-roll).
+    pub fn cells(&self) -> Vec<CellSpec> {
+        let mut out = Vec::new();
+        let total: usize = self.axes.iter().map(|a| a.values.len().max(1)).product();
+        for mut i in 0..total {
+            let mut cell = self.base.clone();
+            // Decode index i into one coordinate per axis, last fastest.
+            let mut coords = vec![0usize; self.axes.len()];
+            for (k, axis) in self.axes.iter().enumerate().rev() {
+                let n = axis.values.len().max(1);
+                coords[k] = i % n;
+                i /= n;
+            }
+            for (axis, &c) in self.axes.iter().zip(&coords) {
+                if let Some(v) = axis.values.get(c) {
+                    cell.apply(*v);
+                }
+            }
+            out.push(cell);
+        }
+        out
+    }
+
+    /// The sweep's canonical identity: name, kind, and every axis value
+    /// (via the same float-bit spelling as [`CellSpec::canonical_bytes`]).
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut s = format!("sweep.v1;name={};kind={}", self.name, self.kind.token());
+        s.push_str(";base=");
+        s.push_str(&String::from_utf8_lossy(&self.base.canonical_bytes()));
+        for axis in &self.axes {
+            s.push_str(&format!(";axis={}[", axis.name));
+            for (i, v) in axis.values.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let mut probe = CellSpec::empty(self.kind);
+                probe.apply(*v);
+                s.push_str(&String::from_utf8_lossy(&probe.canonical_bytes()));
+            }
+            s.push(']');
+        }
+        s.into_bytes()
+    }
+}
+
+/// One priced cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The cell's resolved spec.
+    pub spec: CellSpec,
+    /// Its metrics, or why it degraded.
+    pub outcome: Result<CellValue, CellError>,
+    /// Whether the persistent cache answered this cell.
+    pub from_disk: bool,
+}
+
+/// A fully-executed sweep.
+#[derive(Debug, Clone)]
+pub struct SweepRun {
+    /// The sweep's stable name.
+    pub name: &'static str,
+    /// Its display title.
+    pub title: &'static str,
+    /// What the cells computed.
+    pub kind: CellKind,
+    /// Axis names, in declaration order (CSV column order).
+    pub axis_names: Vec<&'static str>,
+    /// Every cell, in deterministic expansion order.
+    pub cells: Vec<CellResult>,
+}
+
+impl SweepRun {
+    /// Cells answered by the persistent cache.
+    pub fn disk_hits(&self) -> usize {
+        self.cells.iter().filter(|c| c.from_disk).count()
+    }
+
+    /// Cells that degraded to an error.
+    pub fn errors(&self) -> usize {
+        self.cells.iter().filter(|c| c.outcome.is_err()).count()
+    }
+}
+
+/// Price one cell through the shared memoized context. Pure function of
+/// `(ctx-model, spec)`: every run of the same spec produces the same
+/// value or the same error.
+///
+/// # Errors
+///
+/// A [`CellError`]: `invalid-spec` when a required dimension is missing,
+/// otherwise the simulator's verdict (`oom`, `non-finite`, ...).
+pub fn price_cell(ctx: &Ctx, spec: &CellSpec) -> Result<CellValue, CellError> {
+    let workload = spec
+        .workload
+        .ok_or_else(|| CellError::invalid("cell has no workload"))?;
+    let system = spec
+        .system
+        .ok_or_else(|| CellError::invalid("cell has no system"))?;
+    let gpus = spec.gpus.ok_or_else(|| CellError::invalid("cell has no gpu count"))?;
+    match spec.kind {
+        CellKind::Training => {
+            let mut point = TrainPoint::new(workload, system, gpus);
+            if let Some(b) = spec.batch {
+                point = point.with_per_gpu_batch(b);
+            }
+            if let Some(p) = spec.precision {
+                point = point.with_precision(p);
+            }
+            let step = ctx.step(&point).map_err(CellError::from_sim)?;
+            let outcome = ctx.outcome(&point).map_err(CellError::from_sim)?;
+            // Epochs are charged by the *base* job's convergence model at
+            // the cell's effective global batch (matching the batch
+            // sweep's original accounting).
+            let mut job = workload.job();
+            if let Some(p) = spec.precision {
+                job = job.with_precision(p);
+            }
+            if let Some(b) = spec.batch {
+                job = job.with_per_gpu_batch(b);
+            }
+            let global_batch = job.per_gpu_batch() * u64::from(gpus);
+            let epochs = workload.job().convergence().epochs_at(global_batch);
+            Ok(CellValue {
+                values: vec![
+                    outcome.total_time.as_minutes(),
+                    step.step_time.as_secs() * 1e3,
+                    step.throughput_samples_per_sec(),
+                    step.hbm_per_gpu.as_gib(),
+                    epochs,
+                ],
+            })
+        }
+        CellKind::ExpectedTtt => {
+            let mtbf_hours = spec
+                .mtbf_hours
+                .ok_or_else(|| CellError::invalid("expected-TTT cell has no MTBF"))?;
+            let choice = spec
+                .interval
+                .ok_or_else(|| CellError::invalid("expected-TTT cell has no interval"))?;
+            let point = TrainPoint::new(workload, system, gpus);
+            let outcome = ctx.outcome(&point).map_err(CellError::from_sim)?;
+            let work = outcome.total_time;
+            let job = workload.job();
+            let probe = CheckpointSpec::new(Seconds::from_minutes(10.0), CHECKPOINT_DEVICE);
+            let write_cost = probe.write_cost(&job);
+            let restart_cost = probe.restart_cost(&job);
+            let mtbf = Seconds::from_hours(mtbf_hours);
+            let tau = match choice {
+                IntervalChoice::FixedMin(m) => Seconds::from_minutes(m),
+                IntervalChoice::Daly => daly_interval(write_cost, mtbf),
+            };
+            let expected = expected_runtime(work, tau, write_cost, restart_cost, mtbf);
+            Ok(CellValue {
+                values: vec![
+                    tau.as_minutes(),
+                    expected.as_hours(),
+                    (expected.as_secs() / work.as_secs() - 1.0) * 100.0,
+                ],
+            })
+        }
+    }
+}
+
+/// Serialize one cell outcome for the persistent cache (floats as IEEE
+/// bit patterns, so the round trip is exact).
+fn encode_outcome(outcome: &Result<CellValue, CellError>) -> Vec<u8> {
+    let mut s = String::new();
+    match outcome {
+        Ok(v) => {
+            s.push_str("ok v1\n");
+            for x in &v.values {
+                s.push_str(&format!("{:016x}\n", x.to_bits()));
+            }
+        }
+        Err(e) => {
+            s.push_str("err v1\n");
+            s.push_str(&format!("{}\n", e.kind));
+            s.push_str(&format!("{}\n", e.message.replace('\n', " ")));
+        }
+    }
+    s.into_bytes()
+}
+
+/// Parse a cached cell outcome; `None` (treated as a miss) on any
+/// malformed payload.
+fn decode_outcome(kind: CellKind, bytes: &[u8]) -> Option<Result<CellValue, CellError>> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    let mut lines = text.lines();
+    match lines.next()? {
+        "ok v1" => {
+            let values: Option<Vec<f64>> = lines
+                .map(|l| u64::from_str_radix(l, 16).ok().map(f64::from_bits))
+                .collect();
+            let values = values?;
+            (values.len() == kind.columns().len()).then_some(Ok(CellValue { values }))
+        }
+        "err v1" => {
+            let kind_token = lines.next()?.to_string();
+            let message = lines.next()?.to_string();
+            Some(Err(CellError {
+                kind: kind_token,
+                message,
+                sim: None,
+            }))
+        }
+        _ => None,
+    }
+}
+
+/// Price one cell, answering from (and filling) the persistent cache
+/// when one is supplied. Degraded cells are stored **as their error** —
+/// a warm run reproduces the same degraded row, never a fake success.
+fn run_cell(ctx: &Ctx, spec: &CellSpec, cache: Option<&DiskCache>) -> CellResult {
+    let entry_spec: Option<Vec<u8>> = cache.map(|_| {
+        let mut s = b"cell:".to_vec();
+        s.extend_from_slice(&spec.canonical_bytes());
+        s
+    });
+    if let (Some(cache), Some(entry)) = (cache, entry_spec.as_deref()) {
+        if let Some(outcome) = cache.load(entry).and_then(|b| decode_outcome(spec.kind, &b)) {
+            return CellResult {
+                spec: spec.clone(),
+                outcome,
+                from_disk: true,
+            };
+        }
+    }
+    let outcome = price_cell(ctx, spec);
+    if let (Some(cache), Some(entry)) = (cache, entry_spec.as_deref()) {
+        cache.store(entry, &encode_outcome(&outcome));
+    }
+    CellResult {
+        spec: spec.clone(),
+        outcome,
+        from_disk: false,
+    }
+}
+
+/// Run a sweep serially on the calling thread (what the experiments do —
+/// they already execute inside a pool worker).
+pub fn run_serial(ctx: &Ctx, spec: &SweepSpec, cache: Option<&DiskCache>) -> SweepRun {
+    let cells = spec
+        .cells()
+        .iter()
+        .map(|c| run_cell(ctx, c, cache))
+        .collect();
+    collect(spec, cells)
+}
+
+/// Run a sweep's cells on the pool (the `repro sweep` path). Results come
+/// back in expansion order regardless of the interleaving, so the output
+/// is byte-identical to [`run_serial`].
+pub fn run_pooled(pool: &Pool, ctx: &Ctx, spec: &SweepSpec, cache: Option<&DiskCache>) -> SweepRun {
+    let cell_specs = spec.cells();
+    let tasks: Vec<_> = cell_specs
+        .iter()
+        .map(|c| move || run_cell(ctx, c, cache))
+        .collect();
+    let cells = pool.run_all(tasks);
+    collect(spec, cells)
+}
+
+fn collect(spec: &SweepSpec, cells: Vec<CellResult>) -> SweepRun {
+    SweepRun {
+        name: spec.name,
+        title: spec.title,
+        kind: spec.kind,
+        axis_names: spec.axes.iter().map(|a| a.name).collect(),
+        cells,
+    }
+}
+
+/// Render a run as a long-form CSV: one row per cell; spec columns, a
+/// status column, the kind's metric columns, and the error token.
+pub fn to_csv(run: &SweepRun) -> String {
+    let mut headers = vec![
+        "workload",
+        "system",
+        "gpus",
+        "batch",
+        "precision",
+        "mtbf_hours",
+        "interval",
+        "status",
+    ];
+    headers.extend_from_slice(run.kind.columns());
+    headers.push("error");
+    let mut t = Table::new("", headers);
+    for cell in &run.cells {
+        let s = &cell.spec;
+        let mut row = vec![
+            s.workload.map_or("-", BenchmarkId::abbreviation).to_string(),
+            s.system
+                .map_or_else(|| "-".to_string(), |x| x.name().replace(' ', "_")),
+            s.gpus.map_or_else(|| "-".to_string(), |g| g.to_string()),
+            s.batch.map_or_else(|| "-".to_string(), |b| b.to_string()),
+            s.precision.map_or("-", |p| match p {
+                PrecisionPolicy::Fp32 => "fp32",
+                PrecisionPolicy::Amp => "amp",
+            })
+            .to_string(),
+            s.mtbf_hours
+                .map_or_else(|| "-".to_string(), |m| format!("{m:.1}")),
+            match s.interval {
+                None => "-".to_string(),
+                Some(IntervalChoice::Daly) => "daly".to_string(),
+                Some(IntervalChoice::FixedMin(m)) => format!("{m:.1}min"),
+            },
+        ];
+        match &cell.outcome {
+            Ok(v) => {
+                row.push("ok".to_string());
+                row.extend(v.values().iter().map(|x| format!("{x:.4}")));
+                row.push("-".to_string());
+            }
+            Err(e) => {
+                row.push("error".to_string());
+                row.extend(std::iter::repeat_n(
+                    "-".to_string(),
+                    run.kind.columns().len(),
+                ));
+                row.push(e.kind.clone());
+            }
+        }
+        t.add_row(row);
+    }
+    t.to_csv()
+}
+
+/// Figure 4's input grid: every MLPerf benchmark at 1/2/4/8 GPUs on the
+/// DSS 8440 (also consumed by Table IV's memo hits, the cluster study,
+/// and the fault study's elastic part).
+pub fn figure4_scaling() -> SweepSpec {
+    SweepSpec::new(
+        "figure4_scaling",
+        "MLPerf workloads x GPU count on the DSS 8440",
+        CellKind::Training,
+    )
+    .fix(AxisValue::System(SystemId::Dss8440))
+    .axis(
+        "workload",
+        BenchmarkId::MLPERF.iter().copied().map(AxisValue::Workload).collect(),
+    )
+    .axis("gpus", [1u32, 2, 4, 8].iter().map(|&g| AxisValue::Gpus(g)).collect())
+}
+
+/// The batch sweep: one benchmark on a single V100 of the C4140 (K),
+/// per-GPU batch doubling from 16 until past the OOM wall.
+pub fn batch_wall(id: BenchmarkId) -> SweepSpec {
+    let batches: Vec<AxisValue> = (0..)
+        .map(|i| 16u64 << i)
+        .take_while(|&b| b <= 1 << 14)
+        .map(AxisValue::Batch)
+        .collect();
+    SweepSpec::new(
+        "batch_wall",
+        "Per-GPU batch size to the OOM wall (C4140 K, 1 GPU)",
+        CellKind::Training,
+    )
+    .fix(AxisValue::Workload(id))
+    .fix(AxisValue::System(SystemId::C4140K))
+    .fix(AxisValue::Gpus(1))
+    .axis("batch", batches)
+}
+
+/// The fault study's analytic grid: MTBF x checkpoint interval (four
+/// fixed intervals plus the Daly-optimal one) for the Transformer on 4
+/// GPUs of the DSS 8440.
+pub fn fault_ttt() -> SweepSpec {
+    SweepSpec::new(
+        "fault_ttt",
+        "Expected time-to-train vs MTBF and checkpoint interval",
+        CellKind::ExpectedTtt,
+    )
+    .fix(AxisValue::Workload(BenchmarkId::MlpfXfmrPy))
+    .fix(AxisValue::System(SystemId::Dss8440))
+    .fix(AxisValue::Gpus(4))
+    .axis(
+        "mtbf_hours",
+        [1.0, 4.0, 24.0].iter().map(|&m| AxisValue::MtbfHours(m)).collect(),
+    )
+    .axis(
+        "interval",
+        vec![
+            AxisValue::Interval(IntervalChoice::FixedMin(1.0)),
+            AxisValue::Interval(IntervalChoice::FixedMin(10.0)),
+            AxisValue::Interval(IntervalChoice::FixedMin(60.0)),
+            AxisValue::Interval(IntervalChoice::FixedMin(240.0)),
+            AxisValue::Interval(IntervalChoice::Daly),
+        ],
+    )
+}
+
+/// Every sweep `repro sweep` can run, by name.
+pub fn registry() -> Vec<SweepSpec> {
+    vec![
+        figure4_scaling(),
+        batch_wall(BenchmarkId::MlpfRes50Mx),
+        fault_ttt(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_is_first_axis_outermost() {
+        let spec = figure4_scaling();
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 28);
+        // First four cells: first workload at 1/2/4/8 GPUs.
+        for (i, g) in [1u32, 2, 4, 8].iter().enumerate() {
+            assert_eq!(cells[i].workload, Some(BenchmarkId::MlpfRes50Tf));
+            assert_eq!(cells[i].gpus, Some(*g));
+        }
+        assert_eq!(cells[4].workload, Some(BenchmarkId::MlpfRes50Mx));
+    }
+
+    #[test]
+    fn canonical_bytes_equal_iff_specs_equal() {
+        let a = figure4_scaling().cells();
+        for (i, x) in a.iter().enumerate() {
+            for (j, y) in a.iter().enumerate() {
+                assert_eq!(
+                    x.canonical_bytes() == y.canonical_bytes(),
+                    i == j,
+                    "cells {i} and {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn float_axes_canonicalize_by_bits() {
+        let mut a = CellSpec::empty(CellKind::ExpectedTtt);
+        a.apply(AxisValue::MtbfHours(1.0));
+        let mut b = CellSpec::empty(CellKind::ExpectedTtt);
+        b.apply(AxisValue::MtbfHours(1.0 + f64::EPSILON));
+        assert_ne!(a.canonical_bytes(), b.canonical_bytes());
+    }
+
+    #[test]
+    fn outcome_encoding_round_trips_exactly() {
+        let v = CellValue {
+            values: vec![1.0 / 3.0, -0.0, 6.25e-3, f64::MAX, 42.0],
+        };
+        let ok: Result<CellValue, CellError> = Ok(v);
+        assert_eq!(
+            decode_outcome(CellKind::Training, &encode_outcome(&ok)),
+            Some(ok.clone())
+        );
+        let err: Result<CellValue, CellError> = Err(CellError {
+            kind: "oom".to_string(),
+            message: "replica needs 32 GiB but device has 16 GiB".to_string(),
+            sim: None,
+        });
+        assert_eq!(
+            decode_outcome(CellKind::Training, &encode_outcome(&err)),
+            Some(err)
+        );
+        assert_eq!(decode_outcome(CellKind::Training, b"garbage"), None);
+    }
+
+    #[test]
+    fn serial_and_pooled_runs_agree() {
+        let ctx = Ctx::new();
+        let spec = fault_ttt();
+        let a = run_serial(&ctx, &spec, None);
+        let b = run_pooled(&Pool::with_workers(4), &Ctx::new(), &spec, None);
+        assert_eq!(to_csv(&a), to_csv(&b));
+        assert_eq!(a.errors(), 0);
+    }
+
+    #[test]
+    fn degraded_cell_caches_as_error_never_as_success() {
+        let dir = std::env::temp_dir().join("mlperf_sweep_err_cache");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = DiskCache::open_with_epoch(&dir, 0xE).unwrap();
+        let ctx = Ctx::new();
+        let spec = batch_wall(BenchmarkId::MlpfRes50Mx);
+        let cold = run_serial(&ctx, &spec, Some(&cache));
+        assert!(cold.errors() > 0, "the batch wall must be hit");
+        let warm = run_serial(&Ctx::new(), &spec, Some(&cache));
+        assert_eq!(warm.disk_hits(), warm.cells.len(), "fully warm");
+        for (c, w) in cold.cells.iter().zip(&warm.cells) {
+            match (&c.outcome, &w.outcome) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b),
+                (Err(a), Err(b)) => assert_eq!((&a.kind, &a.message), (&b.kind, &b.message)),
+                _ => panic!("warm outcome changed status"),
+            }
+        }
+        assert_eq!(to_csv(&cold), to_csv(&warm), "CSV bytes identical");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -14,14 +14,11 @@ use std::fmt;
 const HEADER_BYTES: usize = 8;
 const TRAILER_BYTES: usize = 4;
 
-/// A simple rolling checksum (FNV-1a, 32-bit) over the payload.
+/// A simple rolling checksum (FNV-1a, 32-bit) over the payload; the
+/// implementation lives in [`mlperf_testkit::hash`] with its reference
+/// vectors, shared across the workspace.
 fn checksum(bytes: &[u8]) -> u32 {
-    let mut hash: u32 = 0x811c_9dc5;
-    for &b in bytes {
-        hash ^= b as u32;
-        hash = hash.wrapping_mul(0x0100_0193);
-    }
-    hash
+    mlperf_testkit::hash::fnv1a32(bytes)
 }
 
 /// Errors from shard decoding.

@@ -17,7 +17,11 @@
 //!   replays byte-identically from its seed;
 //! * [`chaos`] — a seeded failure-injection plan ([`chaos::ChaosPlan`])
 //!   deciding panic / error / non-finite actions at named draw points,
-//!   used to chaos-test the experiment executor's resilience layer.
+//!   used to chaos-test the experiment executor's resilience layer;
+//! * [`hash`] — the workspace's single FNV-1a implementation (64- and
+//!   32-bit, with published reference vectors): retry-stream mapping,
+//!   trace fingerprints, shard checksums, and the persistent artifact
+//!   cache all key on it.
 //!
 //! The whole workspace builds and tests offline because of this crate: it
 //! has **zero dependencies** by design. See DESIGN.md §"Offline build &
@@ -26,5 +30,6 @@
 pub mod bench;
 pub mod chaos;
 pub mod fault;
+pub mod hash;
 pub mod prop;
 pub mod rng;

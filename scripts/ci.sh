@@ -23,6 +23,14 @@ echo "== executor determinism: golden artifacts at MLPERF_JOBS=1 and 4 =="
 MLPERF_JOBS=1 cargo test -q --offline -p mlperf-suite --test golden_artifacts
 MLPERF_JOBS=4 cargo test -q --offline -p mlperf-suite --test golden_artifacts
 
+echo "== conformance & cache batteries at MLPERF_JOBS=1 and 4 =="
+# Per-section FNV fingerprints and the persistent-cache properties must
+# hold serial and oversubscribed.
+MLPERF_JOBS=1 cargo test -q --offline -p mlperf-suite --test conformance
+MLPERF_JOBS=4 cargo test -q --offline -p mlperf-suite --test conformance
+MLPERF_JOBS=1 cargo test -q --offline -p mlperf-suite --test sweep_cache
+MLPERF_JOBS=4 cargo test -q --offline -p mlperf-suite --test sweep_cache
+
 echo "== fault injection: suite serial and oversubscribed =="
 # The fault subsystem's determinism contract: seeded plans, DES replay,
 # and elastic rescheduling behave identically at any worker count.
@@ -32,14 +40,47 @@ MLPERF_JOBS=4 cargo test -q --offline -p mlperf-sim fault
 
 report_tmp="$(mktemp -d)"
 trap 'rm -rf "$report_tmp"' EXIT
+# Hermetic persistent cache for everything below: never read or pollute
+# the checkout's artifacts/cache/. The worker-parity runs additionally
+# pass --no-cache so each one demonstrably recomputes from scratch.
+export MLPERF_CACHE_DIR="$report_tmp/cache"
 MLPERF_JOBS=1 cargo run -q --release --offline -p mlperf-suite --bin repro -- \
-    --report "$report_tmp/serial.md" >/dev/null
+    --no-cache --report "$report_tmp/serial.md" >/dev/null
+MLPERF_JOBS=3 cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    --no-cache --report "$report_tmp/three.md" >/dev/null
 MLPERF_JOBS=4 cargo run -q --release --offline -p mlperf-suite --bin repro -- \
-    --report "$report_tmp/pooled.md" >/dev/null
+    --no-cache --report "$report_tmp/pooled.md" >/dev/null
 diff -u "$report_tmp/serial.md" "$report_tmp/pooled.md" \
     || { echo "report bytes depend on MLPERF_JOBS" >&2; exit 1; }
+diff -u "$report_tmp/serial.md" "$report_tmp/three.md" \
+    || { echo "report bytes depend on MLPERF_JOBS (3 workers)" >&2; exit 1; }
 diff -u REPORT.md "$report_tmp/serial.md" \
     || { echo "committed REPORT.md is stale; regenerate with repro --report REPORT.md" >&2; exit 1; }
+
+echo "== cache gate: warm repro is 100% hits and byte-identical =="
+# The persistent result cache (DESIGN.md "Sweep & cache model"): a second
+# `repro --report` run must answer every section from artifacts/cache/
+# (100% hit rate, zero experiment recomputation) and write byte-identical
+# output; likewise the sweep CSVs.
+cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    --report "$report_tmp/cold.md" >/dev/null 2>/dev/null
+cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    --report "$report_tmp/warm.md" >/dev/null 2>"$report_tmp/warm.log"
+diff -u "$report_tmp/cold.md" "$report_tmp/warm.md" \
+    || { echo "warm cached report bytes differ from cold" >&2; exit 1; }
+diff -u REPORT.md "$report_tmp/warm.md" \
+    || { echo "warm cached report differs from committed REPORT.md" >&2; exit 1; }
+grep -q "100% hit rate" "$report_tmp/warm.log" \
+    || { echo "warm report run did not report a 100% cache hit rate" >&2; \
+         cat "$report_tmp/warm.log" >&2; exit 1; }
+cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    sweep --all --out "$report_tmp/sweeps_cold" >/dev/null 2>/dev/null
+cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    sweep --all --out "$report_tmp/sweeps_warm" >/dev/null 2>"$report_tmp/sweep_warm.log"
+diff -ur "$report_tmp/sweeps_cold" "$report_tmp/sweeps_warm" \
+    || { echo "warm sweep CSV bytes differ from cold" >&2; exit 1; }
+grep -q "100% hit rate" "$report_tmp/sweep_warm.log" \
+    || { echo "warm sweep run did not report a 100% cache hit rate" >&2; exit 1; }
 
 echo "== chaos gate: injected panic degrades one section, nothing else =="
 # The executor failure model (DESIGN.md "Executor failure model"): an
