@@ -8,7 +8,12 @@
 //! * `ablations` — design-choice studies DESIGN.md calls out (all-reduce
 //!   algorithm, comm/compute overlap, PCIe lane width, scheduler policy);
 //! * `substrate` — micro-benchmarks of the underlying machinery (model
-//!   builders, the engine step, PCA, the schedule search).
+//!   builders, the engine step, PCA, the schedule search);
+//! * `sweep` / `des` — snapshot benches (see [`snapshot`]) pinning the
+//!   million-cell sweep engine and the calendar event queue to committed
+//!   `BENCH_sweep.json` / `BENCH_des.json` baselines.
 //!
 //! The `repro` binary in `mlperf-suite` prints the regenerated artifacts;
 //! these targets measure them.
+
+pub mod snapshot;

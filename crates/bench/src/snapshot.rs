@@ -1,0 +1,193 @@
+//! Committed bench snapshots: measure, write, and tolerance-check.
+//!
+//! The `sweep` and `des` bench targets don't print transient timings and
+//! forget them — they produce a flat JSON snapshot (`BENCH_sweep.json`,
+//! `BENCH_des.json`) committed at the repository root, so a perf
+//! regression shows up as a failed `--check` in CI, not as a vibe.
+//!
+//! Raw wall-clock numbers (cells/sec, events/sec) vary across machines,
+//! so they are recorded but **not** gated. The gate covers only the
+//! scale-invariant fields each target nominates — same-run speedup
+//! ratios, hit rates, cell/event counts — compared against the committed
+//! snapshot at ±20% relative tolerance.
+//!
+//! Modes (after `--` on the cargo command line):
+//!
+//! * *(none)* — measure and print the snapshot JSON to stdout;
+//! * `--write` — measure and (over)write the committed snapshot;
+//! * `--check` — measure and fail (exit 1) if any gated field drifted
+//!   more than 20% from the committed snapshot;
+//! * `--test` — skip entirely (what `cargo test` passes, keeping tier-1
+//!   fast).
+
+use std::path::PathBuf;
+
+/// Relative tolerance for gated fields in `--check` mode.
+pub const TOLERANCE: f64 = 0.20;
+
+/// A flat, ordered map of metric name → value — everything a snapshot
+/// bench measures. Serialized as one stable pretty-printed JSON object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Schema tag, first field of the JSON object.
+    pub schema: &'static str,
+    fields: Vec<(String, f64)>,
+}
+
+impl Snapshot {
+    /// An empty snapshot with a schema tag.
+    pub fn new(schema: &'static str) -> Snapshot {
+        Snapshot {
+            schema,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Append one metric. Values are stored as `f64`; counts round-trip
+    /// exactly up to 2^53.
+    pub fn push(&mut self, name: &str, value: f64) {
+        assert!(value.is_finite(), "snapshot field '{name}' is not finite");
+        self.fields.push((name.to_string(), value));
+    }
+
+    /// The value of a named field.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.fields.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Render as a stable pretty-printed JSON object (trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema\": \"{}\"", self.schema));
+        for (name, value) in &self.fields {
+            // Counts print as integers, measurements with full precision.
+            let v = if *value == value.trunc() && value.abs() < 1e15 {
+                format!("{}", *value as i64)
+            } else {
+                format!("{value}")
+            };
+            out.push_str(&format!(",\n  \"{name}\": {v}"));
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Parse a snapshot previously produced by [`Snapshot::to_json`]
+    /// (a flat object of one string field and number fields). `None` on
+    /// anything malformed.
+    pub fn parse(text: &str, schema: &'static str) -> Option<Snapshot> {
+        let body = text.trim().strip_prefix('{')?.strip_suffix('}')?;
+        let mut snap = Snapshot::new(schema);
+        let mut saw_schema = false;
+        for pair in body.split(",\n") {
+            let (name, value) = pair.trim().split_once(':')?;
+            let name = name.trim().strip_prefix('"')?.strip_suffix('"')?;
+            let value = value.trim();
+            if name == "schema" {
+                saw_schema = value.trim_matches('"') == schema;
+                continue;
+            }
+            snap.push(name, value.parse().ok()?);
+        }
+        saw_schema.then_some(snap)
+    }
+}
+
+/// Where committed snapshots live: the workspace root.
+pub fn snapshot_path(file: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(file)
+}
+
+/// Compare `got` against the committed `want`, gating only the named
+/// fields at ±[`TOLERANCE`]. Returns human-readable failures.
+pub fn drifted(want: &Snapshot, got: &Snapshot, gated: &[&str]) -> Vec<String> {
+    let mut failures = Vec::new();
+    for name in gated {
+        let Some(old) = want.get(name) else {
+            failures.push(format!("committed snapshot is missing gated field '{name}'"));
+            continue;
+        };
+        let Some(new) = got.get(name) else {
+            failures.push(format!("measured snapshot is missing gated field '{name}'"));
+            continue;
+        };
+        let scale = old.abs().max(1e-12);
+        if ((new - old) / scale).abs() > TOLERANCE {
+            failures.push(format!(
+                "'{name}' drifted {:+.1}% (committed {old}, measured {new}, tolerance ±{:.0}%)",
+                (new - old) / scale * 100.0,
+                TOLERANCE * 100.0,
+            ));
+        }
+    }
+    failures
+}
+
+/// Entry point for a snapshot bench target: dispatch on the CLI mode and
+/// run `measure` at most once. `gated` names the scale-invariant fields
+/// `--check` holds to the committed `file`.
+pub fn run(file: &str, gated: &[&str], measure: impl FnOnce() -> Snapshot) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--test") {
+        println!("snapshot bench '{file}' skipped in test mode");
+        return;
+    }
+    let write = args.iter().any(|a| a == "--write");
+    let check = args.iter().any(|a| a == "--check");
+    let snap = measure();
+    print!("{}", snap.to_json());
+    let path = snapshot_path(file);
+    if write {
+        std::fs::write(&path, snap.to_json()).expect("writing snapshot");
+        println!("wrote {}", path.display());
+    }
+    if check {
+        let committed = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("no committed snapshot {}: {e}", path.display()));
+        let want = Snapshot::parse(&committed, snap.schema)
+            .unwrap_or_else(|| panic!("malformed committed snapshot {}", path.display()));
+        let failures = drifted(&want, &snap, gated);
+        if failures.is_empty() {
+            println!("{file}: all {} gated fields within ±{:.0}%", gated.len(), TOLERANCE * 100.0);
+        } else {
+            for f in &failures {
+                eprintln!("{file}: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let mut s = Snapshot::new("bench_test.v1");
+        s.push("cells", 999_936.0);
+        s.push("speedup", 123.456789);
+        s.push("hit_rate", 0.875);
+        let parsed = Snapshot::parse(&s.to_json(), "bench_test.v1").unwrap();
+        assert_eq!(parsed, s);
+        // Wrong schema tag is a parse failure, not a silent mismatch.
+        assert!(Snapshot::parse(&s.to_json(), "bench_other.v1").is_none());
+    }
+
+    #[test]
+    fn drift_gate_is_relative_and_only_covers_gated_fields() {
+        let mut old = Snapshot::new("bench_test.v1");
+        old.push("speedup", 100.0);
+        old.push("cells_per_sec", 5000.0);
+        let mut new = Snapshot::new("bench_test.v1");
+        new.push("speedup", 115.0); // +15%: inside ±20%
+        new.push("cells_per_sec", 50.0); // -99%: ungated, ignored
+        assert!(drifted(&old, &new, &["speedup"]).is_empty());
+        new.fields[0].1 = 125.0; // +25%: outside
+        assert_eq!(drifted(&old, &new, &["speedup"]).len(), 1);
+        // A missing gated field is a failure in either direction.
+        assert_eq!(drifted(&old, &new, &["missing"]).len(), 1);
+    }
+}

@@ -37,7 +37,8 @@ fn usage() -> &'static str {
             artifacts/cache/ when warm; disable with --no-cache or MLPERF_CACHE=off,\n\
             relocate with MLPERF_CACHE_DIR=DIR\n\
      env: MLPERF_JOBS=N (workers), MLPERF_STRICT=1 (fail fast, no degraded mode),\n\
-          MLPERF_RETRIES=N, MLPERF_STEP_BUDGET=N (see README)\n\
+          MLPERF_RETRIES=N, MLPERF_STEP_BUDGET=N, MLPERF_FASTPATH=off (force the\n\
+          full DES engine; output bytes are identical either way — see README)\n\
      exit: 0 healthy, 1 error, 2 degraded-but-complete (--report/--csv only)"
 }
 
@@ -54,7 +55,7 @@ fn run_sweeps(args: &[String], cache: Option<&DiskCache>) -> Result<ExitCode, St
         match arg.as_str() {
             "--list" => {
                 for s in &registry {
-                    println!("{:<18} {} ({} cells)", s.name, s.title, s.cells().len());
+                    println!("{:<18} {} ({} cells)", s.name, s.title, s.len());
                 }
                 return Ok(ExitCode::SUCCESS);
             }
@@ -84,17 +85,30 @@ fn run_sweeps(args: &[String], cache: Option<&DiskCache>) -> Result<ExitCode, St
     }
     std::fs::create_dir_all(&out_dir).map_err(|e| format!("creating {out_dir}: {e}"))?;
     let pool = Pool::from_env();
-    let ctx = Ctx::new();
+    // Memo-free context: sweep cells are pairwise distinct, so the step
+    // memo would only grow O(grid) without ever hitting — the disk cache
+    // (content-addressed, batched) is the persistence layer here.
+    let ctx = Ctx::without_memo();
+    // Rows are streamed to disk one shard at a time, so memory is bounded
+    // by the shard regardless of the grid (the million-cell sweep never
+    // materializes). Bytes are identical to the in-memory rendering.
+    const SHARD: usize = 1024;
     for spec in selected {
-        let run = sweep::run_pooled(&pool, &ctx, spec, cache);
         let path = format!("{out_dir}/{}.csv", spec.name);
-        std::fs::write(&path, sweep::to_csv(&run)).map_err(|e| format!("writing {path}: {e}"))?;
+        let file =
+            std::fs::File::create(&path).map_err(|e| format!("creating {path}: {e}"))?;
+        let mut out = std::io::BufWriter::new(file);
+        let summary = sweep::run_streamed(&pool, &ctx, spec, cache, &mut out, SHARD)
+            .and_then(|s| std::io::Write::flush(&mut out).map(|()| s))
+            .map_err(|e| format!("writing {path}: {e}"))?;
         println!(
             "wrote {path} ({} cells, {} degraded, {} from cache)",
-            run.cells.len(),
-            run.errors(),
-            run.disk_hits(),
+            summary.cells, summary.errors, summary.disk_hits,
         );
+    }
+    let (attempts, hits) = ctx.fast_stats();
+    if attempts > 0 {
+        eprintln!("fast path: {hits}/{attempts} cells priced analytically");
     }
     if let Some(c) = cache {
         eprint!("{}", c.summary());

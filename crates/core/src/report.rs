@@ -82,24 +82,28 @@ impl Table {
     /// Render as RFC-4180-style CSV (header row first; cells containing
     /// commas, quotes, or newlines are quoted with doubled quotes).
     pub fn to_csv(&self) -> String {
-        fn cell(s: &str) -> String {
-            if s.contains([',', '"', '\n']) {
-                format!("\"{}\"", s.replace('"', "\"\""))
-            } else {
-                s.to_string()
-            }
-        }
-        let mut out = String::new();
-        let header: Vec<String> = self.headers.iter().map(|h| cell(h)).collect();
-        out.push_str(&header.join(","));
-        out.push('\n');
+        let mut out = csv_line(self.headers.iter().map(String::as_str));
         for row in &self.rows {
-            let cells: Vec<String> = row.iter().map(|c| cell(c)).collect();
-            out.push_str(&cells.join(","));
-            out.push('\n');
+            out.push_str(&csv_line(row.iter().map(String::as_str)));
         }
         out
     }
+}
+
+/// Serialize one CSV record — the exact quoting [`Table::to_csv`] uses,
+/// exposed so streaming writers (which never materialize a `Table`) emit
+/// byte-identical rows. Includes the trailing newline.
+pub fn csv_line<'a>(cells: impl IntoIterator<Item = &'a str>) -> String {
+    fn cell(s: &str) -> String {
+        if s.contains([',', '"', '\n']) {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    }
+    let mut out = cells.into_iter().map(cell).collect::<Vec<_>>().join(",");
+    out.push('\n');
+    out
 }
 
 impl fmt::Display for Table {

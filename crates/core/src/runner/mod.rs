@@ -46,7 +46,9 @@ use crate::experiments::{
 };
 use crate::workloads::{self, WorkloadRun, WorkloadSpec};
 use crate::{sensitivity, validation};
-use mlperf_hw::systems::SystemId;
+use mlperf_analysis::roofline::RooflineModel;
+use mlperf_hw::systems::{SystemId, SystemSpec};
+use mlperf_hw::Precision;
 use mlperf_models::PrecisionPolicy;
 use error::panic_message;
 use mlperf_sim::engine::{RunSpec, SimError, Simulator, StepReport};
@@ -55,7 +57,7 @@ use mlperf_sim::TrainingJob;
 use mlperf_testkit::rng::Rng;
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::ThreadId;
 use std::time::{Duration, Instant};
@@ -135,22 +137,6 @@ impl TrainPoint {
         self
     }
 
-    /// Materialize the training job this point describes.
-    fn job(&self) -> TrainingJob {
-        let mut job = if self.reference {
-            self.benchmark.reference_job()
-        } else {
-            self.benchmark.job()
-        };
-        if let Some(p) = self.precision {
-            job = job.with_precision(p);
-        }
-        if let Some(b) = self.per_gpu_batch {
-            job = job.with_per_gpu_batch(b);
-        }
-        job
-    }
-
     /// The cache key, with overrides resolved to effective values.
     fn key(&self, job: &TrainingJob, window: (u64, u64)) -> RunKey {
         RunKey {
@@ -212,6 +198,10 @@ impl CacheStats {
     }
 }
 
+/// Key of one roofline pre-screen verdict: (benchmark, reference,
+/// system, precision, gpus).
+type ScreenKey = (BenchmarkId, bool, SystemId, PrecisionPolicy, u32);
+
 /// Shared execution context: the memo caches, the artifact store, and the
 /// cache counters. One `Ctx` spans one report (or one standalone
 /// experiment run); sharing it across experiments is what deduplicates
@@ -225,6 +215,28 @@ pub struct Ctx {
     /// Armed per worker thread by the executor around each experiment
     /// attempt; every simulation request charges one unit against it.
     budgets: Mutex<HashMap<ThreadId, BudgetCell>>,
+    /// Sticky flag: set the first time any thread arms a budget, never
+    /// cleared. Lets [`Ctx::charge`] skip the budget lock entirely in
+    /// the common budget-free case (it runs once per priced sweep cell).
+    budget_armed: AtomicBool,
+    /// Interned platform specs: building a [`SystemSpec`] walks the whole
+    /// topology, which a million-cell sweep must not repeat per cell.
+    systems: Mutex<HashMap<SystemId, Arc<SystemSpec>>>,
+    /// Interned benchmark template jobs (tuned and reference): cloning a
+    /// template is an `Arc` bump on the model graph, where rebuilding one
+    /// re-allocates the whole operator list per cell.
+    templates: Mutex<HashMap<(BenchmarkId, bool), Arc<TrainingJob>>>,
+    /// Whether the engine's analytic fast path may be attempted at all
+    /// (the `MLPERF_FASTPATH=off` escape hatch).
+    fastpath: bool,
+    /// Roofline pre-screen verdicts, one per (benchmark, reference,
+    /// system, precision, gpus) combo — batch-independent by construction
+    /// so the cached verdict is scheduling-invariant.
+    fast_screen: Mutex<HashMap<ScreenKey, bool>>,
+    /// Unique simulation points that attempted the analytic fast path.
+    fast_attempts: AtomicU64,
+    /// Unique simulation points the fast path actually priced.
+    fast_hits: AtomicU64,
 }
 
 /// One armed step budget (see [`Ctx::charge`]).
@@ -235,8 +247,15 @@ struct BudgetCell {
 }
 
 impl Ctx {
-    /// A fresh memoizing context.
+    /// A fresh memoizing context. The analytic fast path is on unless
+    /// [`FASTPATH_ENV`] says otherwise.
     pub fn new() -> Ctx {
+        let fastpath = !std::env::var(FASTPATH_ENV).is_ok_and(|v| {
+            matches!(
+                v.trim().to_ascii_lowercase().as_str(),
+                "off" | "0" | "false" | "no"
+            )
+        });
         Ctx {
             steps: ShardedCache::new(),
             kernels: ShardedCache::new(),
@@ -244,6 +263,13 @@ impl Ctx {
             uncached: AtomicU64::new(0),
             memoize: true,
             budgets: Mutex::new(HashMap::new()),
+            budget_armed: AtomicBool::new(false),
+            systems: Mutex::new(HashMap::new()),
+            templates: Mutex::new(HashMap::new()),
+            fastpath,
+            fast_screen: Mutex::new(HashMap::new()),
+            fast_attempts: AtomicU64::new(0),
+            fast_hits: AtomicU64::new(0),
         }
     }
 
@@ -257,6 +283,68 @@ impl Ctx {
         }
     }
 
+    /// Force the analytic fast path on or off, overriding
+    /// [`FASTPATH_ENV`]. The contract either way: identical output bytes
+    /// (the fast path is exact and the differential batteries pin it);
+    /// only the throughput changes.
+    #[must_use]
+    pub fn with_fastpath(mut self, enabled: bool) -> Ctx {
+        self.fastpath = enabled;
+        self
+    }
+
+    /// `(attempted, priced)` counts for the analytic fast path, over
+    /// unique simulation points that reached a verdict (error cells are
+    /// excluded: both engines reject them in shared validation before
+    /// either loop runs). Stderr-only instrumentation: never rendered
+    /// into report bytes, which must not depend on the fast path being
+    /// on or off.
+    pub fn fast_stats(&self) -> (u64, u64) {
+        (
+            self.fast_attempts.load(Ordering::Relaxed),
+            self.fast_hits.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The interned platform spec for `id`.
+    pub fn system_spec(&self, id: SystemId) -> Arc<SystemSpec> {
+        Arc::clone(
+            lock(&self.systems)
+                .entry(id)
+                .or_insert_with(|| Arc::new(id.spec())),
+        )
+    }
+
+    /// The interned template job for a benchmark (tuned or reference
+    /// implementation), shared across every cell that starts from it.
+    pub fn base_job(&self, benchmark: BenchmarkId, reference: bool) -> Arc<TrainingJob> {
+        Arc::clone(
+            lock(&self.templates)
+                .entry((benchmark, reference))
+                .or_insert_with(|| {
+                    Arc::new(if reference {
+                        benchmark.reference_job()
+                    } else {
+                        benchmark.job()
+                    })
+                }),
+        )
+    }
+
+    /// Materialize a point's job from the interned template: an `Arc`
+    /// bump plus the override clones, instead of rebuilding the model
+    /// graph from the zoo per request.
+    fn job_for(&self, point: &TrainPoint) -> TrainingJob {
+        let mut job = (*self.base_job(point.benchmark, point.reference)).clone();
+        if let Some(p) = point.precision {
+            job = job.with_precision(p);
+        }
+        if let Some(b) = point.per_gpu_batch {
+            job = job.with_per_gpu_batch(b);
+        }
+        job
+    }
+
     /// The steady-state step report for a training point, memoized.
     ///
     /// # Errors
@@ -264,7 +352,7 @@ impl Ctx {
     /// Propagates [`SimError`] from the engine (errors are memoized too:
     /// a point that OOMs once OOMs always).
     pub fn step(&self, point: &TrainPoint) -> Result<StepReport, SimError> {
-        let job = point.job();
+        let job = self.job_for(point);
         self.step_for(point, &job)
     }
 
@@ -275,15 +363,34 @@ impl Ctx {
     ///
     /// As [`Ctx::step`].
     pub fn outcome(&self, point: &TrainPoint) -> Result<TrainingOutcome, SimError> {
-        let job = point.job();
+        let job = self.job_for(point);
         let step = self.step_for(point, &job)?;
         Ok(outcome_from_step(&job, step))
+    }
+
+    /// The step report and the outcome derived from it, sharing one job
+    /// materialization and one engine request — the sweep's per-cell lane
+    /// (calling [`Ctx::step`] then [`Ctx::outcome`] costs two of each).
+    /// Values are identical to the separate calls by construction.
+    ///
+    /// # Errors
+    ///
+    /// As [`Ctx::step`].
+    pub fn step_and_outcome(
+        &self,
+        point: &TrainPoint,
+    ) -> Result<(StepReport, TrainingOutcome), SimError> {
+        let job = self.job_for(point);
+        let step = self.step_for(point, &job)?;
+        let outcome = outcome_from_step(&job, step.clone());
+        Ok((step, outcome))
     }
 
     /// Arm a cooperative step budget for the calling thread: subsequent
     /// simulation requests from this thread charge against it until
     /// [`Ctx::disarm_budget`].
     fn arm_budget(&self, budget: u64) {
+        self.budget_armed.store(true, Ordering::Relaxed);
         lock(&self.budgets).insert(
             std::thread::current().id(),
             BudgetCell { used: 0, budget },
@@ -308,6 +415,9 @@ impl Ctx {
     /// when the budget trips; the executor's unwind boundary downcasts it
     /// into [`ExperimentError::DeadlineExceeded`].
     pub fn charge(&self, n: u64) {
+        if !self.budget_armed.load(Ordering::Relaxed) {
+            return;
+        }
         let mut budgets = lock(&self.budgets);
         if let Some(cell) = budgets.get_mut(&std::thread::current().id()) {
             cell.used += n;
@@ -324,19 +434,136 @@ impl Ctx {
 
     fn step_for(&self, point: &TrainPoint, job: &TrainingJob) -> Result<StepReport, SimError> {
         self.charge(1);
+        let system = self.system_spec(point.system);
         let simulate = || {
-            let system = point.system.spec();
-            Simulator::new(&system)
-                .execute(&RunSpec::on_first(job.clone(), point.gpus))
+            let sim = Simulator::new(&system);
+            // The fast path runs *inside* the memo closure, so hit/miss
+            // counters and memoization behavior are identical either way;
+            // its result is bit-identical to `execute` by contract
+            // (differentially pinned), so so are the cached bytes. The
+            // borrowed entry point (`execute_fast_on`) skips the RunSpec:
+            // no job clone and no GPU-set allocation per cell.
+            if self.fastpath && self.fast_screen(point, job, &system) {
+                let n = point.gpus as usize;
+                let fast = if n <= 64 {
+                    let mut ordinals = [0u32; 64];
+                    for (i, slot) in ordinals.iter_mut().enumerate().take(n) {
+                        *slot = i as u32;
+                    }
+                    sim.execute_fast_on(job, &ordinals[..n])
+                } else {
+                    sim.execute_fast(&RunSpec::on_first(job.clone(), point.gpus))
+                };
+                match fast {
+                    Ok(Some(outcome)) => {
+                        self.fast_attempts.fetch_add(1, Ordering::Relaxed);
+                        self.fast_hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(outcome.report);
+                    }
+                    // A decline counts as an attempt that missed; an error
+                    // counts as neither — both engines reject the cell in
+                    // shared validation before either loop runs, so error
+                    // cells say nothing about fast-path coverage.
+                    Ok(None) => {
+                        self.fast_attempts.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            sim.execute(&RunSpec::on_first(job.clone(), point.gpus))
                 .map(|outcome| outcome.report)
         };
         if !self.memoize {
             self.uncached.fetch_add(1, Ordering::Relaxed);
             return simulate();
         }
-        let system = point.system.spec();
         let window = Simulator::new(&system).window();
         self.steps.get_or_compute(point.key(job, window), simulate)
+    }
+
+    /// Roofline pre-screen for the analytic fast path: worth attempting
+    /// only when the template's device time (lower-bounded by the
+    /// attainable roof) can plausibly cover the host's per-iteration feed
+    /// work — i.e. the cell is compute- or bandwidth-bound, not
+    /// host-bound. Soundness does not depend on this verdict: the engine
+    /// re-proves eligibility exactly and declines otherwise; the screen
+    /// only spares ineligible cells the warmup replay. The verdict is
+    /// computed once per (benchmark, reference, system, precision, gpus)
+    /// combo *at the template's own batch size*, so it is deterministic
+    /// regardless of which cell of a sweep arrives first.
+    fn fast_screen(&self, point: &TrainPoint, job: &TrainingJob, system: &SystemSpec) -> bool {
+        let key = (
+            point.benchmark,
+            point.reference,
+            point.system,
+            job.precision(),
+            point.gpus,
+        );
+        if let Some(&verdict) = lock(&self.fast_screen).get(&key) {
+            return verdict;
+        }
+        let verdict = self.screen_verdict(point, job.precision(), system);
+        lock(&self.fast_screen).insert(key, verdict);
+        verdict
+    }
+
+    fn screen_verdict(
+        &self,
+        point: &TrainPoint,
+        precision: PrecisionPolicy,
+        system: &SystemSpec,
+    ) -> bool {
+        // Clone the interned template instead of rebuilding it from the
+        // zoo — the verdict is per-combo, but a strided sweep can visit
+        // hundreds of combos.
+        let template =
+            (*self.base_job(point.benchmark, point.reference)).clone().with_precision(precision);
+        let k = point.gpus as u64;
+        let batch = template.effective_per_gpu_batch(k.max(1));
+        let pass = template
+            .model()
+            .pass_cost(batch, template.precision());
+        let flops = pass.total_flops().as_u64();
+        let bytes = pass.mem_bytes.as_u64();
+        if flops == 0 || bytes == 0 {
+            // Degenerate template; attempt the fast path and let the
+            // engine's exact checks (and typed errors) decide.
+            return true;
+        }
+        // Device-time lower bound from the attainable roof, at the
+        // fastest ceiling the policy can reach.
+        let roofline = RooflineModel::for_gpu(&system.gpu_model().spec());
+        let roof_precision = match template.precision() {
+            PrecisionPolicy::Amp => Precision::TensorCore,
+            _ => Precision::Single,
+        };
+        let intensity = flops as f64 / bytes as f64;
+        let attainable = roofline.attainable(intensity, roof_precision);
+        let device_secs = flops as f64 / attainable.as_flops_per_sec();
+        // Host feed upper bound per iteration: the whole loader chain
+        // plus every GPU's H2D transfer as if they shared one uplink.
+        let cpu = system.cpu_model().spec();
+        let sockets = system.cpu_count() as f64;
+        let pipeline = template.pipeline();
+        let prep_secs =
+            pipeline.host_time_per_batch(&cpu, batch).as_secs() / sockets * point.gpus as f64;
+        let h2d = pipeline.h2d_bytes_per_batch(batch);
+        let worst_uplink = (0..point.gpus)
+            .filter_map(|g| {
+                let path = system.topology().gpu_host_path(g).ok()?;
+                path.links
+                    .iter()
+                    .map(|l| l.effective_bandwidth().as_bytes_per_sec())
+                    .min_by(|a, b| a.partial_cmp(b).expect("finite bandwidths"))
+            })
+            .min_by(|a, b| a.partial_cmp(b).expect("finite bandwidths"));
+        let Some(uplink) = worst_uplink else {
+            // Unroutable or invalid GPU set: attempt the fast path so the
+            // engine surfaces the identical typed error either way.
+            return true;
+        };
+        let h2d_secs = h2d.as_u64() as f64 / uplink * point.gpus as f64;
+        device_secs >= prep_secs + h2d_secs
     }
 
     /// A characterized workload run (either suite), memoized.
@@ -356,13 +583,13 @@ impl Ctx {
                 let outcome = self.outcome(&TrainPoint::new(id, system, gpus))?;
                 Ok(workloads::trainable_from_outcome(
                     id,
-                    &system.spec(),
+                    &self.system_spec(system),
                     &outcome,
                 ))
             }
             WorkloadSpec::DeepBench(id) => {
                 self.charge(1);
-                let compute = || workloads::run(spec, &system.spec(), gpus);
+                let compute = || workloads::run(spec, &self.system_spec(system), gpus);
                 if !self.memoize {
                     self.uncached.fetch_add(1, Ordering::Relaxed);
                     return compute();
@@ -388,7 +615,7 @@ impl Ctx {
     ) -> Result<TrainingOutcome, SimError> {
         self.charge(1);
         self.uncached.fetch_add(1, Ordering::Relaxed);
-        let spec = system.spec();
+        let spec = self.system_spec(system);
         let sim = Simulator::new(&spec);
         let ordinals: Vec<u32> = (0..gpus).collect();
         train(&sim, job, &ordinals)
@@ -761,6 +988,12 @@ pub const RETRIES_ENV: &str = "MLPERF_RETRIES";
 /// Environment variable setting a per-experiment simulation-request
 /// budget (cooperative, deterministic — not wall-clock).
 pub const STEP_BUDGET_ENV: &str = "MLPERF_STEP_BUDGET";
+/// Environment variable disabling the engine's analytic fast path
+/// (`off`/`0`/`false`/`no`): every point then takes the full DES loop.
+/// Output bytes are identical either way — this is a performance escape
+/// hatch and an A/B lever for the differential batteries, not a semantic
+/// knob.
+pub const FASTPATH_ENV: &str = "MLPERF_FASTPATH";
 
 /// Seed of the retry-backoff PRNG; each experiment draws from stream
 /// [`fnv1a64`]`(id)` of this seed, so the trace is schedule-invariant.

@@ -203,7 +203,9 @@ pub struct CellError {
 }
 
 impl CellError {
-    fn from_sim(e: SimError) -> CellError {
+    /// Wrap a typed simulator error as a cell outcome: stable kind
+    /// token plus the formatted message rows and caches carry.
+    pub fn from_sim(e: SimError) -> CellError {
         let kind = match &e {
             SimError::OutOfMemory { .. } => "oom",
             SimError::NonFinite { .. } => "non-finite",
@@ -290,6 +292,9 @@ pub struct SweepSpec {
     pub kind: CellKind,
     base: CellSpec,
     axes: Vec<Axis>,
+    /// Keep only the first N cells of the expansion (a CI-sized prefix
+    /// of a huge grid). `None` — the default — means the full product.
+    trunc: Option<usize>,
 }
 
 impl SweepSpec {
@@ -301,6 +306,7 @@ impl SweepSpec {
             kind,
             base: CellSpec::empty(kind),
             axes: Vec::new(),
+            trunc: None,
         }
     }
 
@@ -324,29 +330,62 @@ impl SweepSpec {
         &self.axes
     }
 
+    /// Keep only the first `max_cells` cells of the deterministic
+    /// expansion — the CI-sized prefix of a grid too large to run whole.
+    /// Truncation is part of the sweep's canonical identity (the cache
+    /// must not confuse a prefix with the full grid); an untruncated
+    /// sweep spells its canonical bytes exactly as before.
+    #[must_use]
+    pub fn truncate(mut self, max_cells: usize) -> SweepSpec {
+        self.trunc = Some(max_cells);
+        self
+    }
+
+    /// Number of cells the sweep expands to, without materializing any
+    /// of them (the product of the axis lengths, capped by
+    /// [`SweepSpec::truncate`]).
+    pub fn len(&self) -> usize {
+        let full: usize = self.axes.iter().map(|a| a.values.len().max(1)).product();
+        self.trunc.map_or(full, |t| full.min(t))
+    }
+
+    /// Whether the expansion is empty (only possible via `truncate(0)`).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th cell of the deterministic expansion, decoded straight
+    /// from the odometer (last axis fastest) — O(axes), independent of
+    /// the grid size, so streaming runners never hold the grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn cell_at(&self, i: usize) -> CellSpec {
+        assert!(i < self.len(), "cell index {i} out of range {}", self.len());
+        let mut cell = self.base.clone();
+        // Decode index i into one coordinate per axis, last fastest.
+        let mut coords = vec![0usize; self.axes.len()];
+        let mut rest = i;
+        for (k, axis) in self.axes.iter().enumerate().rev() {
+            let n = axis.values.len().max(1);
+            coords[k] = rest % n;
+            rest /= n;
+        }
+        for (axis, &c) in self.axes.iter().zip(&coords) {
+            if let Some(v) = axis.values.get(c) {
+                cell.apply(*v);
+            }
+        }
+        cell
+    }
+
     /// Deterministic expansion into cells (odometer over the axes,
     /// last axis fastest — exactly the nested-loop order the experiments
-    /// used to hand-roll).
+    /// used to hand-roll). Materializes the whole grid; million-cell
+    /// sweeps should walk [`SweepSpec::cell_at`] instead.
     pub fn cells(&self) -> Vec<CellSpec> {
-        let mut out = Vec::new();
-        let total: usize = self.axes.iter().map(|a| a.values.len().max(1)).product();
-        for mut i in 0..total {
-            let mut cell = self.base.clone();
-            // Decode index i into one coordinate per axis, last fastest.
-            let mut coords = vec![0usize; self.axes.len()];
-            for (k, axis) in self.axes.iter().enumerate().rev() {
-                let n = axis.values.len().max(1);
-                coords[k] = i % n;
-                i /= n;
-            }
-            for (axis, &c) in self.axes.iter().zip(&coords) {
-                if let Some(v) = axis.values.get(c) {
-                    cell.apply(*v);
-                }
-            }
-            out.push(cell);
-        }
-        out
+        (0..self.len()).map(|i| self.cell_at(i)).collect()
     }
 
     /// The sweep's canonical identity: name, kind, and every axis value
@@ -366,6 +405,9 @@ impl SweepSpec {
                 s.push_str(&String::from_utf8_lossy(&probe.canonical_bytes()));
             }
             s.push(']');
+        }
+        if let Some(t) = self.trunc {
+            s.push_str(&format!(";trunc={t}"));
         }
         s.into_bytes()
     }
@@ -434,20 +476,17 @@ pub fn price_cell(ctx: &Ctx, spec: &CellSpec) -> Result<CellValue, CellError> {
             if let Some(p) = spec.precision {
                 point = point.with_precision(p);
             }
-            let step = ctx.step(&point).map_err(CellError::from_sim)?;
-            let outcome = ctx.outcome(&point).map_err(CellError::from_sim)?;
+            let (step, outcome) = ctx.step_and_outcome(&point).map_err(CellError::from_sim)?;
             // Epochs are charged by the *base* job's convergence model at
             // the cell's effective global batch (matching the batch
-            // sweep's original accounting).
-            let mut job = workload.job();
-            if let Some(p) = spec.precision {
-                job = job.with_precision(p);
-            }
-            if let Some(b) = spec.batch {
-                job = job.with_per_gpu_batch(b);
-            }
-            let global_batch = job.per_gpu_batch() * u64::from(gpus);
-            let epochs = workload.job().convergence().epochs_at(global_batch);
+            // sweep's original accounting). The interned template stands
+            // in for rebuilding the job from the zoo per cell; the batch
+            // override wins over the template default exactly as
+            // `with_per_gpu_batch` would.
+            let base = ctx.base_job(workload, false);
+            let per_gpu = spec.batch.unwrap_or_else(|| base.per_gpu_batch());
+            let global_batch = per_gpu * u64::from(gpus);
+            let epochs = base.convergence().epochs_at(global_batch);
             Ok(CellValue {
                 values: vec![
                     outcome.total_time.as_minutes(),
@@ -468,7 +507,7 @@ pub fn price_cell(ctx: &Ctx, spec: &CellSpec) -> Result<CellValue, CellError> {
             let point = TrainPoint::new(workload, system, gpus);
             let outcome = ctx.outcome(&point).map_err(CellError::from_sim)?;
             let work = outcome.total_time;
-            let job = workload.job();
+            let job = ctx.base_job(workload, false);
             let probe = CheckpointSpec::new(Seconds::from_minutes(10.0), CHECKPOINT_DEVICE);
             let write_cost = probe.write_cost(&job);
             let restart_cost = probe.restart_cost(&job);
@@ -598,9 +637,9 @@ fn collect(spec: &SweepSpec, cells: Vec<CellResult>) -> SweepRun {
     }
 }
 
-/// Render a run as a long-form CSV: one row per cell; spec columns, a
-/// status column, the kind's metric columns, and the error token.
-pub fn to_csv(run: &SweepRun) -> String {
+/// The CSV header vocabulary for one cell kind: spec columns, a status
+/// column, the kind's metric columns, and the error token.
+fn csv_headers(kind: CellKind) -> Vec<&'static str> {
     let mut headers = vec![
         "workload",
         "system",
@@ -611,48 +650,132 @@ pub fn to_csv(run: &SweepRun) -> String {
         "interval",
         "status",
     ];
-    headers.extend_from_slice(run.kind.columns());
+    headers.extend_from_slice(kind.columns());
     headers.push("error");
-    let mut t = Table::new("", headers);
-    for cell in &run.cells {
-        let s = &cell.spec;
-        let mut row = vec![
-            s.workload.map_or("-", BenchmarkId::abbreviation).to_string(),
-            s.system
-                .map_or_else(|| "-".to_string(), |x| x.name().replace(' ', "_")),
-            s.gpus.map_or_else(|| "-".to_string(), |g| g.to_string()),
-            s.batch.map_or_else(|| "-".to_string(), |b| b.to_string()),
-            s.precision.map_or("-", |p| match p {
-                PrecisionPolicy::Fp32 => "fp32",
-                PrecisionPolicy::Amp => "amp",
-            })
-            .to_string(),
-            s.mtbf_hours
-                .map_or_else(|| "-".to_string(), |m| format!("{m:.1}")),
-            match s.interval {
-                None => "-".to_string(),
-                Some(IntervalChoice::Daly) => "daly".to_string(),
-                Some(IntervalChoice::FixedMin(m)) => format!("{m:.1}min"),
-            },
-        ];
-        match &cell.outcome {
-            Ok(v) => {
-                row.push("ok".to_string());
-                row.extend(v.values().iter().map(|x| format!("{x:.4}")));
-                row.push("-".to_string());
-            }
-            Err(e) => {
-                row.push("error".to_string());
-                row.extend(std::iter::repeat_n(
-                    "-".to_string(),
-                    run.kind.columns().len(),
-                ));
-                row.push(e.kind.clone());
-            }
+    headers
+}
+
+/// Render one cell as its CSV row cells (unquoted). Shared between
+/// [`to_csv`] and [`run_streamed`] so the streamed file is byte-identical
+/// to the in-memory rendering.
+fn row_cells(kind: CellKind, cell: &CellResult) -> Vec<String> {
+    let s = &cell.spec;
+    let mut row = vec![
+        s.workload.map_or("-", BenchmarkId::abbreviation).to_string(),
+        s.system
+            .map_or_else(|| "-".to_string(), |x| x.name().replace(' ', "_")),
+        s.gpus.map_or_else(|| "-".to_string(), |g| g.to_string()),
+        s.batch.map_or_else(|| "-".to_string(), |b| b.to_string()),
+        s.precision.map_or("-", |p| match p {
+            PrecisionPolicy::Fp32 => "fp32",
+            PrecisionPolicy::Amp => "amp",
+        })
+        .to_string(),
+        s.mtbf_hours
+            .map_or_else(|| "-".to_string(), |m| format!("{m:.1}")),
+        match s.interval {
+            None => "-".to_string(),
+            Some(IntervalChoice::Daly) => "daly".to_string(),
+            Some(IntervalChoice::FixedMin(m)) => format!("{m:.1}min"),
+        },
+    ];
+    match &cell.outcome {
+        Ok(v) => {
+            row.push("ok".to_string());
+            row.extend(v.values().iter().map(|x| format!("{x:.4}")));
+            row.push("-".to_string());
         }
-        t.add_row(row);
+        Err(e) => {
+            row.push("error".to_string());
+            row.extend(std::iter::repeat_n("-".to_string(), kind.columns().len()));
+            row.push(e.kind.clone());
+        }
+    }
+    row
+}
+
+/// Render a run as a long-form CSV: one row per cell in expansion order.
+pub fn to_csv(run: &SweepRun) -> String {
+    let mut t = Table::new("", csv_headers(run.kind));
+    for cell in &run.cells {
+        t.add_row(row_cells(run.kind, cell));
     }
     t.to_csv()
+}
+
+/// What a streamed sweep did (the rows themselves went to the writer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Total cells priced and written.
+    pub cells: usize,
+    /// Cells that degraded to an error (still written, `status=error`).
+    pub errors: usize,
+    /// Cells answered by the persistent cache.
+    pub disk_hits: usize,
+    /// Peak number of priced-but-unwritten cells resident at once —
+    /// bounded by the shard size, never by the grid. The proof that
+    /// streaming buffering stayed bounded.
+    pub peak_resident: usize,
+}
+
+/// Run a sweep in shards of `shard` cells, writing each row as soon as
+/// its shard completes: the grid is never materialized, so a 10⁶-cell
+/// sweep runs in memory bounded by the shard size. Cells are decoded
+/// one shard at a time via [`SweepSpec::cell_at`], priced on the pool
+/// (expansion order preserved), rendered through the same row/quoting
+/// code as [`to_csv`], and dropped. The emitted bytes are identical to
+/// `to_csv(&run_pooled(..))`.
+///
+/// # Errors
+///
+/// Propagates write errors from `out`; pricing never fails (degraded
+/// cells become `status=error` rows, counted in the summary).
+pub fn run_streamed(
+    pool: &Pool,
+    ctx: &Ctx,
+    spec: &SweepSpec,
+    cache: Option<&DiskCache>,
+    out: &mut dyn std::io::Write,
+    shard: usize,
+) -> std::io::Result<StreamSummary> {
+    let shard = shard.max(1);
+    let total = spec.len();
+    out.write_all(crate::report::csv_line(csv_headers(spec.kind)).as_bytes())?;
+    let mut summary = StreamSummary {
+        cells: 0,
+        errors: 0,
+        disk_hits: 0,
+        peak_resident: 0,
+    };
+    let mut start = 0;
+    while start < total {
+        let end = (start + shard).min(total);
+        let specs: Vec<CellSpec> = (start..end).map(|i| spec.cell_at(i)).collect();
+        // A single worker gains nothing from task dispatch; pricing the
+        // shard inline skips the per-cell channel round-trip. Order is
+        // identical either way (`run_all` preserves submission order).
+        let results: Vec<CellResult> = if pool.workers() <= 1 {
+            specs.iter().map(|c| run_cell(ctx, c, cache)).collect()
+        } else {
+            let tasks: Vec<_> = specs
+                .iter()
+                .map(|c| move || run_cell(ctx, c, cache))
+                .collect();
+            pool.run_all(tasks)
+        };
+        summary.peak_resident = summary.peak_resident.max(results.len());
+        for cell in &results {
+            summary.cells += 1;
+            summary.errors += usize::from(cell.outcome.is_err());
+            summary.disk_hits += usize::from(cell.from_disk);
+            let row = row_cells(spec.kind, cell);
+            out.write_all(
+                crate::report::csv_line(row.iter().map(String::as_str)).as_bytes(),
+            )?;
+        }
+        start = end;
+    }
+    Ok(summary)
 }
 
 /// Figure 4's input grid: every MLPerf benchmark at 1/2/4/8 GPUs on the
@@ -719,12 +842,51 @@ pub fn fault_ttt() -> SweepSpec {
     )
 }
 
+/// How many cells of [`million_cell`] the registry (and CI) actually
+/// runs; the full grid is the bench harness's stress load.
+pub const MILLION_CELL_CI_PREFIX: usize = 512;
+
+/// The scale stress grid: every MLPerf benchmark × three systems ×
+/// 1/2/4/8 GPUs × both precisions × every per-GPU batch size from 1 to
+/// 5952 — 999,936 cells. Exists to prove the streaming runner holds a
+/// ~10⁶-cell sweep in shard-bounded memory; the registry carries it
+/// truncated to [`MILLION_CELL_CI_PREFIX`] cells so `repro sweep` and
+/// the conformance fingerprints stay CI-sized.
+pub fn million_cell() -> SweepSpec {
+    SweepSpec::new(
+        "million_cell",
+        "Scale stress grid: workload x system x GPUs x precision x batch",
+        CellKind::Training,
+    )
+    .axis(
+        "workload",
+        BenchmarkId::MLPERF.iter().copied().map(AxisValue::Workload).collect(),
+    )
+    .axis(
+        "system",
+        [SystemId::Dss8440, SystemId::C4140K, SystemId::T640]
+            .iter()
+            .map(|&s| AxisValue::System(s))
+            .collect(),
+    )
+    .axis("gpus", [1u32, 2, 4, 8].iter().map(|&g| AxisValue::Gpus(g)).collect())
+    .axis(
+        "precision",
+        vec![
+            AxisValue::Precision(PrecisionPolicy::Amp),
+            AxisValue::Precision(PrecisionPolicy::Fp32),
+        ],
+    )
+    .axis("batch", (1u64..=5952).map(AxisValue::Batch).collect())
+}
+
 /// Every sweep `repro sweep` can run, by name.
 pub fn registry() -> Vec<SweepSpec> {
     vec![
         figure4_scaling(),
         batch_wall(BenchmarkId::MlpfRes50Mx),
         fault_ttt(),
+        million_cell().truncate(MILLION_CELL_CI_PREFIX),
     ]
 }
 
@@ -743,6 +905,60 @@ mod tests {
             assert_eq!(cells[i].gpus, Some(*g));
         }
         assert_eq!(cells[4].workload, Some(BenchmarkId::MlpfRes50Mx));
+    }
+
+    #[test]
+    fn cell_at_matches_materialized_expansion() {
+        for spec in registry() {
+            let cells = spec.cells();
+            assert_eq!(cells.len(), spec.len());
+            for (i, cell) in cells.iter().enumerate() {
+                assert_eq!(spec.cell_at(i), *cell, "{} cell {i}", spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_caps_expansion_and_changes_identity() {
+        let full = figure4_scaling();
+        let cut = figure4_scaling().truncate(5);
+        assert_eq!(full.len(), 28);
+        assert_eq!(cut.len(), 5);
+        assert_eq!(cut.cells(), full.cells()[..5].to_vec());
+        // Truncation is part of the canonical identity...
+        assert_ne!(full.canonical_bytes(), cut.canonical_bytes());
+        // ...but an untruncated sweep spells exactly as before.
+        assert!(!String::from_utf8(full.canonical_bytes()).unwrap().contains(";trunc="));
+        assert!(String::from_utf8(cut.canonical_bytes()).unwrap().ends_with(";trunc=5"));
+        // A cap wider than the grid is a no-op on the expansion.
+        assert_eq!(figure4_scaling().truncate(1000).len(), 28);
+    }
+
+    #[test]
+    fn million_cell_grid_is_million_scale() {
+        let spec = million_cell();
+        assert_eq!(spec.len(), 999_936);
+        assert!(spec.len() >= 100_000, "the stress grid must be 10^5+ cells");
+        // Decoding the far corner touches no other cell.
+        let last = spec.cell_at(spec.len() - 1);
+        assert_eq!(last.batch, Some(5952));
+        assert_eq!(last.precision, Some(PrecisionPolicy::Fp32));
+        assert_eq!(last.system, Some(SystemId::T640));
+    }
+
+    #[test]
+    fn streamed_run_matches_in_memory_bytes() {
+        let ctx = Ctx::new();
+        let spec = fault_ttt();
+        let expected = to_csv(&run_pooled(&Pool::with_workers(2), &ctx, &spec, None));
+        let mut out = Vec::new();
+        let summary =
+            run_streamed(&Pool::with_workers(2), &Ctx::new(), &spec, None, &mut out, 4)
+                .unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), expected);
+        assert_eq!(summary.cells, spec.len());
+        assert_eq!(summary.errors, 0);
+        assert!(summary.peak_resident <= 4, "buffering exceeded the shard");
     }
 
     #[test]

@@ -108,3 +108,35 @@ conformance! {
     table5_fingerprint => ("table5", 0x8d1f009188be0de8),
     validation_fingerprint => ("validation", 0xba688635a7b06efe),
 }
+
+/// The million-cell stress grid rides the registry truncated to its CI
+/// prefix; its CSV bytes are pinned here like any other golden section —
+/// and pinned *twice*, once per pricing engine, so the analytic fast
+/// path can never drift the rendered output. (Registry sweeps are not
+/// report experiments, so this lives outside the macro's pinned table.)
+#[test]
+fn million_cell_ci_prefix_fingerprint() {
+    use mlperf_suite::sweep;
+    let spec = sweep::registry()
+        .into_iter()
+        .find(|s| s.name == "million_cell")
+        .expect("million_cell registered");
+    assert_eq!(spec.len(), sweep::MILLION_CELL_CI_PREFIX);
+    let fast = sweep::to_csv(&sweep::run_serial(
+        &Ctx::new().with_fastpath(true),
+        &spec,
+        None,
+    ));
+    let slow = sweep::to_csv(&sweep::run_serial(
+        &Ctx::new().with_fastpath(false),
+        &spec,
+        None,
+    ));
+    assert_eq!(fast, slow, "fast path changed million_cell CSV bytes");
+    let got = fnv1a64_str(&fast);
+    let want: u64 = 0x4c343ad7848663f1;
+    assert_eq!(
+        got, want,
+        "million_cell CI prefix drifted (got {got:#018x}, want {want:#018x});\n{fast}"
+    );
+}

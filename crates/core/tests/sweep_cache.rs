@@ -239,6 +239,56 @@ fn evicting_a_random_csv_entry_reproduces_identical_bytes() {
     }
 }
 
+/// The analytic fast path must be invisible to the cache: a grid priced
+/// with the fast path enabled produces byte-identical CSV — including
+/// every degraded `status=error` row — to the same grid priced through
+/// the full DES engine, and the two populate interchangeable cache
+/// entries. A warm replay answers every cell from disk (fast-path cells
+/// are never silently re-priced) whichever engine warms it.
+#[test]
+fn fast_path_cells_cache_identically_and_never_mask_errors() {
+    let spec = sweep::batch_wall(BenchmarkId::MlpfRes50Mx);
+    let pool = Pool::with_workers(4);
+
+    // Cold-price the grid twice, once per engine, in separate caches.
+    let fast_dir = tmp("fastpath_on");
+    let fast_cache = DiskCache::open_with_epoch(&fast_dir, EPOCH).unwrap();
+    let fast_ctx = Ctx::new().with_fastpath(true);
+    let fast = sweep::run_pooled(&pool, &fast_ctx, &spec, Some(&fast_cache));
+
+    let slow_dir = tmp("fastpath_off");
+    let slow_cache = DiskCache::open_with_epoch(&slow_dir, EPOCH).unwrap();
+    let slow = sweep::run_pooled(
+        &pool,
+        &Ctx::new().with_fastpath(false),
+        &spec,
+        Some(&slow_cache),
+    );
+
+    // Identical bytes — the OOM wall degrades the same cells to the same
+    // error rows regardless of engine (the fast path cannot turn an
+    // error into a success or vice versa).
+    assert_eq!(sweep::to_csv(&fast), sweep::to_csv(&slow));
+    assert!(fast.errors() > 0, "the batch wall must be hit");
+    let (attempts, _) = fast_ctx.fast_stats();
+    assert!(attempts > 0, "fast path was never consulted");
+
+    // Cross-warm: the DES-priced cache answers a fast-path context (and
+    // vice versa) from disk, with zero recomputation and the same bytes.
+    for (cache, ctx) in [
+        (&slow_cache, Ctx::new().with_fastpath(true)),
+        (&fast_cache, Ctx::new().with_fastpath(false)),
+    ] {
+        let warm = sweep::run_pooled(&pool, &ctx, &spec, Some(cache));
+        assert_eq!(warm.disk_hits(), warm.cells.len(), "warm run recomputed");
+        assert_eq!(sweep::to_csv(&warm), sweep::to_csv(&fast));
+        let (attempts, _) = ctx.fast_stats();
+        assert_eq!(attempts, 0, "a disk hit must never re-price a cell");
+    }
+    let _ = std::fs::remove_dir_all(&fast_dir);
+    let _ = std::fs::remove_dir_all(&slow_dir);
+}
+
 #[test]
 fn sweep_cells_cache_and_replay_through_the_engine() {
     for workers in WORKER_COUNTS {

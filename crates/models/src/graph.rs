@@ -9,16 +9,52 @@
 
 use crate::op::{Op, OpKind};
 use crate::optimizer::Optimizer;
+use crate::passcost::PassCostTable;
 use crate::precision::PrecisionPolicy;
 use mlperf_hw::units::{Bytes, Flops};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Cap on memoized batch sizes per (graph, policy) — a sweep's batch axis
+/// fits comfortably; an adversarial caller cannot grow the memo without
+/// bound (inserts stop at the cap, correctness is unaffected).
+const PASS_MEMO_CAP: usize = 1 << 16;
+
+/// The lazily-built cost tables of one graph, one per precision policy,
+/// plus a per-batch result memo. Grid sweeps revisit the same batch from
+/// many (system, gpus) cells; the memo turns every revisit into a map
+/// hit instead of an op walk. Shared by clones through the `tables` Arc,
+/// so every cell of a sweep that starts from one interned template feeds
+/// the same memo.
+#[derive(Debug)]
+struct PassTables {
+    fp32: PassCostTable,
+    amp: PassCostTable,
+    fp32_memo: Mutex<HashMap<u64, IterationCost>>,
+    amp_memo: Mutex<HashMap<u64, IterationCost>>,
+}
 
 /// An ordered operator graph with a name.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The op list is `Arc`-shared: cloning a graph (and therefore cloning a
+/// training job per sweep cell) is a reference bump, not a deep copy of
+/// every operator's name string. Mutation goes through copy-on-write
+/// (`Arc::make_mut`) and drops the cached cost tables.
+#[derive(Debug, Clone)]
 pub struct ModelGraph {
     name: String,
-    ops: Vec<Op>,
+    ops: Arc<Vec<Op>>,
+    /// Vectorized pass-cost coefficients, built on first pricing and
+    /// shared by clones (a clone prices the same ops).
+    tables: Arc<OnceLock<PassTables>>,
+}
+
+impl PartialEq for ModelGraph {
+    fn eq(&self, other: &Self) -> bool {
+        // The tables are a cache of `ops`, not state.
+        self.name == other.name && self.ops == other.ops
+    }
 }
 
 impl ModelGraph {
@@ -26,7 +62,8 @@ impl ModelGraph {
     pub fn new(name: impl Into<String>) -> Self {
         ModelGraph {
             name: name.into(),
-            ops: Vec::new(),
+            ops: Arc::new(Vec::new()),
+            tables: Arc::new(OnceLock::new()),
         }
     }
 
@@ -37,7 +74,8 @@ impl ModelGraph {
 
     /// Append an operator.
     pub fn push(&mut self, op: Op) -> &mut Self {
-        self.ops.push(op);
+        Arc::make_mut(&mut self.ops).push(op);
+        self.tables = Arc::new(OnceLock::new());
         self
     }
 
@@ -92,7 +130,7 @@ impl ModelGraph {
     /// Training FLOPs broken down by operator kind.
     pub fn kind_breakdown(&self, batch: u64) -> BTreeMap<OpKind, Flops> {
         let mut map = BTreeMap::new();
-        for op in &self.ops {
+        for op in self.ops.iter() {
             let entry = map.entry(op.kind()).or_insert(Flops::ZERO);
             *entry = *entry + op.fwd_flops(batch) + op.bwd_flops(batch);
         }
@@ -113,11 +151,47 @@ impl ModelGraph {
     /// The cost of the forward+backward passes alone (no optimizer step) —
     /// what the simulator prices as the "compute" phase, with the update
     /// priced separately so it can sit after the gradient all-reduce.
+    ///
+    /// Evaluated through the graph's cached [`PassCostTable`]s — bit-
+    /// identical to the scalar walk
+    /// ([`ModelGraph::pass_cost_scalar`]), just without re-touching every
+    /// `Op` per call — and memoized per batch, since a grid sweep prices
+    /// the same (template, policy, batch) from many cells. The memo
+    /// stores exact results of the table walk, so hits are bit-identical
+    /// by construction.
     pub fn pass_cost(&self, batch: u64, policy: PrecisionPolicy) -> IterationCost {
+        let tables = self.tables.get_or_init(|| PassTables {
+            fp32: PassCostTable::build(&self.ops, PrecisionPolicy::Fp32),
+            amp: PassCostTable::build(&self.ops, PrecisionPolicy::Amp),
+            fp32_memo: Mutex::new(HashMap::new()),
+            amp_memo: Mutex::new(HashMap::new()),
+        });
+        let (table, memo) = match policy {
+            PrecisionPolicy::Fp32 => (&tables.fp32, &tables.fp32_memo),
+            PrecisionPolicy::Amp => (&tables.amp, &tables.amp_memo),
+        };
+        if let Some(&hit) = memo.lock().expect("pass-cost memo poisoned").get(&batch) {
+            return hit;
+        }
+        // Computed outside the lock: a racing duplicate computes the same
+        // deterministic value, which beats holding the lock over the walk.
+        let cost = table.pass_cost(batch);
+        let mut memo = memo.lock().expect("pass-cost memo poisoned");
+        if memo.len() < PASS_MEMO_CAP {
+            memo.insert(batch, cost);
+        }
+        cost
+    }
+
+    /// The original per-op pass-cost walk, kept verbatim as the oracle for
+    /// the vectorized table: the differential battery in
+    /// `tests/properties.rs` demands `pass_cost == pass_cost_scalar` on
+    /// fuzzed graphs, batches, and policies.
+    pub fn pass_cost_scalar(&self, batch: u64, policy: PrecisionPolicy) -> IterationCost {
         let mut simt = 0u64;
         let mut tensor = 0u64;
         let mut mem_bytes = 0u64;
-        for op in &self.ops {
+        for op in self.ops.iter() {
             let flops = op.fwd_flops(batch).as_u64() + op.bwd_flops(batch).as_u64();
             if policy == PrecisionPolicy::Amp && op.tensor_core_eligible() {
                 tensor += flops;
@@ -206,7 +280,8 @@ impl fmt::Display for ModelGraph {
 
 impl Extend<Op> for ModelGraph {
     fn extend<T: IntoIterator<Item = Op>>(&mut self, iter: T) {
-        self.ops.extend(iter);
+        Arc::make_mut(&mut self.ops).extend(iter);
+        self.tables = Arc::new(OnceLock::new());
     }
 }
 

@@ -21,11 +21,13 @@
 pub mod graph;
 pub mod op;
 pub mod optimizer;
+pub mod passcost;
 pub mod precision;
 pub mod tensor;
 pub mod zoo;
 
 pub use graph::{IterationCost, ModelGraph};
+pub use passcost::PassCostTable;
 pub use op::{Op, OpKind, RecurrentCell};
 pub use optimizer::Optimizer;
 pub use precision::PrecisionPolicy;

@@ -379,6 +379,27 @@ impl Op {
         ((self.fwd_act_elems * batch) as f64 * self.bwd_mem_factor).round() as u64
     }
 
+    /// Per-sample forward FLOPs (the raw coefficient behind
+    /// [`Op::fwd_flops`]), for cost-table extraction.
+    pub(crate) fn fwd_flops_per_sample(&self) -> u64 {
+        self.fwd_flops
+    }
+
+    /// Per-sample forward activation elements, for cost-table extraction.
+    pub(crate) fn fwd_act_elems_per_sample(&self) -> u64 {
+        self.fwd_act_elems
+    }
+
+    /// Backward-FLOP multiple, for cost-table extraction.
+    pub(crate) fn bwd_flop_factor(&self) -> f64 {
+        self.bwd_flop_factor
+    }
+
+    /// Backward-traffic multiple, for cost-table extraction.
+    pub(crate) fn bwd_mem_factor(&self) -> f64 {
+        self.bwd_mem_factor
+    }
+
     /// Fraction of this op's nominal activation traffic that actually
     /// reaches HBM. Pointwise and normalization ops fuse into the epilogue
     /// of the producing conv/GEMM kernel (cuDNN/XLA fusion), so most of

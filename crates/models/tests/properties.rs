@@ -31,6 +31,34 @@ fn arb_graph() -> impl Gen<Value = ModelGraph> {
 }
 
 mlperf_testkit::properties! {
+    /// Differential battery for the vectorized cost tables: the
+    /// table-backed `pass_cost` must be bit-identical to the original
+    /// scalar op walk on fuzzed graphs, batches, and both policies — and
+    /// so must a standalone `PassCostTable` built from the same ops.
+    #[test]
+    fn pass_cost_table_matches_scalar_walk(g in arb_graph(), batch in 1u64..=8192) {
+        use mlperf_models::PassCostTable;
+        for policy in [PrecisionPolicy::Fp32, PrecisionPolicy::Amp] {
+            let scalar = g.pass_cost_scalar(batch, policy);
+            prop_assert_eq!(g.pass_cost(batch, policy), scalar);
+            prop_assert_eq!(PassCostTable::build(g.ops(), policy).pass_cost(batch), scalar);
+        }
+    }
+
+    /// Graph mutation after pricing invalidates the cached tables: a
+    /// pushed op must show up in the next pass cost.
+    #[test]
+    fn cached_tables_track_mutation(g in arb_graph(), batch in 1u64..256) {
+        let before = g.pass_cost(batch, PrecisionPolicy::Fp32);
+        let mut grown = g.clone();
+        grown.push(Op::dense("appended", 32, 32));
+        let after = grown.pass_cost(batch, PrecisionPolicy::Fp32);
+        prop_assert!(after.total_flops() > before.total_flops());
+        prop_assert_eq!(grown.pass_cost_scalar(batch, PrecisionPolicy::Fp32), after);
+        // The original graph is untouched (copy-on-write).
+        prop_assert_eq!(g.pass_cost(batch, PrecisionPolicy::Fp32), before);
+    }
+
     /// FLOPs and activation traffic are exactly linear in the batch size.
     #[test]
     fn costs_linear_in_batch(g in arb_graph(), batch in 1u64..64) {

@@ -22,7 +22,6 @@ use mlperf_hw::systems::SystemSpec;
 use mlperf_hw::topology::{NodeId, P2pClass};
 use mlperf_hw::units::{Bytes, Seconds};
 use mlperf_models::IterationCost;
-use std::collections::HashMap;
 use std::fmt;
 
 /// Iterations simulated before measurement starts (pipeline fill).
@@ -223,6 +222,31 @@ pub struct Simulator<'a> {
     measure_iters: u64,
 }
 
+/// Batch-level pricing and host-pipeline shape shared by the DES loop and
+/// the analytic fast path — everything `run_inner` used to derive before
+/// its first iteration.
+struct Prepared {
+    n: u64,
+    batch: u64,
+    k: usize,
+    depth: u64,
+    compute_time: Seconds,
+    launch_overhead: Seconds,
+    opt_time: Seconds,
+    ar_full: Seconds,
+    exposed_comm: Seconds,
+    comm_class: Option<P2pClass>,
+    wire_per_gpu: Bytes,
+    hbm_per_gpu: Bytes,
+    h2d_bytes: Bytes,
+    prep_service: Seconds,
+    h2d_services: Vec<Seconds>,
+    /// Bottleneck-edge index per GPU; GPUs whose host paths share an
+    /// uplink share an entry (and therefore a FIFO resource).
+    link_of: Vec<usize>,
+    n_links: usize,
+}
+
 impl<'a> Simulator<'a> {
     /// Create an engine bound to a platform with the default simulation
     /// window (8 warmup + 32 measured iterations).
@@ -272,22 +296,84 @@ impl<'a> Simulator<'a> {
     /// * [`SimError::Topology`] — no route between required endpoints.
     pub fn execute(&self, spec: &RunSpec) -> Result<RunOutcome, SimError> {
         let (report, trace) = self.run_inner(&spec.job, &spec.gpus, spec.record_trace)?;
-        // Fault replay is deterministic post-processing of the steady
-        // state: the plan walks the run's total steps against the step
-        // report, so the healthy numbers above are untouched.
-        let faults = spec.faults.as_ref().map(|config| {
-            let total_steps =
-                crate::training::outcome_from_step(&spec.job, report.clone()).total_steps();
-            let (stats, fault_trace) = crate::fault::replay(config, &spec.job, &report, total_steps);
-            crate::fault::FaultOutcome {
-                stats,
-                trace: fault_trace,
-            }
-        });
+        let faults = self.fault_outcome(spec, &report);
         Ok(RunOutcome {
             report,
             trace,
             faults,
+        })
+    }
+
+    /// Attempt the analytic fast path for `spec`.
+    ///
+    /// When, after replaying the warmup fill exactly, the host loader and
+    /// every H2D uplink provably stay ahead of the GPUs for the whole
+    /// measured region (with a `1e-9` relative safety margin that dwarfs
+    /// any rounding the serve chains can accumulate), the DES loop would
+    /// take the `start = step_done` branch on every measured iteration and
+    /// the step recurrence collapses to three additions per step. The
+    /// returned outcome is then **bit-identical** to
+    /// [`Simulator::execute`] — same report, same typed errors, same fault
+    /// replay — which `tests/fastpath_diff.rs` pins differentially.
+    ///
+    /// Returns `Ok(None)` when eligibility cannot be proven or the spec
+    /// requests a trace; the caller falls back to the full DES.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::execute`].
+    pub fn execute_fast(&self, spec: &RunSpec) -> Result<Option<RunOutcome>, SimError> {
+        if spec.record_trace {
+            return Ok(None);
+        }
+        let Some(mut outcome) = self.execute_fast_on(&spec.job, &spec.gpus)? else {
+            return Ok(None);
+        };
+        outcome.faults = self.fault_outcome(spec, &outcome.report);
+        Ok(Some(outcome))
+    }
+
+    /// The analytic fast path on borrowed inputs — [`Simulator::execute_fast`]
+    /// without a [`RunSpec`] (so no job clone and no GPU-set allocation),
+    /// for callers pricing untraced, fault-free runs in bulk. Identical
+    /// verdicts and bit-identical reports to `execute_fast`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::execute`].
+    pub fn execute_fast_on(
+        &self,
+        job: &TrainingJob,
+        gpus: &[u32],
+    ) -> Result<Option<RunOutcome>, SimError> {
+        let p = self.prepare(job, gpus)?;
+        let Some((step_time, data_stall)) = self.analytic_steady_state(&p) else {
+            return Ok(None);
+        };
+        let report = self.finish(job, &p, step_time, data_stall)?;
+        Ok(Some(RunOutcome {
+            report,
+            trace: None,
+            faults: None,
+        }))
+    }
+
+    /// Fault replay is deterministic post-processing of the steady state:
+    /// the plan walks the run's total steps against the step report, so
+    /// the healthy numbers are untouched.
+    fn fault_outcome(
+        &self,
+        spec: &RunSpec,
+        report: &StepReport,
+    ) -> Option<crate::fault::FaultOutcome> {
+        spec.faults.as_ref().map(|config| {
+            let total_steps =
+                crate::training::outcome_from_step(&spec.job, report.clone()).total_steps();
+            let (stats, fault_trace) = crate::fault::replay(config, &spec.job, report, total_steps);
+            crate::fault::FaultOutcome {
+                stats,
+                trace: fault_trace,
+            }
         })
     }
 
@@ -318,33 +404,69 @@ impl<'a> Simulator<'a> {
             .map(|(report, trace)| (report, trace.expect("tracing was requested")))
     }
 
-    fn run_inner(
-        &self,
-        job: &TrainingJob,
-        gpus: &[u32],
-        record_trace: bool,
-    ) -> Result<(StepReport, Option<crate::trace::RunTrace>), SimError> {
+    /// Validate the GPU set and price every batch-level quantity — device
+    /// phases, memory, communication, and the host-pipeline services —
+    /// exactly as the monolithic `run_inner` used to, stopping just short
+    /// of the iteration loop.
+    fn prepare(&self, job: &TrainingJob, gpus: &[u32]) -> Result<Prepared, SimError> {
         let topo = self.system.topology();
         if gpus.is_empty() {
             return Err(SimError::BadGpuSet("empty GPU set".into()));
         }
-        let mut seen = std::collections::HashSet::new();
-        for &g in gpus {
-            if (g as usize) >= topo.gpu_count() {
-                return Err(SimError::BadGpuSet(format!(
-                    "GPU {g} not present (system has {})",
-                    topo.gpu_count()
-                )));
+        if topo.gpu_count() <= 64 {
+            // Allocation-free duplicate check for realistic chassis sizes
+            // (this runs once per priced sweep cell).
+            let mut seen = 0u64;
+            for &g in gpus {
+                if (g as usize) >= topo.gpu_count() {
+                    return Err(SimError::BadGpuSet(format!(
+                        "GPU {g} not present (system has {})",
+                        topo.gpu_count()
+                    )));
+                }
+                let bit = 1u64 << g;
+                if seen & bit != 0 {
+                    return Err(SimError::BadGpuSet(format!("GPU {g} listed twice")));
+                }
+                seen |= bit;
             }
-            if !seen.insert(g) {
-                return Err(SimError::BadGpuSet(format!("GPU {g} listed twice")));
+        } else {
+            let mut seen = std::collections::HashSet::new();
+            for &g in gpus {
+                if (g as usize) >= topo.gpu_count() {
+                    return Err(SimError::BadGpuSet(format!(
+                        "GPU {g} not present (system has {})",
+                        topo.gpu_count()
+                    )));
+                }
+                if !seen.insert(g) {
+                    return Err(SimError::BadGpuSet(format!("GPU {g} listed twice")));
+                }
             }
         }
         let n = gpus.len() as u64;
         let batch = job.effective_per_gpu_batch(n);
+        let gpu_spec = self.system.gpu_model().spec();
+
+        // --- memory check -------------------------------------------------
+        // Gated *before* pricing: the footprint is O(1) while pricing
+        // walks the graph, and wall-crossing batch sweeps reject most
+        // cells here. Pricing is infallible apart from the non-finite
+        // gate, so no error precedence changes for finite graphs.
+        let replica = job
+            .model()
+            .replica_footprint(batch, job.precision(), job.optimizer());
+        let hbm_per_gpu = replica
+            + job.hbm_overhead()
+            + job.pipeline().h2d_bytes_per_batch(batch) * job.prefetch_depth();
+        if hbm_per_gpu > gpu_spec.hbm_capacity() {
+            return Err(SimError::OutOfMemory {
+                required: hbm_per_gpu,
+                available: gpu_spec.hbm_capacity(),
+            });
+        }
 
         // --- price the device phases ------------------------------------
-        let gpu_spec = self.system.gpu_model().spec();
         let timer = KernelTimer::new(gpu_spec.clone(), job.efficiency());
         let pass = job.model().pass_cost(batch, job.precision());
         if let Some(why) = pass.finite_violation() {
@@ -369,20 +491,6 @@ impl<'a> Simulator<'a> {
             gradient_bytes: Bytes::ZERO,
         };
         let opt_time = timer.step_time(&opt_cost);
-
-        // --- memory check -------------------------------------------------
-        let replica = job
-            .model()
-            .replica_footprint(batch, job.precision(), job.optimizer());
-        let hbm_per_gpu = replica
-            + job.hbm_overhead()
-            + job.pipeline().h2d_bytes_per_batch(batch) * job.prefetch_depth();
-        if hbm_per_gpu > gpu_spec.hbm_capacity() {
-            return Err(SimError::OutOfMemory {
-                required: hbm_per_gpu,
-                available: gpu_spec.hbm_capacity(),
-            });
-        }
 
         // --- communication phase ------------------------------------------
         // Gradient accumulation amortizes the exchange over `period` steps.
@@ -422,12 +530,13 @@ impl<'a> Simulator<'a> {
             .pipeline()
             .host_time_per_batch(&cpu, batch)
             .scale(1.0 / sockets);
-        let mut loader = FifoResource::new();
 
         // H2D link: each GPU charges its host path's bottleneck edge.
+        // Edges are interned into a dense index so the iteration loop can
+        // address its FIFO resources as a plain `Vec`.
         let h2d_bytes = job.pipeline().h2d_bytes_per_batch(batch);
-        let mut links: HashMap<(NodeId, NodeId), FifoResource> = HashMap::new();
-        let mut gpu_edges = Vec::with_capacity(gpus.len());
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut link_of = Vec::with_capacity(gpus.len());
         let mut h2d_services = Vec::with_capacity(gpus.len());
         for &g in gpus {
             let path = topo.gpu_host_path(g)?;
@@ -447,17 +556,49 @@ impl<'a> Simulator<'a> {
                 path.nodes[idx].min(path.nodes[idx + 1]),
                 path.nodes[idx].max(path.nodes[idx + 1]),
             );
-            links.entry(key).or_default();
-            gpu_edges.push(key);
+            let slot = edges.iter().position(|e| *e == key).unwrap_or_else(|| {
+                edges.push(key);
+                edges.len() - 1
+            });
+            link_of.push(slot);
             h2d_services.push(h2d_bytes / link.effective_bandwidth());
         }
+
+        Ok(Prepared {
+            n,
+            batch,
+            k: gpus.len(),
+            depth: job.prefetch_depth(),
+            compute_time,
+            launch_overhead,
+            opt_time,
+            ar_full,
+            exposed_comm,
+            comm_class,
+            wire_per_gpu,
+            hbm_per_gpu,
+            h2d_bytes,
+            prep_service,
+            h2d_services,
+            n_links: edges.len(),
+            link_of,
+        })
+    }
+
+    fn run_inner(
+        &self,
+        job: &TrainingJob,
+        gpus: &[u32],
+        record_trace: bool,
+    ) -> Result<(StepReport, Option<crate::trace::RunTrace>), SimError> {
+        let p = self.prepare(job, gpus)?;
 
         // --- iterate the pipeline -----------------------------------------
         let warmup_iters = self.warmup_iters;
         let measure_iters = self.measure_iters;
         let total_iters = warmup_iters + measure_iters;
-        let depth = job.prefetch_depth();
-        let k = gpus.len();
+        let mut loader = FifoResource::new();
+        let mut links = vec![FifoResource::new(); p.n_links];
         let mut step_done = Seconds::ZERO;
         let mut step_done_history: Vec<Seconds> = Vec::with_capacity(total_iters as usize);
         let mut measured_stall = Seconds::ZERO;
@@ -467,21 +608,20 @@ impl<'a> Simulator<'a> {
         for iter in 0..total_iters {
             // Prefetch slot: batch `iter` may be prepped once batch
             // `iter - depth` has fully completed.
-            let slot_free = if iter >= depth {
-                step_done_history[(iter - depth) as usize]
+            let slot_free = if iter >= p.depth {
+                step_done_history[(iter - p.depth) as usize]
             } else {
                 Seconds::ZERO
             };
             let mut iter_compute_done = Seconds::ZERO;
             let mut iter_stall = Seconds::ZERO;
-            let mut phases = record_trace.then(|| Vec::with_capacity(k));
-            for g in 0..k {
-                let prep_done = loader.serve(slot_free, prep_service);
-                let link = links.get_mut(&gpu_edges[g]).expect("edge registered");
-                let data_ready = link.serve(prep_done, h2d_services[g]);
+            let mut phases = record_trace.then(|| Vec::with_capacity(p.k));
+            for g in 0..p.k {
+                let prep_done = loader.serve(slot_free, p.prep_service);
+                let data_ready = links[p.link_of[g]].serve(prep_done, p.h2d_services[g]);
                 let start = data_ready.max(step_done);
                 iter_stall += start - step_done;
-                let done = start + compute_time;
+                let done = start + p.compute_time;
                 iter_compute_done = iter_compute_done.max(done);
                 if let Some(ps) = phases.as_mut() {
                     ps.push(crate::trace::GpuPhases {
@@ -492,13 +632,13 @@ impl<'a> Simulator<'a> {
                     });
                 }
             }
-            let done = iter_compute_done + exposed_comm + opt_time;
+            let done = iter_compute_done + p.exposed_comm + p.opt_time;
             if let (Some(records), Some(ps)) = (trace_records.as_mut(), phases) {
                 records.push(crate::trace::IterationRecord {
                     iter,
                     gpus: ps,
                     sync: iter_compute_done,
-                    allreduce_done: iter_compute_done + exposed_comm,
+                    allreduce_done: iter_compute_done + p.exposed_comm,
                     step_done: done,
                 });
             }
@@ -508,7 +648,7 @@ impl<'a> Simulator<'a> {
                 warmup_end = done;
             }
             if iter >= warmup_iters {
-                measured_stall += iter_stall.scale(1.0 / k as f64);
+                measured_stall += iter_stall.scale(1.0 / p.k as f64);
             }
         }
 
@@ -516,37 +656,155 @@ impl<'a> Simulator<'a> {
         let step_time = measured_span.scale(1.0 / measure_iters as f64);
         let data_stall = measured_stall.scale(1.0 / measure_iters as f64);
 
+        let trace = trace_records.map(|iterations| crate::trace::RunTrace {
+            iterations,
+            warmup: warmup_iters,
+        });
+
+        let report = self.finish(job, &p, step_time, data_stall)?;
+        Ok((report, trace))
+    }
+
+    /// Replay the warmup fill exactly, then try to prove the measured
+    /// region is stall-free. Returns the `(step_time, data_stall)` pair
+    /// the DES loop would produce — bit-for-bit — or `None` when
+    /// eligibility cannot be established.
+    fn analytic_steady_state(&self, p: &Prepared) -> Option<(Seconds, Seconds)> {
+        // Relative safety slop on every upper bound — five orders of
+        // magnitude above the rounding a serve chain can accumulate, so a
+        // cell that passes in exact arithmetic with any real margin still
+        // passes, and a cell the bound rejects merely falls back to DES.
+        const SLOP: f64 = 1.0 + 1e-9;
+
+        let warmup_iters = self.warmup_iters;
+        let total_iters = warmup_iters + self.measure_iters;
+        let mut loader = FifoResource::new();
+        let mut links = vec![FifoResource::new(); p.n_links];
+        let mut hist: Vec<Seconds> = Vec::with_capacity(total_iters as usize);
+        let mut step_done = Seconds::ZERO;
+
+        // Warmup replay — the same serves, in the same order, as
+        // `run_inner`, so the fill transient is exact.
+        for iter in 0..warmup_iters {
+            let slot_free = if iter >= p.depth {
+                hist[(iter - p.depth) as usize]
+            } else {
+                Seconds::ZERO
+            };
+            let mut iter_compute_done = Seconds::ZERO;
+            for g in 0..p.k {
+                let prep_done = loader.serve(slot_free, p.prep_service);
+                let data_ready = links[p.link_of[g]].serve(prep_done, p.h2d_services[g]);
+                let start = data_ready.max(step_done);
+                let done = start + p.compute_time;
+                iter_compute_done = iter_compute_done.max(done);
+            }
+            let done = iter_compute_done + p.exposed_comm + p.opt_time;
+            hist.push(done);
+            step_done = done;
+        }
+        let warmup_end = step_done;
+
+        let slot_at = |hist: &Vec<Seconds>, iter: u64| {
+            if iter >= p.depth {
+                hist[(iter - p.depth) as usize]
+            } else {
+                Seconds::ZERO
+            }
+        };
+
+        // The pipeline must enter the measured region caught up: every
+        // host resource free no later than the prefetch slot it serves
+        // next, so the first measured iteration's serves start at the slot.
+        let base_slot = slot_at(&hist, warmup_iters);
+        if loader.free_at() > base_slot || links.iter().any(|l| l.free_at() > base_slot) {
+            return None;
+        }
+
+        // `w_bound` over-estimates the host work one iteration can stack
+        // on top of its prefetch slot: the full loader chain plus the
+        // busiest uplink's share, inflated by SLOP to absorb rounding.
+        let mut per_link = vec![0.0f64; p.n_links];
+        for g in 0..p.k {
+            per_link[p.link_of[g]] += p.h2d_services[g].as_secs();
+        }
+        let busiest = per_link.iter().fold(0.0f64, |a, &b| a.max(b));
+        let w_bound = (p.k as f64 * p.prep_service.as_secs() + busiest) * SLOP;
+        if !w_bound.is_finite() {
+            return None;
+        }
+
+        // Closed-form measured region: while `slot·SLOP + w_bound` stays
+        // below the previous step's completion, every `data_ready` lands
+        // before `step_done`, the `max` keeps the incumbent bit-for-bit,
+        // and the step recurrence collapses to three additions. The same
+        // bound checked against the *next* slot proves the resources come
+        // back around caught up, closing the induction.
+        // NaN-robust bound check: an incomparable (NaN) bound must
+        // *decline* the fast path, never assert regularity.
+        let holds = |bound: f64, limit: f64| {
+            matches!(
+                bound.partial_cmp(&limit),
+                Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+            )
+        };
+        for iter in warmup_iters..total_iters {
+            let slot = slot_at(&hist, iter);
+            let ub = slot.as_secs() * SLOP + w_bound;
+            if !holds(ub, step_done.as_secs()) {
+                return None;
+            }
+            let done = step_done + p.compute_time + p.exposed_comm + p.opt_time;
+            hist.push(done);
+            if iter + 1 < total_iters && !holds(ub, slot_at(&hist, iter + 1).as_secs()) {
+                return None;
+            }
+            step_done = done;
+        }
+
+        let measured_span = step_done - warmup_end;
+        let step_time = measured_span.scale(1.0 / self.measure_iters as f64);
+        // Zero accumulated stall scaled down is still (+0.0) zero —
+        // bitwise what the DES loop's `measured_stall` path yields.
+        let data_stall = Seconds::ZERO.scale(1.0 / self.measure_iters as f64);
+        Some((step_time, data_stall))
+    }
+
+    /// Derived accounting, the numeric-integrity gate, and the final
+    /// [`StepReport`] — shared verbatim by the DES loop and the fast path.
+    fn finish(
+        &self,
+        job: &TrainingJob,
+        p: &Prepared,
+        step_time: Seconds,
+        data_stall: Seconds,
+    ) -> Result<StepReport, SimError> {
         // --- derived accounting --------------------------------------------
         // Launch gaps leave SMs idle ~40% of the time (dmon counts a GPU
         // busy whenever any kernel is resident).
         const OVERHEAD_BUSY_FRACTION: f64 = 0.25;
-        let busy_per_gpu = (compute_time - launch_overhead)
-            + launch_overhead.scale(OVERHEAD_BUSY_FRACTION)
-            + opt_time
-            + exposed_comm;
+        let busy_per_gpu = (p.compute_time - p.launch_overhead)
+            + p.launch_overhead.scale(OVERHEAD_BUSY_FRACTION)
+            + p.opt_time
+            + p.exposed_comm;
         let gpu_busy_fraction = (busy_per_gpu.as_secs() / step_time.as_secs()).min(1.0);
 
         // Polling threads spin only when there is a collective to progress.
-        let poll = if n > 1 {
-            job.host_poll_cores() * n as f64 * step_time.as_secs() * 2.4
+        let poll = if p.n > 1 {
+            job.host_poll_cores() * p.n as f64 * step_time.as_secs() * 2.4
         } else {
             0.0
         };
         let cpu_core_secs_per_step = job.host_fixed_core_secs()
-            + job.pipeline().host_core_secs_per_batch(batch) * n as f64
-            + job.host_step_core_secs() * n as f64
+            + job.pipeline().host_core_secs_per_batch(p.batch) * p.n as f64
+            + job.host_step_core_secs() * p.n as f64
             + poll;
 
         let dram_footprint = job.dram_base()
             + job
                 .pipeline()
-                .staging_footprint(batch, depth)
-                .scale(n as f64);
-
-        let trace = trace_records.map(|iterations| crate::trace::RunTrace {
-            iterations,
-            warmup: warmup_iters,
-        });
+                .staging_footprint(p.batch, p.depth)
+                .scale(p.n as f64);
 
         // --- numeric-integrity gate ---------------------------------------
         // Every priced phase must come out finite and non-negative, and the
@@ -554,10 +812,10 @@ impl<'a> Simulator<'a> {
         // bug surfaced as a typed error naming the offending point.
         let phases = [
             ("step time", step_time),
-            ("compute time", compute_time),
-            ("optimizer time", opt_time),
-            ("all-reduce time", ar_full),
-            ("exposed communication", exposed_comm),
+            ("compute time", p.compute_time),
+            ("optimizer time", p.opt_time),
+            ("all-reduce time", p.ar_full),
+            ("exposed communication", p.exposed_comm),
             ("data stall", data_stall),
         ];
         let bad_phase = phases
@@ -570,37 +828,36 @@ impl<'a> Simulator<'a> {
         if let Some(what) = bad_phase {
             return Err(SimError::NonFinite {
                 context: format!(
-                    "{what} simulating {} on {} ({n} GPUs, {:?}, batch {batch})",
+                    "{what} simulating {} on {} ({} GPUs, {:?}, batch {})",
                     job.name(),
                     self.system.id().name(),
+                    p.n,
                     job.precision(),
+                    p.batch,
                 ),
             });
         }
 
-        Ok((
-            StepReport {
-                n_gpus: n,
-                per_gpu_batch: batch,
-                step_time,
-                compute_time,
-                opt_time,
-                allreduce_time: ar_full,
-                exposed_comm,
-                data_stall,
-                gpu_busy_fraction,
-                cpu_core_secs_per_step,
-                h2d_bytes_per_step: h2d_bytes * n,
-                wire_bytes_per_step: wire_per_gpu * n,
-                comm_class,
-                hbm_per_gpu,
-                dram_footprint,
-                iteration_cost: job
-                    .model()
-                    .iteration_cost(batch, job.precision(), job.optimizer()),
-            },
-            trace,
-        ))
+        Ok(StepReport {
+            n_gpus: p.n,
+            per_gpu_batch: p.batch,
+            step_time,
+            compute_time: p.compute_time,
+            opt_time: p.opt_time,
+            allreduce_time: p.ar_full,
+            exposed_comm: p.exposed_comm,
+            data_stall,
+            gpu_busy_fraction,
+            cpu_core_secs_per_step,
+            h2d_bytes_per_step: p.h2d_bytes * p.n,
+            wire_bytes_per_step: p.wire_per_gpu * p.n,
+            comm_class: p.comm_class,
+            hbm_per_gpu: p.hbm_per_gpu,
+            dram_footprint,
+            iteration_cost: job
+                .model()
+                .iteration_cost(p.batch, job.precision(), job.optimizer()),
+        })
     }
 
     /// Convenience: run on the first `n` GPUs of the system.

@@ -30,6 +30,8 @@ MLPERF_JOBS=1 cargo test -q --offline -p mlperf-suite --test conformance
 MLPERF_JOBS=4 cargo test -q --offline -p mlperf-suite --test conformance
 MLPERF_JOBS=1 cargo test -q --offline -p mlperf-suite --test sweep_cache
 MLPERF_JOBS=4 cargo test -q --offline -p mlperf-suite --test sweep_cache
+MLPERF_JOBS=1 cargo test -q --offline -p mlperf-suite --test sweep_stream
+MLPERF_JOBS=4 cargo test -q --offline -p mlperf-suite --test sweep_stream
 
 echo "== fault injection: suite serial and oversubscribed =="
 # The fault subsystem's determinism contract: seeded plans, DES replay,
@@ -149,7 +151,27 @@ cargo run -q --release --offline -p mlperf-suite --bin repro -- \
 diff -u "$report_tmp/fault_a.txt" "$report_tmp/fault_b.txt" \
     || { echo "fault replay is not reproducible across processes" >&2; exit 1; }
 
+echo "== fast-path parity: MLPERF_FASTPATH=off is byte-identical =="
+# The analytic fast path (DESIGN.md "Sweep scaling model") is an
+# optimization, never a semantic: with the switch off, every sweep CSV —
+# including the million-cell CI prefix — must come out byte-identical.
+# Both runs pass --no-cache so each one demonstrably prices its cells.
+cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    --no-cache sweep --all --out "$report_tmp/sweeps_fast" >/dev/null
+MLPERF_FASTPATH=off cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    --no-cache sweep --all --out "$report_tmp/sweeps_slow" >/dev/null
+diff -ur "$report_tmp/sweeps_fast" "$report_tmp/sweeps_slow" \
+    || { echo "sweep CSV bytes depend on MLPERF_FASTPATH" >&2; exit 1; }
+
 echo "== executor bench (JSON) =="
 cargo bench -q --offline -p mlperf-bench --bench executor
+
+echo "== bench snapshots: committed BENCH_*.json within tolerance =="
+# The committed perf snapshots (BENCH_sweep.json, BENCH_des.json) gate
+# scale-invariant fields — speedup ratios, hit rate, cell/op counts — at
+# ±20%; raw rates are recorded but machine-dependent, so never gated.
+# Each bench re-asserts engine agreement before reporting any number.
+cargo bench -q --offline -p mlperf-bench --bench sweep -- --check
+cargo bench -q --offline -p mlperf-bench --bench des -- --check
 
 echo "tier-1 gate passed"
