@@ -1,0 +1,156 @@
+//! Snapshot bench: the `repro serve` query server under a seeded
+//! concurrent load (`BENCH_serve.json`).
+//!
+//! One in-process server (disk cache disabled, so every number reflects
+//! the serve path itself, not disk state), hammered by concurrent
+//! clients whose query plans come from the testkit's seeded load
+//! generator — a skewed hot-subset mix over valid training cells,
+//! expected-TTT cells, OOM/bad-GPU rejections, and pings, the same
+//! vocabulary shape the load-test battery replays.
+//!
+//! The `--check` gate holds the *deterministic* half of the snapshot to
+//! ±20% (in fact these are exact counts: the offered load and the
+//! coalescing arithmetic are pure functions of the seed): total queries,
+//! unique priced cells, coalesce hits, ok/error response counts.
+//! Wall-clock throughput (qps) and the p50/p99 per-query latencies are
+//! machine-dependent and recorded ungated.
+
+use mlperf_bench::snapshot::{self, Snapshot};
+use mlperf_suite::serve::{protocol, ServeOptions, Server};
+use mlperf_suite::Config;
+use mlperf_testkit::loadgen::LoadSpec;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::os::unix::net::UnixStream;
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 0x5E57_E5E7;
+const CLIENTS: u64 = 8;
+const QUERIES_PER_CLIENT: usize = 250;
+
+/// The query vocabulary (mirrors the load-test battery's mix: mostly
+/// priceable cells, a tail of typed rejections, a ping).
+fn vocabulary() -> Vec<String> {
+    let mut v = Vec::new();
+    for workload in ["MLPf_Res50_MX", "MLPf_SSD_Py", "MLPf_XFMR_Py", "MLPf_GNMT_Py"] {
+        for gpus in [1u32, 2, 4] {
+            v.push(format!(
+                r#"{{"v":1,"kind":"cell","workload":"{workload}","system":"DSS_8440","gpus":{gpus}}}"#
+            ));
+        }
+    }
+    v.push(
+        r#"{"v":1,"kind":"cell","workload":"MLPf_Res50_MX","system":"C4140_(K)","gpus":1,"batch":16384}"#
+            .into(),
+    );
+    v.push(r#"{"v":1,"kind":"cell","workload":"MLPf_SSD_Py","system":"DSS_8440","gpus":16}"#.into());
+    v.push(
+        r#"{"v":1,"kind":"cell","workload":"MLPf_XFMR_Py","system":"DSS_8440","gpus":4,"cell_kind":"expected-ttt","mtbf_hours":4,"interval":"daly"}"#
+            .into(),
+    );
+    v.push(r#"{"v":1,"kind":"ping"}"#.into());
+    v
+}
+
+/// Replay one client's plan, timing each request send→terminal-frame.
+fn timed_client(socket: &std::path::Path, lines: &[&String]) -> Vec<Duration> {
+    let stream = UnixStream::connect(socket).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = BufWriter::new(stream);
+    let mut latencies = Vec::with_capacity(lines.len());
+    let mut frame = String::new();
+    for line in lines {
+        let start = Instant::now();
+        writer.write_all(line.as_bytes()).expect("send");
+        writer.write_all(b"\n").expect("send");
+        writer.flush().expect("send");
+        loop {
+            frame.clear();
+            assert!(reader.read_line(&mut frame).expect("recv") > 0, "server hung up");
+            if matches!(
+                protocol::response_status(frame.trim_end()).as_deref(),
+                Some("ok" | "error" | "busy" | "done")
+            ) {
+                break;
+            }
+        }
+        latencies.push(start.elapsed());
+    }
+    latencies
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> f64 {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx].as_secs_f64() * 1e3
+}
+
+fn measure() -> Snapshot {
+    let vocab = vocabulary();
+    let load = LoadSpec {
+        vocab: vocab.len(),
+        hot: 5,
+        hot_pct: 70,
+        queries: QUERIES_PER_CLIENT,
+    };
+    let plans = load.plans(SEED, CLIENTS);
+
+    let cfg = Config { cache_enabled: false, ..Config::default() };
+    let opts = ServeOptions {
+        socket: std::env::temp_dir().join("mlperf_bench_serve.sock"),
+        ..ServeOptions::default()
+    };
+    let server = Server::bind(&opts, &cfg).expect("bind");
+
+    let server = &server;
+    let (mut latencies, wall) = std::thread::scope(|scope| {
+        let daemon = scope.spawn(|| server.run().expect("serve"));
+        let start = Instant::now();
+        let clients: Vec<_> = plans
+            .iter()
+            .map(|plan| {
+                let lines: Vec<&String> = plan.iter().map(|&i| &vocab[i]).collect();
+                scope.spawn(move || timed_client(server.socket(), &lines))
+            })
+            .collect();
+        let latencies: Vec<Duration> =
+            clients.into_iter().flat_map(|c| c.join().expect("client")).collect();
+        let wall = start.elapsed().as_secs_f64();
+        let stream = UnixStream::connect(server.socket()).expect("connect");
+        let mut w = BufWriter::new(stream.try_clone().expect("clone"));
+        w.write_all(b"{\"v\":1,\"kind\":\"shutdown\"}\n").expect("shutdown");
+        w.flush().expect("shutdown");
+        let mut ack = String::new();
+        BufReader::new(stream).read_line(&mut ack).expect("ack");
+        daemon.join().expect("daemon");
+        (latencies, wall)
+    });
+
+    let stats = server.stats();
+    let total = (CLIENTS as usize * QUERIES_PER_CLIENT) as f64;
+    latencies.sort();
+
+    let mut snap = Snapshot::new("bench_serve.v1");
+    snap.push("queries_total", total);
+    snap.push("unique_cells", stats.coalesce_misses as f64);
+    snap.push("coalesce_hits", stats.coalesce_hits as f64);
+    // +1 ok for the shutdown acknowledgement, counted like any query.
+    snap.push("ok_responses", stats.ok_responses as f64);
+    snap.push("error_responses", stats.error_responses as f64);
+    snap.push("qps", total / wall);
+    snap.push("p50_ms", percentile(&latencies, 0.50));
+    snap.push("p99_ms", percentile(&latencies, 0.99));
+    snap
+}
+
+/// Deterministic counts `--check` gates at ±20%; qps and latencies are
+/// machine-dependent and recorded only.
+const GATED: &[&str] = &[
+    "queries_total",
+    "unique_cells",
+    "coalesce_hits",
+    "ok_responses",
+    "error_responses",
+];
+
+fn main() {
+    snapshot::run("BENCH_serve.json", GATED, measure);
+}

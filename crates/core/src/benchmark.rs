@@ -40,7 +40,8 @@ impl fmt::Display for Suite {
 /// The trainable benchmarks of the study (Table II, top and middle).
 ///
 /// DeepBench's kernel workloads are not end-to-end training jobs; they are
-/// handled by [`deepbench_run`](crate::workloads::deepbench_run).
+/// handled by the unified [`run`](crate::workloads::run) entry point under
+/// [`WorkloadSpec::DeepBench`](crate::workloads::WorkloadSpec).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum BenchmarkId {
     /// ResNet-50 image classification, TensorFlow (Google submission).
@@ -111,6 +112,13 @@ impl BenchmarkId {
             BenchmarkId::DawnRes18Py => "Dawn_Res18_Py",
             BenchmarkId::DawnDrqaPy => "Dawn_DrQA_Py",
         }
+    }
+
+    /// The inverse of [`BenchmarkId::abbreviation`]: the benchmark a
+    /// paper-table abbreviation names, if any. This is the single
+    /// workload vocabulary of the `repro serve` wire schema.
+    pub fn from_abbreviation(s: &str) -> Option<BenchmarkId> {
+        BenchmarkId::ALL.into_iter().find(|b| b.abbreviation() == s)
     }
 
     /// The suite this benchmark belongs to.

@@ -6,12 +6,16 @@
 //! repro --figure 5       # one figure
 //! repro --figure fault   # the seeded fault-injection study
 //! repro sweep --list     # declarative parameter sweeps
+//! repro serve            # long-lived what-if query server (Unix socket)
+//! repro query            # client: replay NDJSON queries from stdin
 //! repro --list           # what's available
 //! ```
 
 use mlperf_suite::experiments as exp;
 use mlperf_suite::runner::{Ctx, Pool, ResilienceConfig};
+use mlperf_suite::serve::{self, ServeOptions, Server};
 use mlperf_suite::sweep::{self, DiskCache};
+use mlperf_suite::Config;
 use std::process::ExitCode;
 
 /// Exit code for a degraded-but-complete run: every requested output was
@@ -23,6 +27,8 @@ const EXIT_DEGRADED: u8 = 2;
 fn usage() -> &'static str {
     "usage: repro [--table N | --figure N | --extra NAME | --csv DIR | --report FILE | --list]\n\
      \u{20}      repro sweep [--list | NAME... | --all] [--out DIR]   (long-form CSV per sweep)\n\
+     \u{20}      repro serve [--socket PATH] [--max-active N] [--queue N] [--shard N]\n\
+     \u{20}      repro query [--socket PATH]   (NDJSON requests on stdin, responses on stdout)\n\
      tables: 1 (insights) 2 (suites) 3 (systems) 4 (scaling) 5 (resources)\n\
      figures: 1 (PCA) 2 (roofline) 3 (mixed precision) 4 (scheduling) 5 (topology)\n\
               fault (seeded fault injection, checkpoint/restart, expected TTT)\n\
@@ -40,6 +46,78 @@ fn usage() -> &'static str {
           MLPERF_RETRIES=N, MLPERF_STEP_BUDGET=N, MLPERF_FASTPATH=off (force the\n\
           full DES engine; output bytes are identical either way — see README)\n\
      exit: 0 healthy, 1 error, 2 degraded-but-complete (--report/--csv only)"
+}
+
+/// `repro serve ...`: bind the Unix socket and answer typed what-if
+/// queries until a `shutdown` query arrives. The environment is resolved
+/// into one typed [`Config`] here, once, at startup — per-request
+/// variation happens through the request API (e.g. `budget`), not by
+/// mutating the daemon's environment.
+fn run_serve(args: &[String], no_cache: bool) -> Result<ExitCode, String> {
+    let mut opts = ServeOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => {
+                opts.socket = it.next().ok_or("--socket needs a path")?.into();
+            }
+            "--max-active" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--max-active needs a count")?
+                    .parse()
+                    .map_err(|e| format!("--max-active: {e}"))?;
+                opts.max_active = Some(n.max(1));
+            }
+            "--queue" => {
+                opts.queue = it
+                    .next()
+                    .ok_or("--queue needs a depth")?
+                    .parse()
+                    .map_err(|e| format!("--queue: {e}"))?;
+            }
+            "--shard" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--shard needs a cell count")?
+                    .parse()
+                    .map_err(|e| format!("--shard: {e}"))?;
+                opts.shard = n.max(1);
+            }
+            other => return Err(format!("unknown serve flag '{other}'; {}", usage())),
+        }
+    }
+    let mut cfg = Config::from_env();
+    if no_cache {
+        cfg.cache_enabled = false;
+    }
+    let server =
+        Server::bind(&opts, &cfg).map_err(|e| format!("binding {}: {e}", opts.socket.display()))?;
+    eprintln!("serve: listening on {}", opts.socket.display());
+    server.run().map_err(|e| format!("serve: {e}"))?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `repro query ...`: replay newline-delimited requests from stdin
+/// against a running server, echoing response frames to stdout.
+fn run_query(args: &[String]) -> Result<ExitCode, String> {
+    let mut socket = std::path::PathBuf::from(serve::DEFAULT_SOCKET);
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => {
+                socket = it.next().ok_or("--socket needs a path")?.into();
+            }
+            other => return Err(format!("unknown query flag '{other}'; {}", usage())),
+        }
+    }
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut input = stdin.lock();
+    let mut out = stdout.lock();
+    serve::replay_client(&socket, &mut input, &mut out)
+        .map_err(|e| format!("query ({}): {e}", socket.display()))?;
+    Ok(ExitCode::SUCCESS)
 }
 
 /// `repro sweep ...`: run registered sweeps and write one long-form CSV
@@ -234,6 +312,8 @@ fn main() -> ExitCode {
             Ok(ExitCode::SUCCESS)
         }
         [cmd, rest @ ..] if cmd == "sweep" => run_sweeps(rest, cache.as_ref()),
+        [cmd, rest @ ..] if cmd == "serve" => run_serve(rest, no_cache),
+        [cmd, rest @ ..] if cmd == "query" => run_query(rest),
         [flag, n] if flag == "--table" => n
             .parse::<u32>()
             .map_err(|e| e.to_string())

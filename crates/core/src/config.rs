@@ -1,0 +1,192 @@
+//! One typed view of every `MLPERF_*` environment knob.
+//!
+//! Until this module, each subsystem read its own knobs straight from the
+//! environment at whatever moment it was constructed — the pool read
+//! `MLPERF_JOBS`, the context read `MLPERF_FASTPATH`, the persistent
+//! cache read `MLPERF_CACHE`/`MLPERF_CACHE_DIR` (and peeked at
+//! `MLPERF_CHAOS`), and the resilience layer read the rest. That worked
+//! for a batch CLI where everything is constructed once, but a long-lived
+//! `repro serve` daemon needs *one* configuration resolved at startup and
+//! then explicit per-request overrides — never a mid-flight env read that
+//! could split the server's view of its own knobs.
+//!
+//! [`Config::from_env`] resolves every knob exactly once; the legacy
+//! `from_env` constructors ([`Pool::from_env`](crate::runner::Pool),
+//! [`Ctx::new`](crate::runner::Ctx),
+//! [`DiskCache::from_env`](crate::sweep::DiskCache),
+//! [`ResilienceConfig::from_env`](crate::runner::ResilienceConfig)) all
+//! delegate here, so there is a single parsing truth. Parsing is pure
+//! ([`Config::resolve`] takes the lookup as a closure), which is what the
+//! unit tests drive — tests must not mutate the process environment,
+//! because the suite runs multi-threaded.
+
+use crate::runner::{
+    ChaosSpec, CHAOS_ATTEMPTS_ENV, CHAOS_ENV, FASTPATH_ENV, JOBS_ENV, RETRIES_ENV,
+    STEP_BUDGET_ENV, STRICT_ENV,
+};
+use crate::sweep::cache::{CACHE_DIR_ENV, CACHE_ENV, DEFAULT_CACHE_DIR};
+use std::path::PathBuf;
+
+/// Every `MLPERF_*` knob, resolved once.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Worker-thread count (`MLPERF_JOBS`, else `available_parallelism`).
+    pub jobs: usize,
+    /// Whether the persistent result cache is enabled (`MLPERF_CACHE` not
+    /// `off`/`0`, and no chaos injection active — injected failures must
+    /// never be masked by warm entries).
+    pub cache_enabled: bool,
+    /// Persistent-cache directory (`MLPERF_CACHE_DIR`, else
+    /// `artifacts/cache`).
+    pub cache_dir: PathBuf,
+    /// Whether the engine's analytic fast path may be attempted
+    /// (`MLPERF_FASTPATH` not `off`/`0`/`false`/`no`). Output bytes are
+    /// identical either way; this only trades throughput.
+    pub fastpath: bool,
+    /// Per-experiment (and, for the server, per-client) simulation-request
+    /// budget (`MLPERF_STEP_BUDGET`). Counted in requests, never
+    /// wall-clock, so verdicts are deterministic.
+    pub step_budget: Option<u64>,
+    /// Fail-fast mode (`MLPERF_STRICT=1`).
+    pub strict: bool,
+    /// Retry-count override for transient failures (`MLPERF_RETRIES`);
+    /// ignored under strict mode, which forces zero retries.
+    pub retries: Option<u32>,
+    /// Deterministic chaos injection (`MLPERF_CHAOS`,
+    /// `MLPERF_CHAOS_ATTEMPTS`), if configured.
+    pub chaos: Option<ChaosSpec>,
+}
+
+impl Config {
+    /// Resolve every knob from the process environment, once.
+    pub fn from_env() -> Config {
+        Config::resolve(|name| std::env::var(name).ok())
+    }
+
+    /// Resolve every knob through `get` (the pure core of
+    /// [`Config::from_env`]; tests inject a map instead of mutating the
+    /// process environment).
+    pub fn resolve(get: impl Fn(&str) -> Option<String>) -> Config {
+        let jobs = get(JOBS_ENV)
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        let chaos = get(CHAOS_ENV).and_then(|target| {
+            let target = target.trim().to_string();
+            if target.is_empty() {
+                return None;
+            }
+            let attempts = get(CHAOS_ATTEMPTS_ENV)
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .map_or(u32::MAX, |n| n.min(u64::from(u32::MAX)) as u32);
+            Some(ChaosSpec { target, attempts })
+        });
+        let cache_enabled = !get(CACHE_ENV).is_some_and(|v| matches!(v.trim(), "off" | "0"))
+            && chaos.is_none();
+        let cache_dir = get(CACHE_DIR_ENV)
+            .map_or_else(|| PathBuf::from(DEFAULT_CACHE_DIR), PathBuf::from);
+        let fastpath = !get(FASTPATH_ENV).is_some_and(|v| {
+            matches!(
+                v.trim().to_ascii_lowercase().as_str(),
+                "off" | "0" | "false" | "no"
+            )
+        });
+        let step_budget = get(STEP_BUDGET_ENV).and_then(|v| v.trim().parse::<u64>().ok());
+        let strict = get(STRICT_ENV).is_some_and(|v| v.trim() == "1");
+        let retries = get(RETRIES_ENV)
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .map(|n| n.min(u64::from(u32::MAX)) as u32);
+        Config {
+            jobs,
+            cache_enabled,
+            cache_dir,
+            fastpath,
+            step_budget,
+            strict,
+            retries,
+            chaos,
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::resolve(|_| None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with(pairs: &[(&str, &str)]) -> Config {
+        let pairs: Vec<(String, String)> = pairs
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        Config::resolve(move |name| {
+            pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.clone())
+        })
+    }
+
+    #[test]
+    fn empty_environment_gives_defaults() {
+        let cfg = with(&[]);
+        assert!(cfg.jobs >= 1);
+        assert!(cfg.cache_enabled);
+        assert_eq!(cfg.cache_dir, PathBuf::from(DEFAULT_CACHE_DIR));
+        assert!(cfg.fastpath);
+        assert_eq!(cfg.step_budget, None);
+        assert!(!cfg.strict);
+        assert_eq!(cfg.retries, None);
+        assert!(cfg.chaos.is_none());
+    }
+
+    #[test]
+    fn every_knob_parses() {
+        let cfg = with(&[
+            (JOBS_ENV, "3"),
+            (CACHE_ENV, "on"),
+            (CACHE_DIR_ENV, "/tmp/alt"),
+            (FASTPATH_ENV, "off"),
+            (STEP_BUDGET_ENV, "250"),
+            (STRICT_ENV, "1"),
+            (RETRIES_ENV, "7"),
+        ]);
+        assert_eq!(cfg.jobs, 3);
+        assert!(cfg.cache_enabled);
+        assert_eq!(cfg.cache_dir, PathBuf::from("/tmp/alt"));
+        assert!(!cfg.fastpath);
+        assert_eq!(cfg.step_budget, Some(250));
+        assert!(cfg.strict);
+        assert_eq!(cfg.retries, Some(7));
+    }
+
+    #[test]
+    fn cache_disables_on_off_or_chaos() {
+        assert!(!with(&[(CACHE_ENV, "off")]).cache_enabled);
+        assert!(!with(&[(CACHE_ENV, "0")]).cache_enabled);
+        let chaotic = with(&[(CHAOS_ENV, "figure3"), (CHAOS_ATTEMPTS_ENV, "2")]);
+        assert!(!chaotic.cache_enabled, "chaos runs must not read warm entries");
+        let chaos = chaotic.chaos.expect("chaos spec parsed");
+        assert_eq!(chaos.target, "figure3");
+        assert_eq!(chaos.attempts, 2);
+        // A blank chaos target is no chaos at all.
+        assert!(with(&[(CHAOS_ENV, "  ")]).chaos.is_none());
+    }
+
+    #[test]
+    fn malformed_values_fall_back() {
+        let cfg = with(&[
+            (JOBS_ENV, "0"),
+            (STEP_BUDGET_ENV, "lots"),
+            (RETRIES_ENV, "-1"),
+        ]);
+        assert!(cfg.jobs >= 1, "non-positive job count is ignored");
+        assert_eq!(cfg.step_budget, None);
+        assert_eq!(cfg.retries, None);
+    }
+}

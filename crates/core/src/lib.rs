@@ -2,20 +2,21 @@
 //! (ISPASS 2020) on a simulated multi-GPU substrate.
 
 pub mod benchmark;
+pub mod config;
 pub mod csv_export;
 pub mod experiments;
 pub mod report;
 pub mod report_gen;
 pub mod runner;
 pub mod sensitivity;
+pub mod serve;
 pub mod sweep;
 pub mod validation;
 pub mod workloads;
 
 pub use benchmark::{BenchmarkId, Suite};
+pub use config::Config;
 pub use report::Table;
 pub use runner::{Ctx, Experiment, Pool, RunKey, TrainPoint};
 pub use sweep::{DiskCache, DiskStats, SweepSpec};
 pub use workloads::{DeepBenchId, WorkloadRun, WorkloadSpec};
-#[allow(deprecated)]
-pub use workloads::{deepbench_run, trainable_run};

@@ -36,6 +36,7 @@ mod memo;
 mod pool;
 
 pub use error::{fnv1a64, BudgetExceeded, ExperimentError};
+pub(crate) use error::panic_message as panic_payload_message;
 pub use memo::ShardedCache;
 pub use pool::{Pool, TaskFailure, JOBS_ENV};
 
@@ -246,16 +247,37 @@ struct BudgetCell {
     budget: u64,
 }
 
+/// RAII guard of [`Ctx::suspend_budget`]: re-arms the suspended budget
+/// cell (units charged included) when dropped, panic or not.
+pub(crate) struct BudgetSuspension<'a> {
+    ctx: &'a Ctx,
+    cell: Option<BudgetCell>,
+}
+
+impl Drop for BudgetSuspension<'_> {
+    fn drop(&mut self) {
+        if let Some(cell) = self.cell.take() {
+            lock(&self.ctx.budgets).insert(std::thread::current().id(), cell);
+        }
+    }
+}
+
 impl Ctx {
     /// A fresh memoizing context. The analytic fast path is on unless
-    /// [`FASTPATH_ENV`] says otherwise.
+    /// [`FASTPATH_ENV`] says otherwise (the knob is resolved through
+    /// [`Config::from_env`](crate::config::Config::from_env), the single
+    /// parsing truth for every `MLPERF_*` variable).
     pub fn new() -> Ctx {
-        let fastpath = !std::env::var(FASTPATH_ENV).is_ok_and(|v| {
-            matches!(
-                v.trim().to_ascii_lowercase().as_str(),
-                "off" | "0" | "false" | "no"
-            )
-        });
+        Ctx::from_config(&crate::config::Config::from_env())
+    }
+
+    /// A fresh memoizing context under an explicitly resolved [`Config`]
+    /// (what a long-lived server constructs once at startup instead of
+    /// re-reading the environment per request).
+    ///
+    /// [`Config`]: crate::config::Config
+    pub fn from_config(cfg: &crate::config::Config) -> Ctx {
+        let fastpath = cfg.fastpath;
         Ctx {
             steps: ShardedCache::new(),
             kernels: ShardedCache::new(),
@@ -333,8 +355,10 @@ impl Ctx {
 
     /// Materialize a point's job from the interned template: an `Arc`
     /// bump plus the override clones, instead of rebuilding the model
-    /// graph from the zoo per request.
-    fn job_for(&self, point: &TrainPoint) -> TrainingJob {
+    /// graph from the zoo per request. `pub(crate)` for the serve layer's
+    /// preflight admission check, which must price-check exactly the job
+    /// the executor would run.
+    pub(crate) fn job_for(&self, point: &TrainPoint) -> TrainingJob {
         let mut job = (*self.base_job(point.benchmark, point.reference)).clone();
         if let Some(p) = point.precision {
             job = job.with_precision(p);
@@ -388,8 +412,9 @@ impl Ctx {
 
     /// Arm a cooperative step budget for the calling thread: subsequent
     /// simulation requests from this thread charge against it until
-    /// [`Ctx::disarm_budget`].
-    fn arm_budget(&self, budget: u64) {
+    /// [`Ctx::disarm_budget`]. `pub(crate)` for the serve layer, which
+    /// arms one budget per client connection.
+    pub(crate) fn arm_budget(&self, budget: u64) {
         self.budget_armed.store(true, Ordering::Relaxed);
         lock(&self.budgets).insert(
             std::thread::current().id(),
@@ -398,10 +423,34 @@ impl Ctx {
     }
 
     /// Disarm the calling thread's budget, returning the units charged.
-    fn disarm_budget(&self) -> u64 {
+    pub(crate) fn disarm_budget(&self) -> u64 {
         lock(&self.budgets)
             .remove(&std::thread::current().id())
             .map_or(0, |c| c.used)
+    }
+
+    /// Re-limit the calling thread's armed budget, keeping the units
+    /// already charged (the serve layer's per-request `budget` override:
+    /// the client's spend so far stays on the meter). Arms a fresh budget
+    /// if none is active.
+    pub(crate) fn set_budget_limit(&self, budget: u64) {
+        self.budget_armed.store(true, Ordering::Relaxed);
+        lock(&self.budgets)
+            .entry(std::thread::current().id())
+            .and_modify(|c| c.budget = budget)
+            .or_insert(BudgetCell { used: 0, budget });
+    }
+
+    /// Suspend the calling thread's budget until the guard drops. The
+    /// serve layer charges a query's whole cost up front (one unit per
+    /// cell, `len()` units per sweep) on the connection thread, then
+    /// prices under this guard — so a cell priced inline (coalesce miss,
+    /// or a single-worker pool running sweep cells on the caller) cannot
+    /// double-charge the client, and the budget verdict stays a pure
+    /// function of the client's own query sequence at any worker count.
+    pub(crate) fn suspend_budget(&self) -> BudgetSuspension<'_> {
+        let cell = lock(&self.budgets).remove(&std::thread::current().id());
+        BudgetSuspension { ctx: self, cell }
     }
 
     /// Cooperative budget checkpoint: charge `n` simulation requests
@@ -1050,36 +1099,29 @@ impl ResilienceConfig {
 
     /// Read the knobs from the environment: [`STRICT_ENV`],
     /// [`RETRIES_ENV`], [`STEP_BUDGET_ENV`], [`CHAOS_ENV`] and
-    /// [`CHAOS_ATTEMPTS_ENV`]. Strict mode forces zero retries.
+    /// [`CHAOS_ATTEMPTS_ENV`] — all resolved through the typed
+    /// [`Config`](crate::config::Config). Strict mode forces zero retries.
     pub fn from_env() -> Self {
-        let strict = std::env::var(STRICT_ENV).is_ok_and(|v| v.trim() == "1");
-        let mut cfg = if strict {
+        ResilienceConfig::from_config(&crate::config::Config::from_env())
+    }
+
+    /// The failure policy an explicitly resolved
+    /// [`Config`](crate::config::Config) dictates.
+    pub fn from_config(config: &crate::config::Config) -> Self {
+        let mut cfg = if config.strict {
             ResilienceConfig::strict()
         } else {
             ResilienceConfig::resilient()
         };
-        if !strict {
-            if let Some(n) = env_u64(RETRIES_ENV) {
-                cfg.retries = n.min(u64::from(u32::MAX)) as u32;
+        if !config.strict {
+            if let Some(n) = config.retries {
+                cfg.retries = n;
             }
         }
-        cfg.step_budget = env_u64(STEP_BUDGET_ENV);
-        if let Ok(target) = std::env::var(CHAOS_ENV) {
-            let target = target.trim().to_string();
-            if !target.is_empty() {
-                let attempts = env_u64(CHAOS_ATTEMPTS_ENV)
-                    .map_or(u32::MAX, |n| n.min(u64::from(u32::MAX)) as u32);
-                cfg.chaos = Some(ChaosSpec { target, attempts });
-            }
-        }
+        cfg.step_budget = config.step_budget;
+        cfg.chaos = config.chaos.clone();
         cfg
     }
-}
-
-fn env_u64(name: &str) -> Option<u64> {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.trim().parse::<u64>().ok())
 }
 
 /// The deterministic placeholder section a failed experiment contributes,

@@ -79,14 +79,16 @@ impl Pool {
     }
 
     /// Worker count from [`JOBS_ENV`] when set to a positive integer,
-    /// otherwise [`std::thread::available_parallelism`].
+    /// otherwise [`std::thread::available_parallelism`] — resolved through
+    /// the typed [`Config`](crate::config::Config).
     pub fn from_env() -> Pool {
-        let workers = std::env::var(JOBS_ENV)
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
-        Pool::with_workers(workers)
+        Pool::from_config(&crate::config::Config::from_env())
+    }
+
+    /// The pool an explicitly resolved [`Config`](crate::config::Config)
+    /// dictates.
+    pub fn from_config(config: &crate::config::Config) -> Pool {
+        Pool::with_workers(config.jobs)
     }
 
     /// The number of worker threads.

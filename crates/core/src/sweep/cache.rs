@@ -149,22 +149,26 @@ impl DiskCache {
     /// Open the cache as the environment dictates: `None` when
     /// `MLPERF_CACHE=off`/`0`, when a chaos run is configured
     /// (`MLPERF_CHAOS` — injected failures must never be masked by warm
-    /// entries), or when the directory cannot be opened.
+    /// entries), or when the directory cannot be opened. Knobs are
+    /// resolved through the typed [`Config`](crate::config::Config).
     pub fn from_env() -> Option<DiskCache> {
-        if std::env::var(CACHE_ENV)
-            .is_ok_and(|v| matches!(v.trim(), "off" | "0"))
-        {
+        DiskCache::from_config(&crate::config::Config::from_env())
+    }
+
+    /// Open the cache an explicitly resolved
+    /// [`Config`](crate::config::Config) dictates (`None` when it says
+    /// the cache is disabled, or when the directory cannot be opened).
+    pub fn from_config(config: &crate::config::Config) -> Option<DiskCache> {
+        if !config.cache_enabled {
             return None;
         }
-        if std::env::var(crate::runner::CHAOS_ENV).is_ok_and(|v| !v.trim().is_empty()) {
-            return None;
-        }
-        let dir = std::env::var(CACHE_DIR_ENV)
-            .map_or_else(|_| PathBuf::from(DEFAULT_CACHE_DIR), PathBuf::from);
-        match DiskCache::open(&dir) {
+        match DiskCache::open(&config.cache_dir) {
             Ok(cache) => Some(cache),
             Err(e) => {
-                eprintln!("persistent cache disabled: {}: {e}", dir.display());
+                eprintln!(
+                    "persistent cache disabled: {}: {e}",
+                    config.cache_dir.display()
+                );
                 None
             }
         }

@@ -530,7 +530,7 @@ pub fn price_cell(ctx: &Ctx, spec: &CellSpec) -> Result<CellValue, CellError> {
 
 /// Serialize one cell outcome for the persistent cache (floats as IEEE
 /// bit patterns, so the round trip is exact).
-fn encode_outcome(outcome: &Result<CellValue, CellError>) -> Vec<u8> {
+pub(crate) fn encode_outcome(outcome: &Result<CellValue, CellError>) -> Vec<u8> {
     let mut s = String::new();
     match outcome {
         Ok(v) => {
@@ -550,7 +550,7 @@ fn encode_outcome(outcome: &Result<CellValue, CellError>) -> Vec<u8> {
 
 /// Parse a cached cell outcome; `None` (treated as a miss) on any
 /// malformed payload.
-fn decode_outcome(kind: CellKind, bytes: &[u8]) -> Option<Result<CellValue, CellError>> {
+pub(crate) fn decode_outcome(kind: CellKind, bytes: &[u8]) -> Option<Result<CellValue, CellError>> {
     let text = std::str::from_utf8(bytes).ok()?;
     let mut lines = text.lines();
     match lines.next()? {
@@ -577,7 +577,7 @@ fn decode_outcome(kind: CellKind, bytes: &[u8]) -> Option<Result<CellValue, Cell
 /// Price one cell, answering from (and filling) the persistent cache
 /// when one is supplied. Degraded cells are stored **as their error** —
 /// a warm run reproduces the same degraded row, never a fake success.
-fn run_cell(ctx: &Ctx, spec: &CellSpec, cache: Option<&DiskCache>) -> CellResult {
+pub(crate) fn run_cell(ctx: &Ctx, spec: &CellSpec, cache: Option<&DiskCache>) -> CellResult {
     let entry_spec: Option<Vec<u8>> = cache.map(|_| {
         let mut s = b"cell:".to_vec();
         s.extend_from_slice(&spec.canonical_bytes());
@@ -639,7 +639,7 @@ fn collect(spec: &SweepSpec, cells: Vec<CellResult>) -> SweepRun {
 
 /// The CSV header vocabulary for one cell kind: spec columns, a status
 /// column, the kind's metric columns, and the error token.
-fn csv_headers(kind: CellKind) -> Vec<&'static str> {
+pub(crate) fn csv_headers(kind: CellKind) -> Vec<&'static str> {
     let mut headers = vec![
         "workload",
         "system",

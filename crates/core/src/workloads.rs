@@ -155,45 +155,12 @@ pub(crate) fn trainable_from_outcome(
     }
 }
 
-/// Run a trainable benchmark on the first `n` GPUs of a system.
-///
-/// # Errors
-///
-/// Propagates [`SimError`] from the engine.
-#[deprecated(note = "use `run(WorkloadSpec::Trainable(id), system, n)` instead")]
-pub fn trainable_run(
-    id: BenchmarkId,
-    system: &SystemSpec,
-    n: u32,
-) -> Result<WorkloadRun, SimError> {
-    run(WorkloadSpec::Trainable(id), system, n)
-}
-
 /// Host CPU work per DeepBench kernel launch (reference-core-seconds) —
 /// the tiny `dstat` CPU signal the kernel loops leave.
 const DEEPBENCH_HOST_CORE_SECS_PER_LAUNCH: f64 = 0.002;
 /// Sustained efficiency of the hand-tuned DeepBench kernels.
 fn deepbench_efficiency() -> Efficiency {
     Efficiency::new(0.80, 0.70, 0.85)
-}
-
-/// Run a DeepBench workload on the first `n` GPUs of a system.
-///
-/// The compute benchmarks (`gemm`/`conv`/`rnn`) are single-GPU kernel loops
-/// (the paper runs them at n = 1); `Deep_Red_Cu` sweeps its all-reduce
-/// payloads across all `n` GPUs.
-///
-/// # Panics
-///
-/// Panics if `n` is zero, exceeds the system's GPU count, or a compute
-/// benchmark is asked for more than one GPU. (The unified [`run`] entry
-/// point reports the same conditions as [`SimError::BadGpuSet`] instead.)
-#[deprecated(note = "use `run(WorkloadSpec::DeepBench(id), system, n)` instead")]
-pub fn deepbench_run(id: DeepBenchId, system: &SystemSpec, n: u32) -> WorkloadRun {
-    deepbench(id, system, n).unwrap_or_else(|e| match e {
-        SimError::BadGpuSet(msg) => panic!("{msg}"),
-        other => panic!("{other}"),
-    })
 }
 
 fn deepbench(id: DeepBenchId, system: &SystemSpec, n: u32) -> Result<WorkloadRun, SimError> {
@@ -420,14 +387,6 @@ mod tests {
                 other => panic!("expected BadGpuSet, got {other:?}"),
             }
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    #[should_panic(expected = "single-GPU kernel loop")]
-    fn deprecated_gemm_shim_still_panics_on_multi_gpu() {
-        let system = SystemId::C4140K.spec();
-        let _ = deepbench_run(DeepBenchId::GemmCu, &system, 2);
     }
 
     #[test]

@@ -78,6 +78,31 @@ impl SystemId {
         }
     }
 
+    /// The whitespace-free wire token for this platform: [`SystemId::name`]
+    /// with every space replaced by an underscore (`"DSS_8440"`,
+    /// `"C4140_(K)"`). This is the single system vocabulary of the
+    /// `repro serve` wire schema.
+    pub fn token(self) -> String {
+        self.name().replace(' ', "_")
+    }
+
+    /// The inverse of [`SystemId::token`]: the platform a wire token
+    /// names, if any. Covers every variant, including the extension
+    /// platforms outside [`SystemId::ALL`].
+    pub fn from_token(s: &str) -> Option<SystemId> {
+        const EVERY: [SystemId; 8] = [
+            SystemId::T640,
+            SystemId::C4140B,
+            SystemId::C4140K,
+            SystemId::C4140M,
+            SystemId::R940Xa,
+            SystemId::Dss8440,
+            SystemId::ReferenceP100,
+            SystemId::Dgx1V,
+        ];
+        EVERY.into_iter().find(|id| id.token() == s)
+    }
+
     /// Build the full specification (topology included) for this platform.
     pub fn spec(self) -> SystemSpec {
         build_system(self)

@@ -404,11 +404,21 @@ impl<'a> Simulator<'a> {
             .map(|(report, trace)| (report, trace.expect("tracing was requested")))
     }
 
-    /// Validate the GPU set and price every batch-level quantity — device
-    /// phases, memory, communication, and the host-pipeline services —
-    /// exactly as the monolithic `run_inner` used to, stopping just short
-    /// of the iteration loop.
-    fn prepare(&self, job: &TrainingJob, gpus: &[u32]) -> Result<Prepared, SimError> {
+    /// Admission check only: validate the GPU set and run the device
+    /// memory gate, without pricing anything. Returns the admitted
+    /// per-GPU HBM footprint.
+    ///
+    /// This is the cheap front half of the full pricing pipeline —
+    /// [`Simulator::execute`] performs exactly these checks first, in the
+    /// same order, so a query layer that rejects on `preflight` errors
+    /// produces byte-identical verdicts to one that priced the run.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadGpuSet`] for an empty set, an ordinal outside the
+    /// system, or a duplicate; [`SimError::OutOfMemory`] when the replica
+    /// does not fit in device memory.
+    pub fn preflight(&self, job: &TrainingJob, gpus: &[u32]) -> Result<Bytes, SimError> {
         let topo = self.system.topology();
         if gpus.is_empty() {
             return Err(SimError::BadGpuSet("empty GPU set".into()));
@@ -448,7 +458,6 @@ impl<'a> Simulator<'a> {
         let batch = job.effective_per_gpu_batch(n);
         let gpu_spec = self.system.gpu_model().spec();
 
-        // --- memory check -------------------------------------------------
         // Gated *before* pricing: the footprint is O(1) while pricing
         // walks the graph, and wall-crossing batch sweeps reject most
         // cells here. Pricing is infallible apart from the non-finite
@@ -465,6 +474,19 @@ impl<'a> Simulator<'a> {
                 available: gpu_spec.hbm_capacity(),
             });
         }
+        Ok(hbm_per_gpu)
+    }
+
+    /// Validate the GPU set and price every batch-level quantity — device
+    /// phases, memory, communication, and the host-pipeline services —
+    /// exactly as the monolithic `run_inner` used to, stopping just short
+    /// of the iteration loop.
+    fn prepare(&self, job: &TrainingJob, gpus: &[u32]) -> Result<Prepared, SimError> {
+        let hbm_per_gpu = self.preflight(job, gpus)?;
+        let topo = self.system.topology();
+        let n = gpus.len() as u64;
+        let batch = job.effective_per_gpu_batch(n);
+        let gpu_spec = self.system.gpu_model().spec();
 
         // --- price the device phases ------------------------------------
         let timer = KernelTimer::new(gpu_spec.clone(), job.efficiency());

@@ -18,6 +18,9 @@
 //! * [`chaos`] — a seeded failure-injection plan ([`chaos::ChaosPlan`])
 //!   deciding panic / error / non-finite actions at named draw points,
 //!   used to chaos-test the experiment executor's resilience layer;
+//! * [`loadgen`] — seeded client-workload plans (skewed hot-subset draws
+//!   over an abstract query vocabulary) for replayable load tests of
+//!   long-lived services;
 //! * [`hash`] — the workspace's single FNV-1a implementation (64- and
 //!   32-bit, with published reference vectors): retry-stream mapping,
 //!   trace fingerprints, shard checksums, and the persistent artifact
@@ -31,5 +34,6 @@ pub mod bench;
 pub mod chaos;
 pub mod fault;
 pub mod hash;
+pub mod loadgen;
 pub mod prop;
 pub mod rng;

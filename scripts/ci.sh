@@ -173,5 +173,46 @@ echo "== bench snapshots: committed BENCH_*.json within tolerance =="
 # Each bench re-asserts engine agreement before reporting any number.
 cargo bench -q --offline -p mlperf-bench --bench sweep -- --check
 cargo bench -q --offline -p mlperf-bench --bench des -- --check
+cargo bench -q --offline -p mlperf-bench --bench serve -- --check
+
+echo "== serve smoke: daemon up, seeded replay byte-identical, clean shutdown =="
+# The query server (DESIGN.md §2f): start the daemon on a scratch socket,
+# replay a fixed query mix twice through `repro query`, require the two
+# transcripts byte-identical (responses carry no live counters), then
+# shut down with a typed query and require a clean exit.
+serve_sock="$report_tmp/serve.sock"
+cat > "$report_tmp/serve_mix.ndjson" <<'EOF'
+{"v":1,"id":"p","kind":"ping"}
+{"v":1,"id":"c1","kind":"cell","workload":"MLPf_Res50_MX","system":"DSS_8440","gpus":4}
+{"v":1,"id":"c2","kind":"cell","workload":"MLPf_XFMR_Py","system":"DSS_8440","gpus":8,"precision":"amp"}
+{"v":1,"id":"oom","kind":"cell","workload":"MLPf_Res50_MX","system":"C4140_(K)","gpus":1,"batch":16384}
+{"v":1,"id":"bad","kind":"cell","workload":"MLPf_SSD_Py","system":"DSS_8440","gpus":16}
+{"v":1,"id":"ttt","kind":"cell","workload":"MLPf_XFMR_Py","system":"DSS_8440","gpus":4,"cell_kind":"expected-ttt","mtbf_hours":4,"interval":"daly"}
+{"v":1,"id":"sw","kind":"sweep","sweep":"fault_ttt"}
+EOF
+cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    --no-cache serve --socket "$serve_sock" 2>"$report_tmp/serve.log" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    [ -S "$serve_sock" ] && break
+    kill -0 "$serve_pid" 2>/dev/null \
+        || { echo "serve daemon died before binding" >&2; cat "$report_tmp/serve.log" >&2; exit 1; }
+    sleep 0.1
+done
+[ -S "$serve_sock" ] || { echo "serve daemon never bound $serve_sock" >&2; exit 1; }
+cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    query --socket "$serve_sock" < "$report_tmp/serve_mix.ndjson" > "$report_tmp/serve_a.ndjson"
+cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    query --socket "$serve_sock" < "$report_tmp/serve_mix.ndjson" > "$report_tmp/serve_b.ndjson"
+diff -u "$report_tmp/serve_a.ndjson" "$report_tmp/serve_b.ndjson" \
+    || { echo "serve replay is not byte-identical" >&2; exit 1; }
+grep -q '"id":"oom","status":"error","kind":"oom"' "$report_tmp/serve_a.ndjson" \
+    || { echo "serve did not answer the OOM cell with a typed error" >&2; exit 1; }
+grep -q '"id":"sw","status":"done"' "$report_tmp/serve_a.ndjson" \
+    || { echo "serve did not finish the streamed sweep" >&2; exit 1; }
+echo '{"v":1,"id":"q","kind":"shutdown"}' | cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    query --socket "$serve_sock" >/dev/null
+wait "$serve_pid" \
+    || { echo "serve daemon did not exit cleanly after shutdown" >&2; cat "$report_tmp/serve.log" >&2; exit 1; }
 
 echo "tier-1 gate passed"
