@@ -39,12 +39,14 @@ fn usage() -> &'static str {
              energy   (kWh and USD to train, DAWNBench's second metric)\n\
              storage  (disk-staging feasibility per benchmark and device)\n\
              sensitivity (derived-output elasticity to calibration knobs)\n\
+             variance (run-to-run variance decomposition: seed vs batch vs precision)\n\
      cache: --report/--csv/sweep answer from the persistent result cache in\n\
             artifacts/cache/ when warm; disable with --no-cache or MLPERF_CACHE=off,\n\
             relocate with MLPERF_CACHE_DIR=DIR\n\
      env: MLPERF_JOBS=N (workers), MLPERF_STRICT=1 (fail fast, no degraded mode),\n\
           MLPERF_RETRIES=N, MLPERF_STEP_BUDGET=N, MLPERF_FASTPATH=off (force the\n\
-          full DES engine; output bytes are identical either way — see README)\n\
+          full DES engine; output bytes are identical either way — see README),\n\
+          MLPERF_RUNS=N (seeded replications per training cell; 1 = point estimate)\n\
      exit: 0 healthy, 1 error, 2 degraded-but-complete (--report/--csv only)"
 }
 
@@ -216,6 +218,9 @@ fn run_extra(ctx: &Ctx, name: &str) -> Result<String, String> {
             .map_err(|e| e.to_string()),
         "validate" => mlperf_suite::validation::run_ctx(ctx)
             .map(|v| mlperf_suite::validation::render(&v))
+            .map_err(|e| e.to_string()),
+        "variance" => exp::variance_decomposition::run_ctx(ctx)
+            .map(|v| exp::variance_decomposition::render(&v))
             .map_err(|e| e.to_string()),
         _ => Err(format!("no extra '{name}'; {}", usage())),
     }

@@ -22,9 +22,10 @@
 
 use crate::runner::{
     ChaosSpec, CHAOS_ATTEMPTS_ENV, CHAOS_ENV, FASTPATH_ENV, JOBS_ENV, RETRIES_ENV,
-    STEP_BUDGET_ENV, STRICT_ENV,
+    RUNS_ENV, STEP_BUDGET_ENV, STRICT_ENV,
 };
 use crate::sweep::cache::{CACHE_DIR_ENV, CACHE_ENV, DEFAULT_CACHE_DIR};
+use crate::sweep::MAX_RUNS;
 use std::path::PathBuf;
 
 /// Every `MLPERF_*` knob, resolved once.
@@ -55,6 +56,10 @@ pub struct Config {
     /// Deterministic chaos injection (`MLPERF_CHAOS`,
     /// `MLPERF_CHAOS_ATTEMPTS`), if configured.
     pub chaos: Option<ChaosSpec>,
+    /// Seeded runs per Training cell (`MLPERF_RUNS`, clamped to
+    /// 1..=[`MAX_RUNS`]; default 1 = point pricing with no replication
+    /// columns, byte-identical to the pre-replication suite).
+    pub runs: u32,
 }
 
 impl Config {
@@ -96,6 +101,10 @@ impl Config {
         let retries = get(RETRIES_ENV)
             .and_then(|v| v.trim().parse::<u64>().ok())
             .map(|n| n.min(u64::from(u32::MAX)) as u32);
+        let runs = get(RUNS_ENV)
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .filter(|n| (1..=MAX_RUNS).contains(n))
+            .unwrap_or(1);
         Config {
             jobs,
             cache_enabled,
@@ -105,6 +114,7 @@ impl Config {
             strict,
             retries,
             chaos,
+            runs,
         }
     }
 }
@@ -143,6 +153,7 @@ mod tests {
         assert!(!cfg.strict);
         assert_eq!(cfg.retries, None);
         assert!(cfg.chaos.is_none());
+        assert_eq!(cfg.runs, 1, "default is point pricing");
     }
 
     #[test]
@@ -155,6 +166,7 @@ mod tests {
             (STEP_BUDGET_ENV, "250"),
             (STRICT_ENV, "1"),
             (RETRIES_ENV, "7"),
+            (RUNS_ENV, "8"),
         ]);
         assert_eq!(cfg.jobs, 3);
         assert!(cfg.cache_enabled);
@@ -163,6 +175,7 @@ mod tests {
         assert_eq!(cfg.step_budget, Some(250));
         assert!(cfg.strict);
         assert_eq!(cfg.retries, Some(7));
+        assert_eq!(cfg.runs, 8);
     }
 
     #[test]
@@ -188,5 +201,16 @@ mod tests {
         assert!(cfg.jobs >= 1, "non-positive job count is ignored");
         assert_eq!(cfg.step_budget, None);
         assert_eq!(cfg.retries, None);
+    }
+
+    #[test]
+    fn runs_knob_clamps_to_the_sane_window() {
+        assert_eq!(with(&[(RUNS_ENV, "8")]).runs, 8);
+        assert_eq!(with(&[(RUNS_ENV, "512")]).runs, 512);
+        // Zero, negatives, absurd counts, and garbage all fall back to 1.
+        assert_eq!(with(&[(RUNS_ENV, "0")]).runs, 1);
+        assert_eq!(with(&[(RUNS_ENV, "-4")]).runs, 1);
+        assert_eq!(with(&[(RUNS_ENV, "513")]).runs, 1);
+        assert_eq!(with(&[(RUNS_ENV, "many")]).runs, 1);
     }
 }

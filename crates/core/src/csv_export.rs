@@ -129,7 +129,9 @@ impl From<ExperimentError> for ExportError {
 
 /// The experiments whose artifacts feed the CSV exports.
 fn export_experiments() -> Vec<&'static dyn runner::Experiment> {
-    use crate::experiments::{fault_study, figure3, figure4, figure5, table4, table5};
+    use crate::experiments::{
+        fault_study, figure3, figure4, figure5, table4, table5, variance_decomposition,
+    };
     vec![
         &table4::Exp,
         &table5::Exp,
@@ -138,13 +140,14 @@ fn export_experiments() -> Vec<&'static dyn runner::Experiment> {
         &figure4::Exp,
         &figure5::Exp,
         &fault_study::Exp,
+        &variance_decomposition::Exp,
     ]
 }
 
 /// Every export file and the experiment that owns it ([`export_experiments`]
 /// vocabulary; `figure4` is in the set only as `fault_study`'s dependency
 /// and owns no file). File-name order, matching [`ArtifactSet::iter`].
-const EXPORT_FILES: [(&str, &str); 8] = [
+const EXPORT_FILES: [(&str, &str); 9] = [
     ("fault_study_elastic.csv", "fault_study"),
     ("fault_study_sweep.csv", "fault_study"),
     ("figure1_features.csv", "figure1"),
@@ -153,6 +156,7 @@ const EXPORT_FILES: [(&str, &str); 8] = [
     ("figure5_topology.csv", "figure5"),
     ("table4_scaling.csv", "table4"),
     ("table5_resources.csv", "table5"),
+    ("variance_decomposition.csv", "variance_decomposition"),
 ];
 
 /// The persistent-cache entry spec of one export file: the file name plus
@@ -556,6 +560,62 @@ fn assemble(ctx: &Ctx, execution: &runner::Execution) -> ArtifactSet {
         );
     }
 
+    // Variance decomposition: seeded epochs distribution plus the factor
+    // shares, one row per benchmark.
+    let var_headers = || {
+        Table::new(
+            "",
+            [
+                "benchmark",
+                "runs",
+                "epochs_median",
+                "epochs_p5",
+                "epochs_p95",
+                "epochs_ci_lo",
+                "epochs_ci_hi",
+                "seed_var_min2",
+                "batch_var_min2",
+                "precision_var_min2",
+                "seed_share_pct",
+                "batch_share_pct",
+                "precision_share_pct",
+            ],
+        )
+    };
+    if let Some(v) = ctx.artifact("variance_decomposition") {
+        let v = v.as_variance().expect("variance_decomposition artifact");
+        let mut csv = var_headers();
+        for r in &v.rows {
+            let (seed, batch, precision) = r.shares();
+            csv.add_row([
+                r.id.to_string(),
+                r.stats.n.to_string(),
+                format!("{:.4}", r.stats.median),
+                format!("{:.4}", r.stats.p5),
+                format!("{:.4}", r.stats.p95),
+                format!("{:.4}", r.stats.ci_lo),
+                format!("{:.4}", r.stats.ci_hi),
+                format!("{:.4}", r.seed_var),
+                format!("{:.4}", r.batch_var),
+                format!("{:.4}", r.precision_var),
+                format!("{seed:.2}"),
+                format!("{batch:.2}"),
+                format!("{precision:.2}"),
+            ]);
+        }
+        out.insert(
+            "variance_decomposition",
+            "variance_decomposition.csv",
+            csv.to_csv(),
+        );
+    } else {
+        out.insert(
+            "variance_decomposition",
+            "variance_decomposition.csv",
+            placeholder(var_headers(), &note("variance_decomposition")),
+        );
+    }
+
     out
 }
 
@@ -655,6 +715,7 @@ mod tests {
             "figure5_topology.csv",
             "fault_study_sweep.csv",
             "fault_study_elastic.csv",
+            "variance_decomposition.csv",
         ] {
             let export = all.get(name).unwrap_or_else(|| panic!("{name} missing"));
             assert!(
@@ -662,7 +723,7 @@ mod tests {
                 "{name} has no data rows"
             );
         }
-        assert_eq!(all.len(), 8);
+        assert_eq!(all.len(), 9);
     }
 
     #[test]
@@ -695,7 +756,7 @@ mod tests {
         let dir = std::env::temp_dir().join("mlperf_csv_export_test");
         let _ = std::fs::remove_dir_all(&dir);
         let written = write_all(&dir).unwrap();
-        assert_eq!(written.len(), 8);
+        assert_eq!(written.len(), 9);
         for path in &written {
             assert!(std::path::Path::new(path).exists());
         }

@@ -17,6 +17,7 @@
 //! | [`energy_cost`] | extension: kWh + USD to train (DAWNBench's 2nd metric) |
 //! | [`storage_study`] | extension: disk-staging feasibility (§V-C's tier) |
 //! | [`fault_study`] | extension: faults, checkpoint/restart, expected TTT |
+//! | [`variance_decomposition`] | extension: run-to-run variance shares (seed/batch/precision) |
 
 pub mod batch_sweep;
 pub mod cluster_study;
@@ -33,3 +34,4 @@ pub mod table2;
 pub mod table3;
 pub mod table4;
 pub mod table5;
+pub mod variance_decomposition;

@@ -43,7 +43,7 @@ pub use pool::{Pool, TaskFailure, JOBS_ENV};
 use crate::benchmark::BenchmarkId;
 use crate::experiments::{
     batch_sweep, cluster_study, energy_cost, fault_study, figure1, figure2, figure3, figure4,
-    figure5, storage_study, table1, table2, table3, table4, table5,
+    figure5, storage_study, table1, table2, table3, table4, table5, variance_decomposition,
 };
 use crate::workloads::{self, WorkloadRun, WorkloadSpec};
 use crate::{sensitivity, validation};
@@ -238,6 +238,9 @@ pub struct Ctx {
     fast_attempts: AtomicU64,
     /// Unique simulation points the fast path actually priced.
     fast_hits: AtomicU64,
+    /// How many seeded runs each Training cell replicates (the
+    /// `MLPERF_RUNS` resolution; 1 = point pricing, no extra columns).
+    runs: u32,
 }
 
 /// One armed step budget (see [`Ctx::charge`]).
@@ -292,6 +295,7 @@ impl Ctx {
             fast_screen: Mutex::new(HashMap::new()),
             fast_attempts: AtomicU64::new(0),
             fast_hits: AtomicU64::new(0),
+            runs: cfg.runs.max(1),
         }
     }
 
@@ -313,6 +317,26 @@ impl Ctx {
     pub fn with_fastpath(mut self, enabled: bool) -> Ctx {
         self.fastpath = enabled;
         self
+    }
+
+    /// Override the per-cell replication count, normally resolved from
+    /// [`RUNS_ENV`] through the one-shot `Config` (what tests and the
+    /// variance experiment use to pin a run count independent of the
+    /// environment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` is zero — a cell is always at least one run.
+    #[must_use]
+    pub fn with_runs(mut self, runs: u32) -> Ctx {
+        assert!(runs >= 1, "a cell is always at least one run");
+        self.runs = runs;
+        self
+    }
+
+    /// The per-cell replication count this context prices sweeps at.
+    pub fn runs(&self) -> u32 {
+        self.runs
     }
 
     /// `(attempted, priced)` counts for the analytic fast path, over
@@ -758,6 +782,8 @@ pub enum Artifact {
     BatchSweep(batch_sweep::BatchSweep),
     /// Fault-injection / checkpoint-restart extension study.
     Fault(fault_study::FaultStudy),
+    /// Run-to-run variance decomposition extension study.
+    Variance(variance_decomposition::VarianceDecomposition),
 }
 
 impl Artifact {
@@ -781,6 +807,7 @@ impl Artifact {
             Artifact::Storage(_) => "storage_study",
             Artifact::BatchSweep(_) => "batch_sweep",
             Artifact::Fault(_) => "fault_study",
+            Artifact::Variance(_) => "variance_decomposition",
         }
     }
 
@@ -844,6 +871,15 @@ impl Artifact {
     pub fn as_fault(&self) -> Option<&fault_study::FaultStudy> {
         match self {
             Artifact::Fault(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The variance-decomposition payload, if that is what this artifact
+    /// holds.
+    pub fn as_variance(&self) -> Option<&variance_decomposition::VarianceDecomposition> {
+        match self {
+            Artifact::Variance(v) => Some(v),
             _ => None,
         }
     }
@@ -1043,6 +1079,11 @@ pub const STEP_BUDGET_ENV: &str = "MLPERF_STEP_BUDGET";
 /// hatch and an A/B lever for the differential batteries, not a semantic
 /// knob.
 pub const FASTPATH_ENV: &str = "MLPERF_FASTPATH";
+/// Environment variable setting how many seeded runs each Training cell
+/// replicates (1–512; default 1 = point pricing, byte-identical to the
+/// pre-replication suite). Above one, sweeps and cell queries append the
+/// epochs-to-target distribution columns.
+pub const RUNS_ENV: &str = "MLPERF_RUNS";
 
 /// Seed of the retry-backoff PRNG; each experiment draws from stream
 /// [`fnv1a64`]`(id)` of this seed, so the trace is schedule-invariant.
@@ -1367,7 +1408,7 @@ pub fn execute(
     Ok(execution)
 }
 
-/// The sixteen experiments of the full report, in the report's output
+/// The seventeen experiments of the full report, in the report's output
 /// order (Table I is a synthesis layer on top and not part of the report
 /// body — see [`all_experiments`]).
 pub fn report_experiments() -> Vec<&'static dyn Experiment> {
@@ -1388,6 +1429,7 @@ pub fn report_experiments() -> Vec<&'static dyn Experiment> {
         &storage_study::Exp,
         &batch_sweep::Exp,
         &fault_study::Exp,
+        &variance_decomposition::Exp,
     ]
 }
 

@@ -428,7 +428,7 @@ impl Server {
             let _quiet = self.ctx.suspend_budget();
             sweep::encode_outcome(&sweep::run_cell(&self.ctx, spec, self.cache.as_ref()).outcome)
         });
-        let frame = match sweep::decode_outcome(spec.kind, &bytes) {
+        let frame = match sweep::decode_outcome(spec.kind, sweep::effective_runs(&self.ctx, spec), &bytes) {
             Some(Ok(value)) => {
                 self.ok_responses.fetch_add(1, Ordering::Relaxed);
                 protocol::cell_ok_frame(&req.id, spec.kind, value.values())

@@ -22,7 +22,7 @@
 //! tokens so `u64` fields round-trip exactly.
 
 use crate::benchmark::BenchmarkId;
-use crate::sweep::{CellKind, CellSpec, IntervalChoice};
+use crate::sweep::{CellKind, CellSpec, IntervalChoice, MAX_RUNS};
 use mlperf_hw::systems::SystemId;
 use mlperf_models::PrecisionPolicy;
 
@@ -311,6 +311,7 @@ const CELL_FIELDS: &[&str] = &[
     "precision",
     "mtbf_hours",
     "interval",
+    "runs",
 ];
 const SWEEP_FIELDS: &[&str] = &["sweep"];
 
@@ -398,6 +399,22 @@ fn parse_cell(fields: &[(String, Json)]) -> Result<CellSpec, String> {
         )),
         Some(_) => return Err("field 'interval' must be 'daly' or minutes".to_string()),
     };
+    // `runs` outside 1..=MAX_RUNS is a typed bad-request, never a clamp:
+    // a client asking for 0 or a million runs should learn the contract,
+    // not silently get something else. `runs:1` is the explicit spelling
+    // of the default and normalizes to it (same canonical bytes, same
+    // cache entry, same answer).
+    let runs = match u64_field(fields, "runs")? {
+        None => None,
+        Some(n) if (1..=u64::from(MAX_RUNS)).contains(&n) => {
+            (n > 1).then_some(n as u32)
+        }
+        Some(n) => {
+            return Err(format!(
+                "field 'runs' must be between 1 and {MAX_RUNS} (got {n})"
+            ))
+        }
+    };
     Ok(CellSpec {
         kind: cell_kind,
         workload: Some(workload),
@@ -407,6 +424,7 @@ fn parse_cell(fields: &[(String, Json)]) -> Result<CellSpec, String> {
         precision,
         mtbf_hours,
         interval,
+        runs,
     })
 }
 
@@ -447,7 +465,9 @@ pub fn shutdown_frame(id: &str) -> String {
 
 /// A successful cell answer: the kind's column vocabulary, the values in
 /// Rust's shortest-roundtrip decimal spelling, and the exact IEEE-754 bit
-/// patterns (the deterministic ground truth clients can diff).
+/// patterns (the deterministic ground truth clients can diff). A
+/// replicated cell arrives wider than the base vocabulary and the frame
+/// names its distribution columns accordingly.
 pub fn cell_ok_frame(id: &str, kind: CellKind, values: &[f64]) -> String {
     let decimals: Vec<String> = values.iter().map(|v| format!("{v}")).collect();
     let bits: Vec<String> = values.iter().map(|v| format!("\"{:016x}\"", v.to_bits())).collect();
@@ -455,11 +475,15 @@ pub fn cell_ok_frame(id: &str, kind: CellKind, values: &[f64]) -> String {
         CellKind::Training => "training",
         CellKind::ExpectedTtt => "expected-ttt",
     };
+    let mut columns: Vec<&str> = kind.columns().to_vec();
+    if values.len() > columns.len() {
+        columns.extend_from_slice(kind.run_columns());
+    }
     format!(
         "{{\"v\":1,\"id\":\"{}\",\"status\":\"ok\",\"cell\":\"{}\",\"columns\":{},\"values\":[{}],\"bits\":[{}]}}\n",
         json_escape(id),
         kind_token,
-        columns_json(kind.columns()),
+        columns_json(&columns),
         decimals.join(","),
         bits.join(","),
     )
@@ -610,6 +634,41 @@ mod tests {
             let (_, msg) = parse_request(line).expect_err(line);
             assert!(msg.contains(needle), "{line}: got '{msg}', wanted '{needle}'");
         }
+    }
+
+    #[test]
+    fn runs_field_parses_normalizes_and_rejects_out_of_range() {
+        let base = r#"{"v":1,"kind":"cell","workload":"MLPf_Res50_MX","system":"DSS_8440","gpus":4"#;
+        let req = parse_request(&format!(r#"{base},"runs":8}}"#)).unwrap();
+        let QueryV1::Cell(spec) = &req.query else {
+            panic!("expected a cell query")
+        };
+        assert_eq!(spec.runs, Some(8));
+        assert!(String::from_utf8(req.canonical_bytes()).unwrap().ends_with(";runs=8"));
+        // "runs":1 is the explicit spelling of the default: identical
+        // identity (and thus coalescing key) to omitting the field.
+        let one = parse_request(&format!(r#"{base},"runs":1}}"#)).unwrap();
+        let plain = parse_request(&format!("{base}}}")).unwrap();
+        assert_eq!(one.canonical_bytes(), plain.canonical_bytes());
+        // 0, negative, and huge are typed bad-requests naming the field.
+        for bad in ["0", "-3", "513", "1000000000000"] {
+            let (_, msg) =
+                parse_request(&format!(r#"{base},"runs":{bad}}}"#)).expect_err(bad);
+            assert!(msg.contains("'runs'"), "runs={bad}: got '{msg}'");
+        }
+    }
+
+    #[test]
+    fn replicated_cell_frame_names_the_distribution_columns() {
+        let base = CellKind::Training.columns().len();
+        let wide: Vec<f64> = (0..base + CellKind::Training.run_columns().len())
+            .map(|i| i as f64)
+            .collect();
+        let frame = cell_ok_frame("q", CellKind::Training, &wide);
+        assert!(frame.contains("\"epochs_median\""), "{frame}");
+        assert!(frame.contains("\"epochs_ci_hi\""), "{frame}");
+        let narrow = cell_ok_frame("q", CellKind::Training, &wide[..base]);
+        assert!(!narrow.contains("\"epochs_median\""), "{narrow}");
     }
 
     #[test]

@@ -23,8 +23,10 @@
 //! the registry.
 
 pub mod cache;
+pub mod replication;
 
 pub use cache::{DiskCache, DiskStats};
+pub use replication::{Replication, ReplicationScratch, RunStats, MAX_RUNS, REPLICATION_SEED};
 
 use crate::benchmark::BenchmarkId;
 use crate::report::Table;
@@ -101,6 +103,17 @@ impl CellKind {
             CellKind::ExpectedTtt => &["interval_min", "expected_hours", "overhead_pct"],
         }
     }
+
+    /// The extra distribution columns a cell of this kind appends when
+    /// replication is on (more than one run). Training cells report the
+    /// [`RunStats`] summary of their epochs-to-target draws; expected-TTT
+    /// cells are already expectations and replicate to nothing.
+    pub fn run_columns(self) -> &'static [&'static str] {
+        match self {
+            CellKind::Training => RunStats::COLUMNS,
+            CellKind::ExpectedTtt => &[],
+        }
+    }
 }
 
 /// One fully-resolved cell of a sweep: the base point with every axis
@@ -123,6 +136,9 @@ pub struct CellSpec {
     pub mtbf_hours: Option<f64>,
     /// Checkpoint-interval policy (expected-TTT cells).
     pub interval: Option<IntervalChoice>,
+    /// Per-cell run-count override (> 1 turns replication on for this
+    /// cell regardless of `MLPERF_RUNS`). `None` defers to the context.
+    pub runs: Option<u32>,
 }
 
 impl CellSpec {
@@ -136,6 +152,7 @@ impl CellSpec {
             precision: None,
             mtbf_hours: None,
             interval: None,
+            runs: None,
         }
     }
 
@@ -184,7 +201,26 @@ impl CellSpec {
             // cannot silently collide with old entries.
             s.push_str(";dev=SataSsd");
         }
+        // Like `;trunc=`: only spelled when set, so a single-run cell's
+        // identity (and cache entry) is exactly what it was before
+        // replication existed.
+        if let Some(r) = self.runs {
+            s.push_str(&format!(";runs={r}"));
+        }
         s.into_bytes()
+    }
+
+    /// The cell's identity with the run count stripped: what the
+    /// replication layer hashes to split per-run PRNG streams, so that
+    /// 8-run and 16-run pricings of the same physical cell draw from the
+    /// same streams (the former a prefix of the latter).
+    pub fn replication_id(&self) -> Vec<u8> {
+        if self.runs.is_none() {
+            return self.canonical_bytes();
+        }
+        let mut stripped = self.clone();
+        stripped.runs = None;
+        stripped.canonical_bytes()
     }
 }
 
@@ -267,6 +303,26 @@ impl CellValue {
     /// All values, in column order.
     pub fn values(&self) -> &[f64] {
         &self.values
+    }
+
+    /// The value of a named column, searching the base columns and —
+    /// when the cell was priced at `runs > 1` — the replication columns
+    /// appended after them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kind has no such column at that run count.
+    pub fn get_named(&self, kind: CellKind, runs: u32, name: &str) -> f64 {
+        let base = kind.columns();
+        if let Some(i) = base.iter().position(|c| *c == name) {
+            return self.values[i];
+        }
+        if runs > 1 {
+            if let Some(i) = kind.run_columns().iter().position(|c| *c == name) {
+                return self.values[base.len() + i];
+            }
+        }
+        panic!("no column '{name}' in {kind:?} at runs={runs}")
     }
 }
 
@@ -435,6 +491,9 @@ pub struct SweepRun {
     pub kind: CellKind,
     /// Axis names, in declaration order (CSV column order).
     pub axis_names: Vec<&'static str>,
+    /// The effective run count the cells were priced at (> 1 appends the
+    /// replication columns to the CSV).
+    pub runs: u32,
     /// Every cell, in deterministic expansion order.
     pub cells: Vec<CellResult>,
 }
@@ -451,9 +510,20 @@ impl SweepRun {
     }
 }
 
+/// The run count a cell is actually priced at: its own `runs` override
+/// when set, otherwise the context's `MLPERF_RUNS` resolution. Always
+/// ≥ 1; `1` means replication is off and the cell prices exactly as it
+/// did before the replication layer existed.
+pub fn effective_runs(ctx: &Ctx, spec: &CellSpec) -> u32 {
+    spec.runs.unwrap_or_else(|| ctx.runs()).max(1)
+}
+
 /// Price one cell through the shared memoized context. Pure function of
 /// `(ctx-model, spec)`: every run of the same spec produces the same
-/// value or the same error.
+/// value or the same error. At an effective run count above one,
+/// Training cells append the [`RunStats`] columns — seeded
+/// epochs-to-target replication around the convergence calibration
+/// point — after their base metric columns.
 ///
 /// # Errors
 ///
@@ -487,15 +557,32 @@ pub fn price_cell(ctx: &Ctx, spec: &CellSpec) -> Result<CellValue, CellError> {
             let per_gpu = spec.batch.unwrap_or_else(|| base.per_gpu_batch());
             let global_batch = per_gpu * u64::from(gpus);
             let epochs = base.convergence().epochs_at(global_batch);
-            Ok(CellValue {
-                values: vec![
-                    outcome.total_time.as_minutes(),
-                    step.step_time.as_secs() * 1e3,
-                    step.throughput_samples_per_sec(),
-                    step.hbm_per_gpu.as_gib(),
-                    epochs,
-                ],
-            })
+            let mut values = vec![
+                outcome.total_time.as_minutes(),
+                step.step_time.as_secs() * 1e3,
+                step.throughput_samples_per_sec(),
+                step.hbm_per_gpu.as_gib(),
+                epochs,
+            ];
+            let runs = effective_runs(ctx, spec);
+            if runs > 1 {
+                let rep = Replication::new(runs);
+                let mut scratch = ReplicationScratch::new();
+                let stats = rep
+                    .epochs_stats(
+                        &spec.replication_id(),
+                        &base.convergence(),
+                        global_batch,
+                        &mut scratch,
+                    )
+                    .map_err(|e| CellError {
+                        kind: "non-finite".to_string(),
+                        message: format!("replication stats: {e}"),
+                        sim: None,
+                    })?;
+                values.extend_from_slice(&stats.values());
+            }
+            Ok(CellValue { values })
         }
         CellKind::ExpectedTtt => {
             let mtbf_hours = spec
@@ -549,8 +636,16 @@ pub(crate) fn encode_outcome(outcome: &Result<CellValue, CellError>) -> Vec<u8> 
 }
 
 /// Parse a cached cell outcome; `None` (treated as a miss) on any
-/// malformed payload.
-pub(crate) fn decode_outcome(kind: CellKind, bytes: &[u8]) -> Option<Result<CellValue, CellError>> {
+/// malformed payload. `runs` is the effective run count the cell was
+/// priced at: above one, the kind's replication columns are part of the
+/// expected payload width.
+pub(crate) fn decode_outcome(
+    kind: CellKind,
+    runs: u32,
+    bytes: &[u8],
+) -> Option<Result<CellValue, CellError>> {
+    let expected =
+        kind.columns().len() + if runs > 1 { kind.run_columns().len() } else { 0 };
     let text = std::str::from_utf8(bytes).ok()?;
     let mut lines = text.lines();
     match lines.next()? {
@@ -559,7 +654,7 @@ pub(crate) fn decode_outcome(kind: CellKind, bytes: &[u8]) -> Option<Result<Cell
                 .map(|l| u64::from_str_radix(l, 16).ok().map(f64::from_bits))
                 .collect();
             let values = values?;
-            (values.len() == kind.columns().len()).then_some(Ok(CellValue { values }))
+            (values.len() == expected).then_some(Ok(CellValue { values }))
         }
         "err v1" => {
             let kind_token = lines.next()?.to_string();
@@ -578,13 +673,23 @@ pub(crate) fn decode_outcome(kind: CellKind, bytes: &[u8]) -> Option<Result<Cell
 /// when one is supplied. Degraded cells are stored **as their error** —
 /// a warm run reproduces the same degraded row, never a fake success.
 pub(crate) fn run_cell(ctx: &Ctx, spec: &CellSpec, cache: Option<&DiskCache>) -> CellResult {
+    let runs = effective_runs(ctx, spec);
     let entry_spec: Option<Vec<u8>> = cache.map(|_| {
+        // The cache entry is keyed by the *effective* run count (spelled
+        // only when replication is on): a context-level MLPERF_RUNS=8
+        // and an explicit runs=8 override are the same computation and
+        // share an entry, while a single-run cell keys exactly as it
+        // did before replication existed.
+        let mut keyed = spec.clone();
+        keyed.runs = (runs > 1).then_some(runs);
         let mut s = b"cell:".to_vec();
-        s.extend_from_slice(&spec.canonical_bytes());
+        s.extend_from_slice(&keyed.canonical_bytes());
         s
     });
     if let (Some(cache), Some(entry)) = (cache, entry_spec.as_deref()) {
-        if let Some(outcome) = cache.load(entry).and_then(|b| decode_outcome(spec.kind, &b)) {
+        if let Some(outcome) =
+            cache.load(entry).and_then(|b| decode_outcome(spec.kind, runs, &b))
+        {
             return CellResult {
                 spec: spec.clone(),
                 outcome,
@@ -611,7 +716,7 @@ pub fn run_serial(ctx: &Ctx, spec: &SweepSpec, cache: Option<&DiskCache>) -> Swe
         .iter()
         .map(|c| run_cell(ctx, c, cache))
         .collect();
-    collect(spec, cells)
+    collect(spec, ctx.runs(), cells)
 }
 
 /// Run a sweep's cells on the pool (the `repro sweep` path). Results come
@@ -624,22 +729,24 @@ pub fn run_pooled(pool: &Pool, ctx: &Ctx, spec: &SweepSpec, cache: Option<&DiskC
         .map(|c| move || run_cell(ctx, c, cache))
         .collect();
     let cells = pool.run_all(tasks);
-    collect(spec, cells)
+    collect(spec, ctx.runs(), cells)
 }
 
-fn collect(spec: &SweepSpec, cells: Vec<CellResult>) -> SweepRun {
+fn collect(spec: &SweepSpec, runs: u32, cells: Vec<CellResult>) -> SweepRun {
     SweepRun {
         name: spec.name,
         title: spec.title,
         kind: spec.kind,
         axis_names: spec.axes.iter().map(|a| a.name).collect(),
+        runs: runs.max(1),
         cells,
     }
 }
 
 /// The CSV header vocabulary for one cell kind: spec columns, a status
-/// column, the kind's metric columns, and the error token.
-pub(crate) fn csv_headers(kind: CellKind) -> Vec<&'static str> {
+/// column, the kind's metric columns (plus the replication columns when
+/// `runs > 1`), and the error token.
+pub(crate) fn csv_headers(kind: CellKind, runs: u32) -> Vec<&'static str> {
     let mut headers = vec![
         "workload",
         "system",
@@ -651,14 +758,18 @@ pub(crate) fn csv_headers(kind: CellKind) -> Vec<&'static str> {
         "status",
     ];
     headers.extend_from_slice(kind.columns());
+    if runs > 1 {
+        headers.extend_from_slice(kind.run_columns());
+    }
     headers.push("error");
     headers
 }
 
 /// Render one cell as its CSV row cells (unquoted). Shared between
 /// [`to_csv`] and [`run_streamed`] so the streamed file is byte-identical
-/// to the in-memory rendering.
-fn row_cells(kind: CellKind, cell: &CellResult) -> Vec<String> {
+/// to the in-memory rendering. `runs` must match the header the row goes
+/// under: it sizes the dash padding of degraded rows.
+fn row_cells(kind: CellKind, runs: u32, cell: &CellResult) -> Vec<String> {
     let s = &cell.spec;
     let mut row = vec![
         s.workload.map_or("-", BenchmarkId::abbreviation).to_string(),
@@ -687,7 +798,9 @@ fn row_cells(kind: CellKind, cell: &CellResult) -> Vec<String> {
         }
         Err(e) => {
             row.push("error".to_string());
-            row.extend(std::iter::repeat_n("-".to_string(), kind.columns().len()));
+            let width = kind.columns().len()
+                + if runs > 1 { kind.run_columns().len() } else { 0 };
+            row.extend(std::iter::repeat_n("-".to_string(), width));
             row.push(e.kind.clone());
         }
     }
@@ -696,9 +809,9 @@ fn row_cells(kind: CellKind, cell: &CellResult) -> Vec<String> {
 
 /// Render a run as a long-form CSV: one row per cell in expansion order.
 pub fn to_csv(run: &SweepRun) -> String {
-    let mut t = Table::new("", csv_headers(run.kind));
+    let mut t = Table::new("", csv_headers(run.kind, run.runs));
     for cell in &run.cells {
-        t.add_row(row_cells(run.kind, cell));
+        t.add_row(row_cells(run.kind, run.runs, cell));
     }
     t.to_csv()
 }
@@ -740,7 +853,8 @@ pub fn run_streamed(
 ) -> std::io::Result<StreamSummary> {
     let shard = shard.max(1);
     let total = spec.len();
-    out.write_all(crate::report::csv_line(csv_headers(spec.kind)).as_bytes())?;
+    let runs = ctx.runs();
+    out.write_all(crate::report::csv_line(csv_headers(spec.kind, runs)).as_bytes())?;
     let mut summary = StreamSummary {
         cells: 0,
         errors: 0,
@@ -768,7 +882,7 @@ pub fn run_streamed(
             summary.cells += 1;
             summary.errors += usize::from(cell.outcome.is_err());
             summary.disk_hits += usize::from(cell.from_disk);
-            let row = row_cells(spec.kind, cell);
+            let row = row_cells(spec.kind, runs, cell);
             out.write_all(
                 crate::report::csv_line(row.iter().map(String::as_str)).as_bytes(),
             )?;
@@ -991,7 +1105,7 @@ mod tests {
         };
         let ok: Result<CellValue, CellError> = Ok(v);
         assert_eq!(
-            decode_outcome(CellKind::Training, &encode_outcome(&ok)),
+            decode_outcome(CellKind::Training, 1, &encode_outcome(&ok)),
             Some(ok.clone())
         );
         let err: Result<CellValue, CellError> = Err(CellError {
@@ -1000,10 +1114,74 @@ mod tests {
             sim: None,
         });
         assert_eq!(
-            decode_outcome(CellKind::Training, &encode_outcome(&err)),
+            decode_outcome(CellKind::Training, 1, &encode_outcome(&err)),
             Some(err)
         );
-        assert_eq!(decode_outcome(CellKind::Training, b"garbage"), None);
+        assert_eq!(decode_outcome(CellKind::Training, 1, b"garbage"), None);
+        // A replicated payload is 5 base + 6 run columns wide: it decodes
+        // only at runs > 1, and a point payload only at runs == 1 — a
+        // mismatched width is a cache miss, never a misread.
+        let wide = CellValue {
+            values: (0..11).map(f64::from).collect(),
+        };
+        let wide: Result<CellValue, CellError> = Ok(wide);
+        let bytes = encode_outcome(&wide);
+        assert_eq!(decode_outcome(CellKind::Training, 8, &bytes), Some(wide));
+        assert_eq!(decode_outcome(CellKind::Training, 1, &bytes), None);
+        assert_eq!(decode_outcome(CellKind::Training, 8, &encode_outcome(&ok)), None);
+    }
+
+    #[test]
+    fn runs_knob_is_spelled_only_when_set() {
+        let mut cell = figure4_scaling().cell_at(0);
+        let plain = cell.canonical_bytes();
+        assert!(!String::from_utf8(plain.clone()).unwrap().contains(";runs="));
+        cell.runs = Some(8);
+        let replicated = cell.canonical_bytes();
+        assert!(String::from_utf8(replicated.clone()).unwrap().ends_with(";runs=8"));
+        assert_ne!(plain, replicated, "run count is part of the cache identity");
+        // The replication id strips the knob: the PRNG streams of a cell
+        // are shared across run counts.
+        assert_eq!(cell.replication_id(), plain);
+    }
+
+    #[test]
+    fn replicated_training_cell_appends_run_stats_columns() {
+        let ctx = Ctx::new().with_runs(8);
+        let spec = figure4_scaling().cell_at(0);
+        assert_eq!(effective_runs(&ctx, &spec), 8);
+        let v = price_cell(&ctx, &spec).unwrap();
+        let kind = CellKind::Training;
+        assert_eq!(v.values().len(), kind.columns().len() + kind.run_columns().len());
+        // Base columns are byte-identical to the single-run pricing.
+        let point = price_cell(&Ctx::new(), &spec).unwrap();
+        assert_eq!(&v.values()[..point.values().len()], point.values());
+        let n = v.get_named(kind, 8, "runs");
+        let median = v.get_named(kind, 8, "epochs_median");
+        let p5 = v.get_named(kind, 8, "epochs_p5");
+        let p95 = v.get_named(kind, 8, "epochs_p95");
+        assert_eq!(n, 8.0);
+        assert!(p5 <= median && median <= p95);
+        assert!(
+            v.get_named(kind, 8, "epochs_ci_lo") <= median
+                && median <= v.get_named(kind, 8, "epochs_ci_hi")
+        );
+    }
+
+    #[test]
+    fn replicated_sweep_is_worker_invariant_and_replays_bitwise() {
+        let spec = figure4_scaling();
+        let a = to_csv(&run_serial(&Ctx::new().with_runs(8), &spec, None));
+        let b = to_csv(&run_pooled(
+            &Pool::with_workers(4),
+            &Ctx::new().with_runs(8),
+            &spec,
+            None,
+        ));
+        assert_eq!(a, b, "replication draws are scheduling-invariant");
+        assert!(a.lines().next().unwrap().ends_with(
+            ",runs,epochs_median,epochs_p5,epochs_p95,epochs_ci_lo,epochs_ci_hi,error"
+        ));
     }
 
     #[test]

@@ -107,6 +107,7 @@ conformance! {
     table4_fingerprint => ("table4", 0xf45a845a3cddde58),
     table5_fingerprint => ("table5", 0x8d1f009188be0de8),
     validation_fingerprint => ("validation", 0xba688635a7b06efe),
+    variance_decomposition_fingerprint => ("variance_decomposition", 0xe6c1f36d72100968),
 }
 
 /// The million-cell stress grid rides the registry truncated to its CI

@@ -298,6 +298,54 @@ fn streamed_sweep_frames_carry_the_batch_csv_bytes() {
 }
 
 #[test]
+fn replicated_cell_queries_answer_distributions_and_bad_runs_get_typed_errors() {
+    const CELL: &str = r#""kind":"cell","workload":"MLPf_Res50_MX","system":"DSS_8440","gpus":4"#;
+    let lines: Vec<String> = vec![
+        format!(r#"{{"v":1,"id":"r8",{CELL},"runs":8}}"#),
+        // runs:1 spells the point estimate: the frame must be bytes-equal
+        // to the runs-free query below (same id on purpose).
+        format!(r#"{{"v":1,"id":"pt",{CELL},"runs":1}}"#),
+        format!(r#"{{"v":1,"id":"pt",{CELL}}}"#),
+        // Out-of-range run counts are typed bad-requests, never clamps.
+        format!(r#"{{"v":1,"id":"z",{CELL},"runs":0}}"#),
+        format!(r#"{{"v":1,"id":"n",{CELL},"runs":-3}}"#),
+        format!(r#"{{"v":1,"id":"h",{CELL},"runs":513}}"#),
+        format!(r#"{{"v":1,"id":"g",{CELL},"runs":1000000000000}}"#),
+    ];
+    let opts = ServeOptions { socket: sock("runs"), ..ServeOptions::default() };
+    let (transcripts, stats) = serve_workload(&test_config(2), &opts, std::slice::from_ref(&lines));
+    let text = String::from_utf8(transcripts.into_iter().next().unwrap()).unwrap();
+    let frames: Vec<&str> = text.lines().collect();
+    assert_eq!(frames.len(), lines.len(), "{text}");
+
+    // The replicated frame names every distribution column; the point
+    // frames name none of them.
+    assert!(frames[0].contains("\"status\":\"ok\""), "{text}");
+    for col in ["runs", "epochs_median", "epochs_p5", "epochs_p95", "epochs_ci_lo", "epochs_ci_hi"]
+    {
+        assert!(frames[0].contains(col), "replicated frame misses '{col}': {}", frames[0]);
+        if col != "runs" {
+            assert!(!frames[1].contains(col), "point frame leaked '{col}': {}", frames[1]);
+        }
+    }
+    assert_eq!(frames[1], frames[2], "runs:1 must normalize to the runs-free spelling");
+
+    for bad in &frames[3..] {
+        assert!(
+            bad.contains("\"status\":\"error\"")
+                && bad.contains("bad-request")
+                && bad.contains("runs"),
+            "{bad}"
+        );
+    }
+    assert_eq!(stats.error_responses, 4);
+
+    let opts_b = ServeOptions { socket: sock("runs_b"), ..ServeOptions::default() };
+    let (second, _) = serve_workload(&test_config(2), &opts_b, &[lines]);
+    assert_eq!(text.as_bytes(), &second[0][..], "replicated frames must replay");
+}
+
+#[test]
 fn warm_server_and_batch_sweep_share_one_disk_cache_safely() {
     let dir = std::env::temp_dir().join("mlperf_serve_shared_cache");
     let _ = std::fs::remove_dir_all(&dir);

@@ -43,16 +43,16 @@ fn warm_report_is_byte_identical_with_zero_recomputation() {
 
         let (cold, cold_exec) = report_gen::build_cached(&pool, &Ctx::new(), &cfg(), Some(&cache));
         assert!(!cold_exec.degraded(), "cold run must be healthy");
-        // Cold: one manifest probe missed, 17 sections + manifest stored.
+        // Cold: one manifest probe missed, 18 sections + manifest stored.
         let s = cache.stats();
-        assert_eq!((s.hits, s.misses, s.stores), (0, 1, 18), "cold counters");
+        assert_eq!((s.hits, s.misses, s.stores), (0, 1, 19), "cold counters");
 
         let (warm, warm_exec) = report_gen::build_cached(&pool, &Ctx::new(), &cfg(), Some(&cache));
         assert_eq!(cold, warm, "warm report bytes differ at {workers} workers");
-        // Warm: manifest + 17 sections all hit, nothing stored, and no
+        // Warm: manifest + 18 sections all hit, nothing stored, and no
         // experiment ran (per-experiment wall list stays empty).
         let s = cache.stats();
-        assert_eq!((s.hits, s.misses, s.stores), (18, 1, 18), "warm counters");
+        assert_eq!((s.hits, s.misses, s.stores), (19, 1, 19), "warm counters");
         assert!(
             warm_exec.stats.per_experiment.is_empty(),
             "warm run recomputed an experiment"
@@ -71,7 +71,7 @@ fn warm_csv_exports_are_byte_identical_with_zero_recomputation() {
         let (cold, cold_exec) =
             csv_export::build_all_cached(&pool, &Ctx::new(), &cfg(), Some(&cache));
         assert!(!cold_exec.degraded());
-        assert_eq!(cold.len(), 8);
+        assert_eq!(cold.len(), 9);
 
         let (warm, warm_exec) =
             csv_export::build_all_cached(&pool, &Ctx::new(), &cfg(), Some(&cache));
@@ -80,7 +80,7 @@ fn warm_csv_exports_are_byte_identical_with_zero_recomputation() {
             assert_eq!(a.contents, b.contents, "{} differs warm", a.file);
         }
         let s = cache.stats();
-        assert_eq!((s.hits, s.stores), (8, 8), "csv cache counters");
+        assert_eq!((s.hits, s.stores), (9, 9), "csv cache counters");
         assert!(
             warm_exec.stats.per_experiment.is_empty(),
             "warm csv run recomputed an experiment"
@@ -110,6 +110,7 @@ fn arbitrary_cell(rng: &mut Rng) -> sweep::CellSpec {
         precision: None,
         mtbf_hours: None,
         interval: None,
+        runs: None,
     };
     if pick(rng, 4) > 0 {
         cell.workload = Some(BenchmarkId::MLPERF[pick(rng, 7) as usize]);
@@ -140,6 +141,9 @@ fn arbitrary_cell(rng: &mut Rng) -> sweep::CellSpec {
                 [1.0f64, 10.0, 240.0][pick(rng, 3) as usize].to_bits() + pick(rng, 2),
             ))
         });
+    }
+    if pick(rng, 3) == 0 {
+        cell.runs = Some([2u32, 8, 16, 512][pick(rng, 4) as usize]);
     }
     cell
 }

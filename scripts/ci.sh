@@ -33,6 +33,13 @@ MLPERF_JOBS=4 cargo test -q --offline -p mlperf-suite --test sweep_cache
 MLPERF_JOBS=1 cargo test -q --offline -p mlperf-suite --test sweep_stream
 MLPERF_JOBS=4 cargo test -q --offline -p mlperf-suite --test sweep_stream
 
+echo "== replication battery: MLPERF_RUNS contract at MLPERF_JOBS=1 and 4 =="
+# The replication layer (DESIGN.md "Variance model"): MLPERF_RUNS=1 is
+# byte-invisible, MLPERF_RUNS=8 replays bitwise at any worker count, and
+# disk-cache keys are run-count-aware.
+MLPERF_JOBS=1 cargo test -q --offline -p mlperf-suite --test replication
+MLPERF_JOBS=4 cargo test -q --offline -p mlperf-suite --test replication
+
 echo "== fault injection: suite serial and oversubscribed =="
 # The fault subsystem's determinism contract: seeded plans, DES replay,
 # and elastic rescheduling behave identically at any worker count.
@@ -150,6 +157,20 @@ cargo run -q --release --offline -p mlperf-suite --bin repro -- \
     --figure fault > "$report_tmp/fault_b.txt"
 diff -u "$report_tmp/fault_a.txt" "$report_tmp/fault_b.txt" \
     || { echo "fault replay is not reproducible across processes" >&2; exit 1; }
+
+echo "== variance replay smoke: seeded decomposition byte-identical twice =="
+# The variance decomposition draws every number from the fixed
+# replication seed: two fresh processes must render identical bytes even
+# when one sets MLPERF_RUNS (the study pins its own run count), and the
+# exported CSV must match the committed golden artifact.
+cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    --extra variance > "$report_tmp/variance_a.txt"
+MLPERF_RUNS=8 cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    --extra variance > "$report_tmp/variance_b.txt"
+diff -u "$report_tmp/variance_a.txt" "$report_tmp/variance_b.txt" \
+    || { echo "variance decomposition is not reproducible across processes" >&2; exit 1; }
+cmp -s "$report_tmp/csv_healthy/variance_decomposition.csv" artifacts/variance_decomposition.csv \
+    || { echo "variance_decomposition.csv drifted from the committed artifact" >&2; exit 1; }
 
 echo "== fast-path parity: MLPERF_FASTPATH=off is byte-identical =="
 # The analytic fast path (DESIGN.md "Sweep scaling model") is an
