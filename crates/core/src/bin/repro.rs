@@ -28,6 +28,7 @@ fn usage() -> &'static str {
     "usage: repro [--table N | --figure N | --extra NAME | --csv DIR | --report FILE | --list]\n\
      \u{20}      repro sweep [--list | NAME... | --all] [--out DIR]   (long-form CSV per sweep)\n\
      \u{20}      repro serve [--socket PATH] [--max-active N] [--queue N] [--shard N]\n\
+     \u{20}                  [--read-timeout-ms N] [--write-timeout-ms N] [--max-frame BYTES]\n\
      \u{20}      repro query [--socket PATH]   (NDJSON requests on stdin, responses on stdout)\n\
      tables: 1 (insights) 2 (suites) 3 (systems) 4 (scaling) 5 (resources)\n\
      figures: 1 (PCA) 2 (roofline) 3 (mixed precision) 4 (scheduling) 5 (topology)\n\
@@ -46,7 +47,10 @@ fn usage() -> &'static str {
      env: MLPERF_JOBS=N (workers), MLPERF_STRICT=1 (fail fast, no degraded mode),\n\
           MLPERF_RETRIES=N, MLPERF_STEP_BUDGET=N, MLPERF_FASTPATH=off (force the\n\
           full DES engine; output bytes are identical either way — see README),\n\
-          MLPERF_RUNS=N (seeded replications per training cell; 1 = point estimate)\n\
+          MLPERF_RUNS=N (seeded replications per training cell; 1 = point estimate),\n\
+          MLPERF_IO_CHAOS=SPEC (seeded cache I/O fault injection, e.g.\n\
+          seed=7,bit_flip=0.25 — see DESIGN.md §2h), MLPERF_SERVE_READ_TIMEOUT_MS,\n\
+          MLPERF_SERVE_WRITE_TIMEOUT_MS, MLPERF_SERVE_MAX_FRAME (serve hardening)\n\
      exit: 0 healthy, 1 error, 2 degraded-but-complete (--report/--csv only)"
 }
 
@@ -85,6 +89,30 @@ fn run_serve(args: &[String], no_cache: bool) -> Result<ExitCode, String> {
                     .parse()
                     .map_err(|e| format!("--shard: {e}"))?;
                 opts.shard = n.max(1);
+            }
+            "--read-timeout-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .ok_or("--read-timeout-ms needs milliseconds (0 = none)")?
+                    .parse()
+                    .map_err(|e| format!("--read-timeout-ms: {e}"))?;
+                opts.read_timeout_ms = Some(ms);
+            }
+            "--write-timeout-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .ok_or("--write-timeout-ms needs milliseconds (0 = none)")?
+                    .parse()
+                    .map_err(|e| format!("--write-timeout-ms: {e}"))?;
+                opts.write_timeout_ms = Some(ms);
+            }
+            "--max-frame" => {
+                let bytes: usize = it
+                    .next()
+                    .ok_or("--max-frame needs bytes (0 = unbounded)")?
+                    .parse()
+                    .map_err(|e| format!("--max-frame: {e}"))?;
+                opts.max_frame = Some(bytes);
             }
             other => return Err(format!("unknown serve flag '{other}'; {}", usage())),
         }
@@ -278,6 +306,13 @@ fn report_failures(execution: &mlperf_suite::runner::Execution) {
 }
 
 fn main() -> ExitCode {
+    // Strict knob check up front: a typo'd MLPERF_IO_CHAOS or serve knob
+    // aborts before any output is written, instead of silently running
+    // with a default that would make the configured scenario vacuous.
+    if let Err(e) = Config::try_from_env() {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // `--no-cache` is positionless and composes with every mode; it (or
     // MLPERF_CACHE=off, or active chaos injection) disables the

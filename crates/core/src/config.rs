@@ -24,9 +24,59 @@ use crate::runner::{
     ChaosSpec, CHAOS_ATTEMPTS_ENV, CHAOS_ENV, FASTPATH_ENV, JOBS_ENV, RETRIES_ENV,
     RUNS_ENV, STEP_BUDGET_ENV, STRICT_ENV,
 };
-use crate::sweep::cache::{CACHE_DIR_ENV, CACHE_ENV, DEFAULT_CACHE_DIR};
+use crate::serve::{
+    DEFAULT_MAX_FRAME, DEFAULT_READ_TIMEOUT_MS, DEFAULT_WRITE_TIMEOUT_MS, SERVE_MAX_FRAME_ENV,
+    SERVE_READ_TIMEOUT_ENV, SERVE_WRITE_TIMEOUT_ENV,
+};
+use crate::sweep::cache::{CACHE_DIR_ENV, CACHE_ENV, DEFAULT_CACHE_DIR, IO_CHAOS_ENV};
 use crate::sweep::MAX_RUNS;
+use mlperf_testkit::iochaos::{IoChaosParseError, IoChaosSpec};
+use std::fmt;
 use std::path::PathBuf;
+
+/// Why a knob was rejected by the strict resolver
+/// ([`Config::try_resolve`]). The lenient [`Config::resolve`] logs the
+/// same error to stderr and falls back to the knob's default; the `repro`
+/// CLI and the serve daemon go through the strict path, so a typo'd knob
+/// fails fast instead of silently running with a default — a mistyped
+/// `MLPERF_IO_CHAOS` that injected nothing would make a durability gate
+/// vacuously green.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A knob's value did not parse as its type.
+    BadKnob {
+        /// The environment variable.
+        name: &'static str,
+        /// The rejected value text.
+        value: String,
+        /// What the knob expects, for the error message.
+        expected: &'static str,
+    },
+    /// `MLPERF_IO_CHAOS` was present but malformed.
+    BadIoChaos {
+        /// The rejected spec text.
+        value: String,
+        /// The typed parse failure.
+        error: IoChaosParseError,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::BadKnob {
+                name,
+                value,
+                expected,
+            } => write!(f, "{name}={value:?}: expected {expected}"),
+            ConfigError::BadIoChaos { value, error } => {
+                write!(f, "{IO_CHAOS_ENV}={value:?}: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Every `MLPERF_*` knob, resolved once.
 #[derive(Debug, Clone)]
@@ -60,6 +110,47 @@ pub struct Config {
     /// 1..=[`MAX_RUNS`]; default 1 = point pricing with no replication
     /// columns, byte-identical to the pre-replication suite).
     pub runs: u32,
+    /// Seeded I/O fault injection at the persistent cache's filesystem
+    /// seam (`MLPERF_IO_CHAOS`), if configured. Unlike `MLPERF_CHAOS`,
+    /// this keeps the cache *enabled*: the property under test is that a
+    /// sabotaged cache still yields byte-identical output.
+    pub io_chaos: Option<IoChaosSpec>,
+    /// Serve per-connection read deadline in milliseconds
+    /// (`MLPERF_SERVE_READ_TIMEOUT_MS`; `0` disables it).
+    pub serve_read_timeout_ms: u64,
+    /// Serve per-connection write deadline in milliseconds
+    /// (`MLPERF_SERVE_WRITE_TIMEOUT_MS`; `0` disables it).
+    pub serve_write_timeout_ms: u64,
+    /// Serve maximum request-frame size in bytes
+    /// (`MLPERF_SERVE_MAX_FRAME`; `0` removes the bound).
+    pub serve_max_frame: usize,
+}
+
+/// Strictly parse one unsigned knob: absent or blank means the default,
+/// anything else must parse or the typed error is recorded (and the
+/// default used, for the lenient path).
+fn strict_unsigned(
+    raw: Option<String>,
+    name: &'static str,
+    default: u64,
+    errors: &mut Vec<ConfigError>,
+) -> u64 {
+    let Some(raw) = raw else { return default };
+    let text = raw.trim();
+    if text.is_empty() {
+        return default;
+    }
+    match text.parse::<u64>() {
+        Ok(n) => n,
+        Err(_) => {
+            errors.push(ConfigError::BadKnob {
+                name,
+                value: raw,
+                expected: "a non-negative integer (no overflow)",
+            });
+            default
+        }
+    }
 }
 
 impl Config {
@@ -68,10 +159,49 @@ impl Config {
         Config::resolve(|name| std::env::var(name).ok())
     }
 
+    /// Strict [`Config::from_env`]: the first malformed knob is a typed
+    /// error instead of a logged fallback. The `repro` CLI calls this
+    /// before doing anything else.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] among the strictly parsed knobs.
+    pub fn try_from_env() -> Result<Config, ConfigError> {
+        Config::try_resolve(|name| std::env::var(name).ok())
+    }
+
+    /// Strict [`Config::resolve`]: the first malformed strictly-parsed
+    /// knob (`MLPERF_IO_CHAOS`, the serve deadline/frame knobs) is
+    /// returned as a typed error. The legacy knobs keep their documented
+    /// lenient fallbacks either way.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] among the strictly parsed knobs.
+    pub fn try_resolve(
+        get: impl Fn(&str) -> Option<String>,
+    ) -> Result<Config, ConfigError> {
+        let (config, mut errors) = Config::resolve_inner(get);
+        match errors.is_empty() {
+            true => Ok(config),
+            false => Err(errors.remove(0)),
+        }
+    }
+
     /// Resolve every knob through `get` (the pure core of
     /// [`Config::from_env`]; tests inject a map instead of mutating the
-    /// process environment).
+    /// process environment). Malformed strictly-parsed knobs are logged
+    /// to stderr and defaulted; use [`Config::try_resolve`] to get them
+    /// as typed errors instead.
     pub fn resolve(get: impl Fn(&str) -> Option<String>) -> Config {
+        let (config, errors) = Config::resolve_inner(get);
+        for e in errors {
+            eprintln!("config: {e} (using the default)");
+        }
+        config
+    }
+
+    fn resolve_inner(get: impl Fn(&str) -> Option<String>) -> (Config, Vec<ConfigError>) {
         let jobs = get(JOBS_ENV)
             .and_then(|v| v.trim().parse::<usize>().ok())
             .filter(|&n| n >= 1)
@@ -105,17 +235,51 @@ impl Config {
             .and_then(|v| v.trim().parse::<u32>().ok())
             .filter(|n| (1..=MAX_RUNS).contains(n))
             .unwrap_or(1);
-        Config {
-            jobs,
-            cache_enabled,
-            cache_dir,
-            fastpath,
-            step_budget,
-            strict,
-            retries,
-            chaos,
-            runs,
-        }
+        let mut errors = Vec::new();
+        let io_chaos = get(IO_CHAOS_ENV).and_then(|text| match IoChaosSpec::parse(&text) {
+            Ok(spec) => spec,
+            Err(error) => {
+                errors.push(ConfigError::BadIoChaos { value: text, error });
+                None
+            }
+        });
+        let serve_read_timeout_ms = strict_unsigned(
+            get(SERVE_READ_TIMEOUT_ENV),
+            SERVE_READ_TIMEOUT_ENV,
+            DEFAULT_READ_TIMEOUT_MS,
+            &mut errors,
+        );
+        let serve_write_timeout_ms = strict_unsigned(
+            get(SERVE_WRITE_TIMEOUT_ENV),
+            SERVE_WRITE_TIMEOUT_ENV,
+            DEFAULT_WRITE_TIMEOUT_MS,
+            &mut errors,
+        );
+        let serve_max_frame = strict_unsigned(
+            get(SERVE_MAX_FRAME_ENV),
+            SERVE_MAX_FRAME_ENV,
+            DEFAULT_MAX_FRAME as u64,
+            &mut errors,
+        )
+        .min(usize::MAX as u64) as usize;
+        (
+            Config {
+                jobs,
+                cache_enabled,
+                cache_dir,
+                fastpath,
+                step_budget,
+                strict,
+                retries,
+                chaos,
+                runs,
+                io_chaos,
+                serve_read_timeout_ms,
+                serve_write_timeout_ms,
+                serve_max_frame,
+            },
+            errors,
+        )
     }
 }
 
@@ -154,6 +318,10 @@ mod tests {
         assert_eq!(cfg.retries, None);
         assert!(cfg.chaos.is_none());
         assert_eq!(cfg.runs, 1, "default is point pricing");
+        assert!(cfg.io_chaos.is_none());
+        assert_eq!(cfg.serve_read_timeout_ms, DEFAULT_READ_TIMEOUT_MS);
+        assert_eq!(cfg.serve_write_timeout_ms, DEFAULT_WRITE_TIMEOUT_MS);
+        assert_eq!(cfg.serve_max_frame, DEFAULT_MAX_FRAME);
     }
 
     #[test]
@@ -167,6 +335,10 @@ mod tests {
             (STRICT_ENV, "1"),
             (RETRIES_ENV, "7"),
             (RUNS_ENV, "8"),
+            (IO_CHAOS_ENV, "seed=3,bit_flip=0.5"),
+            (SERVE_READ_TIMEOUT_ENV, "1500"),
+            (SERVE_WRITE_TIMEOUT_ENV, "0"),
+            (SERVE_MAX_FRAME_ENV, "4096"),
         ]);
         assert_eq!(cfg.jobs, 3);
         assert!(cfg.cache_enabled);
@@ -176,6 +348,11 @@ mod tests {
         assert!(cfg.strict);
         assert_eq!(cfg.retries, Some(7));
         assert_eq!(cfg.runs, 8);
+        let io = cfg.io_chaos.expect("io-chaos spec parsed");
+        assert_eq!((io.seed, io.bit_flip), (3, 0.5));
+        assert_eq!(cfg.serve_read_timeout_ms, 1500);
+        assert_eq!(cfg.serve_write_timeout_ms, 0, "0 = deadline disabled");
+        assert_eq!(cfg.serve_max_frame, 4096);
     }
 
     #[test]
@@ -201,6 +378,87 @@ mod tests {
         assert!(cfg.jobs >= 1, "non-positive job count is ignored");
         assert_eq!(cfg.step_budget, None);
         assert_eq!(cfg.retries, None);
+    }
+
+    fn try_with(pairs: &[(&str, &str)]) -> Result<Config, ConfigError> {
+        let pairs: Vec<(String, String)> = pairs
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        Config::try_resolve(move |name| {
+            pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.clone())
+        })
+    }
+
+    #[test]
+    fn strict_knobs_reject_garbage_with_typed_errors() {
+        // Unknown io-chaos key.
+        let err = try_with(&[(IO_CHAOS_ENV, "bitflip=0.5")]).unwrap_err();
+        assert!(matches!(
+            &err,
+            ConfigError::BadIoChaos {
+                error: IoChaosParseError::UnknownKey(k),
+                ..
+            } if k == "bitflip"
+        ));
+        assert!(err.to_string().contains(IO_CHAOS_ENV), "{err}");
+        // Out-of-range rate.
+        assert!(try_with(&[(IO_CHAOS_ENV, "bit_flip=2.0")]).is_err());
+        // Non-numeric deadline.
+        let err = try_with(&[(SERVE_READ_TIMEOUT_ENV, "soon")]).unwrap_err();
+        assert!(matches!(
+            &err,
+            ConfigError::BadKnob { name, value, .. }
+                if *name == SERVE_READ_TIMEOUT_ENV && value == "soon"
+        ));
+        // Overflow is a typed error, not a silent wrap.
+        assert!(try_with(&[(SERVE_MAX_FRAME_ENV, "99999999999999999999999999")]).is_err());
+        assert!(try_with(&[(SERVE_WRITE_TIMEOUT_ENV, "-5")]).is_err());
+    }
+
+    #[test]
+    fn strict_knobs_treat_empty_and_whitespace_as_unset() {
+        let cfg = try_with(&[
+            (IO_CHAOS_ENV, ""),
+            (SERVE_READ_TIMEOUT_ENV, "   "),
+            (SERVE_MAX_FRAME_ENV, "\t"),
+        ])
+        .expect("blank knobs are unset, not errors");
+        assert!(cfg.io_chaos.is_none());
+        assert_eq!(cfg.serve_read_timeout_ms, DEFAULT_READ_TIMEOUT_MS);
+        assert_eq!(cfg.serve_max_frame, DEFAULT_MAX_FRAME);
+        // All-whitespace io-chaos text is likewise no injection.
+        assert!(try_with(&[(IO_CHAOS_ENV, "  \t ")])
+            .expect("whitespace spec")
+            .io_chaos
+            .is_none());
+    }
+
+    #[test]
+    fn lenient_resolve_defaults_what_strict_rejects() {
+        // The lenient path (legacy constructors) logs and falls back, so
+        // a bad knob can never abort a batch run mid-flight …
+        let cfg = with(&[
+            (IO_CHAOS_ENV, "bit_flip=lots"),
+            (SERVE_MAX_FRAME_ENV, "huge"),
+        ]);
+        assert!(cfg.io_chaos.is_none());
+        assert_eq!(cfg.serve_max_frame, DEFAULT_MAX_FRAME);
+        // … while the strict path rejects the same environment.
+        assert!(try_with(&[(IO_CHAOS_ENV, "bit_flip=lots")]).is_err());
+    }
+
+    #[test]
+    fn io_chaos_keeps_the_cache_enabled() {
+        let cfg = with(&[(IO_CHAOS_ENV, "seed=1,torn_rename=0.5")]);
+        assert!(
+            cfg.cache_enabled,
+            "io chaos sabotages the cache's I/O — it must not disable the cache"
+        );
+        assert!(cfg.io_chaos.is_some());
     }
 
     #[test]

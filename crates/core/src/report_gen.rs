@@ -11,7 +11,7 @@ use crate::report::Table;
 use crate::runner::{
     self, CacheStats, Ctx, Experiment, ExecutorStats, ExperimentError, Pool, ResilienceConfig,
 };
-use crate::sweep::DiskCache;
+use crate::sweep::{DiskCache, DiskStats};
 use std::time::Duration;
 
 /// How many of the scheduled experiments belong to the "Paper artifacts"
@@ -49,7 +49,7 @@ pub fn build_with(pool: &Pool, ctx: &Ctx) -> Result<(String, ExecutorStats), Exp
     let experiments = runner::all_experiments();
     let execution = runner::execute(pool, ctx, &experiments)?;
     let stats = execution.stats.clone();
-    Ok((assemble(&execution), stats))
+    Ok((assemble(&execution, None), stats))
 }
 
 /// Build the full report with failure isolation: failed experiments
@@ -64,7 +64,7 @@ pub fn build_resilient(
 ) -> (String, runner::Execution) {
     let experiments = runner::all_experiments();
     let execution = runner::execute_resilient(pool, ctx, &experiments, cfg);
-    (assemble(&execution), execution)
+    (assemble(&execution, None), execution)
 }
 
 /// The persistent-cache entry spec of one experiment's rendered section:
@@ -156,7 +156,7 @@ pub fn build_cached(
             }
             cache.store(&man_spec, &encode_stats(&execution.stats.cache));
         }
-        return (assemble(&execution), execution);
+        return (assemble(&execution, Some(cache.stats())), execution);
     };
 
     let cached: Vec<Option<String>> = experiments
@@ -218,13 +218,16 @@ pub fn build_cached(
             cache: manifest,
         },
     };
-    (assemble(&execution), execution)
+    (assemble(&execution, Some(cache.stats())), execution)
 }
 
 /// Assemble the markdown from an execution (healthy or degraded). The
 /// failure appendix is appended only when there is something to report,
-/// so healthy-run bytes are untouched by the resilience layer.
-fn assemble(execution: &runner::Execution) -> String {
+/// so healthy-run bytes are untouched by the resilience layer. `disk` is
+/// the persistent cache's counters *after* this run's stores (absent
+/// when the cache is disabled); only its degradation counter can reach
+/// the document, and only when nonzero.
+fn assemble(execution: &runner::Execution, disk: Option<DiskStats>) -> String {
     let rendered: Vec<&str> = execution
         .reports
         .iter()
@@ -251,7 +254,7 @@ fn assemble(execution: &runner::Execution) -> String {
     md.push_str("```\n");
 
     md.push('\n');
-    md.push_str(&appendix(execution));
+    md.push_str(&appendix(execution, disk));
     md.push_str(&failure_appendix(execution));
     md
 }
@@ -321,7 +324,7 @@ fn failure_appendix(execution: &runner::Execution) -> String {
 /// The deterministic execution appendix: the experiment DAG and the cache
 /// counters. Wall-clock never appears here (it is nondeterministic and
 /// lives in [`ExecutorStats`], printed to stderr / the bench JSON).
-fn appendix(execution: &runner::Execution) -> String {
+fn appendix(execution: &runner::Execution, disk: Option<DiskStats>) -> String {
     let mut md = String::from(
         "## Appendix: execution\n\n\
          Experiments run as a dependency DAG on a work-stealing pool\n\
@@ -371,6 +374,21 @@ fn appendix(execution: &runner::Execution) -> String {
          experiment recomputation (escape hatches: --no-cache, MLPERF_CACHE=off)\n",
         execution.reports.len(),
     ));
+    // Storage degradation is the one cache counter allowed into the
+    // document, and only when nonzero: every healthy run renders zero
+    // failures and therefore no line (cold == warm == no-cache bytes),
+    // while a run on broken storage reports it — reproducibly, because a
+    // deterministic failure source (full disk, seeded I/O chaos) fails
+    // the same stores on every run.
+    if let Some(d) = disk {
+        if d.store_failures > 0 {
+            md.push_str(&format!(
+                "persistent-cache degradation: {} failed store(s); affected \
+                 entries were recomputed, not served (output bytes unaffected)\n",
+                d.store_failures,
+            ));
+        }
+    }
     md.push_str("```\n");
     md
 }

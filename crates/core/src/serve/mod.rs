@@ -39,6 +39,17 @@
 //!   hits, no timings, no coalesce flags), so a replayed transcript is
 //!   byte-identical cold or warm, serial or oversubscribed. Live counters
 //!   go to stderr at shutdown.
+//! * **Hostile-client hardening** (DESIGN.md §2h) — per-connection
+//!   read/write deadlines bound how long a slow-loris client can hold a
+//!   handler thread; request frames are capped
+//!   (`MLPERF_SERVE_MAX_FRAME`) and an oversized frame gets a typed
+//!   [`protocol::FRAME_TOO_LARGE`] error before the connection closes;
+//!   the frame writer tolerates short writes; stalled readers are
+//!   reaped at the write deadline; and shutdown drains gracefully —
+//!   stop accepting, finish in-flight requests, refuse new queries
+//!   with a typed [`protocol::SHUTTING_DOWN`] frame, then exit. The
+//!   wall clock touches only connection lifetimes, never response
+//!   bytes.
 
 pub mod protocol;
 
@@ -50,12 +61,13 @@ use crate::sweep::{self, registry, CellError, CellKind, CellSpec, DiskCache};
 use mlperf_sim::engine::{SimError, Simulator};
 use mlperf_testkit::hash::fnv1a64;
 use protocol::{QueryV1, Request, BAD_REQUEST};
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Default socket path, relative to the working directory.
 pub const DEFAULT_SOCKET: &str = "artifacts/serve.sock";
@@ -64,6 +76,23 @@ pub const DEFAULT_QUEUE: usize = 1024;
 /// Default sweep-streaming shard (cells per `rows` frame), matching the
 /// batch CLI's streaming shard.
 pub const DEFAULT_SHARD: usize = 1024;
+
+/// Environment variable: per-connection read deadline in milliseconds
+/// (also the per-frame wall-clock budget a trickling client gets);
+/// `0` disables the deadline.
+pub const SERVE_READ_TIMEOUT_ENV: &str = "MLPERF_SERVE_READ_TIMEOUT_MS";
+/// Environment variable: per-connection write deadline in milliseconds
+/// (stalled readers are reaped when it expires); `0` disables it.
+pub const SERVE_WRITE_TIMEOUT_ENV: &str = "MLPERF_SERVE_WRITE_TIMEOUT_MS";
+/// Environment variable: maximum request-frame size in bytes (the line,
+/// excluding its newline); `0` removes the bound.
+pub const SERVE_MAX_FRAME_ENV: &str = "MLPERF_SERVE_MAX_FRAME";
+/// Default per-connection read deadline (milliseconds).
+pub const DEFAULT_READ_TIMEOUT_MS: u64 = 30_000;
+/// Default per-connection write deadline (milliseconds).
+pub const DEFAULT_WRITE_TIMEOUT_MS: u64 = 30_000;
+/// Default maximum request-frame size (bytes).
+pub const DEFAULT_MAX_FRAME: usize = 64 * 1024;
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
@@ -81,6 +110,15 @@ pub struct ServeOptions {
     pub queue: usize,
     /// Sweep-streaming shard: cells per `rows` frame.
     pub shard: usize,
+    /// Read-deadline override in milliseconds (`None`: the config knob;
+    /// `Some(0)`: no deadline).
+    pub read_timeout_ms: Option<u64>,
+    /// Write-deadline override in milliseconds (`None`: the config knob;
+    /// `Some(0)`: no deadline).
+    pub write_timeout_ms: Option<u64>,
+    /// Request-frame size cap override in bytes (`None`: the config
+    /// knob; `Some(0)`: unbounded).
+    pub max_frame: Option<usize>,
 }
 
 impl Default for ServeOptions {
@@ -90,6 +128,9 @@ impl Default for ServeOptions {
             max_active: None,
             queue: DEFAULT_QUEUE,
             shard: DEFAULT_SHARD,
+            read_timeout_ms: None,
+            write_timeout_ms: None,
+            max_frame: None,
         }
     }
 }
@@ -112,6 +153,18 @@ pub struct ServeStats {
     /// Cell queries that actually priced a cell — with compute-once
     /// semantics, exactly the number of unique cells priced.
     pub coalesce_misses: u64,
+    /// Connections closed after an oversized request frame (a typed
+    /// [`protocol::FRAME_TOO_LARGE`] error was written first).
+    pub frames_too_large: u64,
+    /// Connections reaped at a read or write deadline (slow-loris
+    /// senders, stalled readers).
+    pub reaped: u64,
+    /// Connections that hit EOF mid-frame (a half-written request with
+    /// no newline); the partial frame is dropped, never parsed.
+    pub dropped_partial: u64,
+    /// Queries refused with [`protocol::SHUTTING_DOWN`] during the
+    /// graceful drain.
+    pub drained: u64,
 }
 
 /// Bounded admission: `max_active` concurrent query slots plus a bounded
@@ -197,11 +250,18 @@ pub struct Server {
     admission: Admission,
     default_budget: Option<u64>,
     shard: usize,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    max_frame: usize,
     shutdown: AtomicBool,
     queries: AtomicU64,
     ok_responses: AtomicU64,
     error_responses: AtomicU64,
     busy_responses: AtomicU64,
+    frames_too_large: AtomicU64,
+    reaped: AtomicU64,
+    dropped_partial: AtomicU64,
+    drained: AtomicU64,
 }
 
 impl Server {
@@ -225,6 +285,12 @@ impl Server {
         let listener = UnixListener::bind(&opts.socket)?;
         let pool = Pool::from_config(cfg);
         let max_active = opts.max_active.unwrap_or_else(|| pool.workers());
+        let read_timeout_ms = opts.read_timeout_ms.unwrap_or(cfg.serve_read_timeout_ms);
+        let write_timeout_ms = opts.write_timeout_ms.unwrap_or(cfg.serve_write_timeout_ms);
+        let max_frame = match opts.max_frame.unwrap_or(cfg.serve_max_frame) {
+            0 => usize::MAX,
+            n => n,
+        };
         Ok(Server {
             listener,
             socket: opts.socket.clone(),
@@ -235,11 +301,18 @@ impl Server {
             admission: Admission::new(max_active, opts.queue),
             default_budget: cfg.step_budget,
             shard: opts.shard.max(1),
+            read_timeout: (read_timeout_ms > 0).then(|| Duration::from_millis(read_timeout_ms)),
+            write_timeout: (write_timeout_ms > 0).then(|| Duration::from_millis(write_timeout_ms)),
+            max_frame,
             shutdown: AtomicBool::new(false),
             queries: AtomicU64::new(0),
             ok_responses: AtomicU64::new(0),
             error_responses: AtomicU64::new(0),
             busy_responses: AtomicU64::new(0),
+            frames_too_large: AtomicU64::new(0),
+            reaped: AtomicU64::new(0),
+            dropped_partial: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
         })
     }
 
@@ -257,6 +330,10 @@ impl Server {
             busy_responses: self.busy_responses.load(Ordering::Relaxed),
             coalesce_hits: self.coalesce.hits(),
             coalesce_misses: self.coalesce.misses(),
+            frames_too_large: self.frames_too_large.load(Ordering::Relaxed),
+            reaped: self.reaped.load(Ordering::Relaxed),
+            dropped_partial: self.dropped_partial.load(Ordering::Relaxed),
+            drained: self.drained.load(Ordering::Relaxed),
         }
     }
 
@@ -295,11 +372,14 @@ impl Server {
         let s = self.stats();
         let coalesce_requests = s.coalesce_hits + s.coalesce_misses;
         eprintln!(
-            "serve: {} queries ({} ok, {} error, {} busy), coalesce {} hits / {} unique cells{}",
+            "serve: {} queries ({} ok, {} error, {} busy, {} drained), \
+             coalesce {} hits / {} unique cells{}, \
+             {} oversized frames, {} reaped, {} partial frames dropped",
             s.queries,
             s.ok_responses,
             s.error_responses,
             s.busy_responses,
+            s.drained,
             s.coalesce_hits,
             s.coalesce_misses,
             if coalesce_requests > 0 {
@@ -310,6 +390,9 @@ impl Server {
             } else {
                 String::new()
             },
+            s.frames_too_large,
+            s.reaped,
+            s.dropped_partial,
         );
         if let Some(cache) = &self.cache {
             eprint!("{}", cache.summary());
@@ -318,19 +401,82 @@ impl Server {
     }
 
     fn handle(&self, stream: UnixStream) -> io::Result<()> {
-        let reader = BufReader::new(stream.try_clone()?);
-        let mut writer = BufWriter::new(stream);
-        for line in reader.lines() {
-            let line = line?;
+        stream.set_read_timeout(self.read_timeout)?;
+        stream.set_write_timeout(self.write_timeout)?;
+        let raw = stream.try_clone()?;
+        let mut reader =
+            BoundedLineReader::new(stream.try_clone()?, self.max_frame, self.read_timeout);
+        let mut writer = BufWriter::new(FrameWriter { inner: stream });
+        loop {
+            let line = match reader.next_line() {
+                Ok(Some(line)) => line,
+                // Clean EOF: the client hung up between frames.
+                Ok(None) => break,
+                Err(FrameError::TooLarge) => {
+                    // The rest of the oversized frame is never read; the
+                    // typed error is the connection's last frame. The id
+                    // is unknowable (the line was never parsed).
+                    self.frames_too_large.fetch_add(1, Ordering::Relaxed);
+                    self.error_responses.fetch_add(1, Ordering::Relaxed);
+                    let frame = protocol::error_frame(
+                        "-",
+                        protocol::FRAME_TOO_LARGE,
+                        &format!("request frame exceeds {} bytes", self.max_frame),
+                    );
+                    let _ = writer.write_all(frame.as_bytes()).and_then(|()| writer.flush());
+                    // A Unix socket closed with unread request bytes
+                    // resets its peer, which can discard the frame just
+                    // written; drain the leftovers (bounded) so a
+                    // well-behaved-but-oversized client reliably reads
+                    // the typed error before the clean EOF.
+                    drain_discard(&raw);
+                    break;
+                }
+                Err(FrameError::Deadline) => {
+                    // Slow-loris sender or an idle connection outliving
+                    // the read deadline: reap it.
+                    self.reaped.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                Err(FrameError::PartialEof) => {
+                    // Half-written request, then EOF: nothing to answer,
+                    // and the fragment must never reach the parser.
+                    self.dropped_partial.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                Err(FrameError::Io(e)) => return Err(e),
+            };
             if line.trim().is_empty() {
                 continue;
             }
-            let action = self.respond(&line, &mut writer)?;
-            writer.flush()?;
-            if matches!(action, Action::Shutdown) {
-                // Unblock the accept loop so `run` can observe the flag.
-                let _ = UnixStream::connect(&self.socket);
-                break;
+            let answered = self.respond(&line, &mut writer).and_then(|action| {
+                writer.flush()?;
+                Ok(action)
+            });
+            match answered {
+                Ok(Action::Shutdown) => {
+                    // Unblock the accept loop so `run` can observe the flag.
+                    let _ = UnixStream::connect(&self.socket);
+                    break;
+                }
+                Ok(Action::Continue) => {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        // Drain: the request in flight was answered in
+                        // full; close so `run` can join this handler.
+                        break;
+                    }
+                }
+                Err(e) if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+                {
+                    // The client stopped reading and the socket buffer
+                    // filled: the write deadline reaps the connection.
+                    self.reaped.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                Err(e) => return Err(e),
             }
         }
         Ok(())
@@ -357,12 +503,28 @@ impl Server {
                 Ok(Action::Continue)
             }
             QueryV1::Shutdown => {
+                // Flag first, ack second: once a client holds the ack,
+                // every other connection's next query is guaranteed to
+                // see the drain.
+                self.shutdown.store(true, Ordering::SeqCst);
                 self.ok_responses.fetch_add(1, Ordering::Relaxed);
                 out.write_all(protocol::shutdown_frame(&req.id).as_bytes())?;
-                self.shutdown.store(true, Ordering::SeqCst);
                 Ok(Action::Shutdown)
             }
             QueryV1::Cell(_) | QueryV1::Sweep(_) => {
+                if self.shutdown.load(Ordering::SeqCst) {
+                    self.drained.fetch_add(1, Ordering::Relaxed);
+                    self.error_responses.fetch_add(1, Ordering::Relaxed);
+                    out.write_all(
+                        protocol::error_frame(
+                            &req.id,
+                            protocol::SHUTTING_DOWN,
+                            "server is draining",
+                        )
+                        .as_bytes(),
+                    )?;
+                    return Ok(Action::Continue);
+                }
                 let Some(_ticket) = self.admission.admit() else {
                     self.busy_responses.fetch_add(1, Ordering::Relaxed);
                     out.write_all(protocol::busy_frame(&req.id).as_bytes())?;
@@ -501,6 +663,129 @@ impl Server {
         let system_spec = self.ctx.system_spec(system);
         let ordinals: Vec<u32> = (0..gpus).collect();
         Simulator::new(&system_spec).preflight(&job, &ordinals).map(|_| ())
+    }
+}
+
+/// Why [`BoundedLineReader::next_line`] gave up on a frame.
+enum FrameError {
+    /// The line exceeded the configured maximum frame size.
+    TooLarge,
+    /// The read deadline (or the per-frame wall-clock budget a trickling
+    /// sender gets) expired.
+    Deadline,
+    /// EOF arrived mid-frame: bytes were buffered but no newline came.
+    PartialEof,
+    /// Any other I/O failure.
+    Io(io::Error),
+}
+
+/// A line reader that enforces the two bounds [`BufRead::lines`] cannot:
+/// a maximum frame size (an attacker may not buffer unbounded bytes
+/// server-side) and a per-frame wall-clock deadline (a slow-loris sender
+/// trickling one byte per read-timeout window may not hold a handler
+/// thread forever — the socket's own read timeout only bounds each
+/// *read*, this bounds the whole frame).
+struct BoundedLineReader<R: Read> {
+    inner: R,
+    buf: Vec<u8>,
+    max_frame: usize,
+    frame_budget: Option<Duration>,
+}
+
+impl<R: Read> BoundedLineReader<R> {
+    fn new(inner: R, max_frame: usize, frame_budget: Option<Duration>) -> BoundedLineReader<R> {
+        BoundedLineReader {
+            inner,
+            buf: Vec::new(),
+            max_frame,
+            frame_budget,
+        }
+    }
+
+    /// The next newline-terminated line (without its newline), `None` on
+    /// clean EOF between frames.
+    fn next_line(&mut self) -> Result<Option<String>, FrameError> {
+        let deadline = self.frame_budget.map(|budget| Instant::now() + budget);
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                if pos > self.max_frame {
+                    return Err(FrameError::TooLarge);
+                }
+                let line: Vec<u8> = self.buf.drain(..=pos).collect();
+                let line = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+                return Ok(Some(line));
+            }
+            if self.buf.len() > self.max_frame {
+                return Err(FrameError::TooLarge);
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Err(FrameError::Deadline);
+            }
+            let mut chunk = [0u8; 4096];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Ok(None)
+                    } else {
+                        Err(FrameError::PartialEof)
+                    };
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                    return Err(FrameError::Deadline);
+                }
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
+    }
+}
+
+/// Discard whatever request bytes the client already sent, so the close
+/// that follows a terminal error frame is a clean EOF instead of a
+/// connection reset (which could destroy the frame in flight). Bounded
+/// twice over — a short per-read timeout and a total byte cap — so a
+/// client that floods forever gets the reset it asked for instead of a
+/// captive handler thread.
+fn drain_discard(stream: &UnixStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+    let mut sink = [0u8; 4096];
+    let mut budget: usize = 256 * 1024;
+    while budget > 0 {
+        match (&mut &*stream).read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => budget = budget.saturating_sub(n),
+        }
+    }
+}
+
+/// A [`Write`] adapter that upgrades the raw stream's `write` to
+/// all-or-error semantics: short writes are retried until the buffer is
+/// fully accepted, `Interrupted` is swallowed, and zero-progress becomes
+/// a hard `WriteZero` — so a response frame is never silently truncated
+/// between the `BufWriter` above and the socket below. Deadline errors
+/// (`WouldBlock`/`TimedOut`) still propagate: that is how stalled
+/// readers get reaped.
+struct FrameWriter<W: Write> {
+    inner: W,
+}
+
+impl<W: Write> Write for FrameWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut written = 0;
+        while written < buf.len() {
+            match self.inner.write(&buf[written..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => written += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
     }
 }
 
@@ -675,6 +960,172 @@ mod tests {
         let a = Admission::new(1, 0);
         let _held = a.admit().expect("first slot");
         assert!(a.admit().is_none(), "zero-depth queue must reject immediately");
+    }
+
+    /// A reader handing out its script of `Ok(chunk)` / error-kind steps,
+    /// for driving [`BoundedLineReader`] and [`FrameWriter`] without a
+    /// socket.
+    struct ScriptedReader {
+        steps: Vec<Result<Vec<u8>, io::ErrorKind>>,
+    }
+
+    impl Read for ScriptedReader {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            if self.steps.is_empty() {
+                return Ok(0);
+            }
+            match self.steps.remove(0) {
+                Ok(bytes) => {
+                    out[..bytes.len()].copy_from_slice(&bytes);
+                    Ok(bytes.len())
+                }
+                Err(kind) => Err(kind.into()),
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_reader_splits_lines_across_chunks() {
+        let mut r = BoundedLineReader::new(
+            ScriptedReader {
+                steps: vec![Ok(b"hel".to_vec()), Ok(b"lo\nwor".to_vec()), Ok(b"ld\n".to_vec())],
+            },
+            1024,
+            None,
+        );
+        assert_eq!(r.next_line().ok().flatten().as_deref(), Some("hello"));
+        assert_eq!(r.next_line().ok().flatten().as_deref(), Some("world"));
+        assert!(matches!(r.next_line(), Ok(None)), "clean EOF");
+    }
+
+    #[test]
+    fn bounded_reader_rejects_oversized_frames() {
+        // Oversized with the newline already buffered …
+        let mut r = BoundedLineReader::new(
+            ScriptedReader {
+                steps: vec![Ok(b"0123456789\n".to_vec())],
+            },
+            4,
+            None,
+        );
+        assert!(matches!(r.next_line(), Err(FrameError::TooLarge)));
+        // … and oversized while still unterminated.
+        let mut r = BoundedLineReader::new(
+            ScriptedReader {
+                steps: vec![Ok(b"0123456789".to_vec()), Ok(b"ab".to_vec())],
+            },
+            4,
+            None,
+        );
+        assert!(matches!(r.next_line(), Err(FrameError::TooLarge)));
+        // A line of exactly max_frame bytes is fine.
+        let mut r = BoundedLineReader::new(
+            ScriptedReader {
+                steps: vec![Ok(b"0123\n".to_vec())],
+            },
+            4,
+            None,
+        );
+        assert_eq!(r.next_line().ok().flatten().as_deref(), Some("0123"));
+    }
+
+    #[test]
+    fn bounded_reader_maps_timeouts_and_partial_eof() {
+        let mut r = BoundedLineReader::new(
+            ScriptedReader {
+                steps: vec![Ok(b"half a frame".to_vec()), Err(io::ErrorKind::WouldBlock)],
+            },
+            1024,
+            None,
+        );
+        assert!(matches!(r.next_line(), Err(FrameError::Deadline)));
+        let mut r = BoundedLineReader::new(
+            ScriptedReader {
+                steps: vec![Ok(b"half a frame".to_vec())],
+            },
+            1024,
+            None,
+        );
+        assert!(
+            matches!(r.next_line(), Err(FrameError::PartialEof)),
+            "EOF mid-frame must not surface the fragment"
+        );
+    }
+
+    #[test]
+    fn bounded_reader_enforces_the_frame_wall_clock() {
+        // A trickler that never finishes a frame: each read succeeds, so
+        // only the per-frame budget can end it.
+        struct Trickle;
+        impl Read for Trickle {
+            fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+                std::thread::sleep(Duration::from_millis(2));
+                out[0] = b'x';
+                Ok(1)
+            }
+        }
+        let mut r = BoundedLineReader::new(Trickle, usize::MAX, Some(Duration::from_millis(30)));
+        let started = Instant::now();
+        assert!(matches!(r.next_line(), Err(FrameError::Deadline)));
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "the budget must cut the trickle short"
+        );
+    }
+
+    /// A sink that accepts at most 3 bytes per call and injects periodic
+    /// `Interrupted`, the worst case a real socket hands `write`.
+    struct ChunkySink {
+        bytes: Vec<u8>,
+        calls: usize,
+    }
+
+    impl Write for ChunkySink {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.calls += 1;
+            if self.calls.is_multiple_of(4) {
+                return Err(io::ErrorKind::Interrupted.into());
+            }
+            let n = buf.len().min(3);
+            self.bytes.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn frame_writer_survives_short_writes_and_interrupts() {
+        let mut w = FrameWriter {
+            inner: ChunkySink {
+                bytes: Vec::new(),
+                calls: 0,
+            },
+        };
+        let frame = b"{\"v\":1,\"id\":\"q1\",\"status\":\"ok\"}\n";
+        w.write_all(frame).unwrap();
+        w.write_all(b"tail\n").unwrap();
+        let mut expect = frame.to_vec();
+        expect.extend_from_slice(b"tail\n");
+        assert_eq!(w.inner.bytes, expect, "no byte lost, none reordered");
+    }
+
+    #[test]
+    fn frame_writer_turns_zero_progress_into_an_error() {
+        struct Stuck;
+        impl Write for Stuck {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Ok(0)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = FrameWriter { inner: Stuck };
+        let e = w.write_all(b"frame\n").unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::WriteZero);
     }
 
     #[test]

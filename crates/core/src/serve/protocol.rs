@@ -32,6 +32,16 @@ pub const VERSION: u32 = 1;
 /// Error-kind token for requests that never reached the executor.
 pub const BAD_REQUEST: &str = "bad-request";
 
+/// Error-kind token for a request frame exceeding the server's
+/// configured maximum size; the server answers with this and closes the
+/// connection (the rest of the oversized frame is never read).
+pub const FRAME_TOO_LARGE: &str = "frame-too-large";
+
+/// Error-kind token for queries arriving while the server is draining
+/// after a `shutdown` acknowledgement: in-flight work finishes, new work
+/// is refused.
+pub const SHUTTING_DOWN: &str = "shutting-down";
+
 /// A parsed version-1 query.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryV1 {

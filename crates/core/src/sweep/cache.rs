@@ -9,6 +9,22 @@
 //! so two requests share an entry exactly when their specs are
 //! canonically equal.
 //!
+//! Entries are **self-verifying**: the payload is framed as
+//!
+//! ```text
+//! magic (8) ‖ format version (4, LE) ‖ code epoch (8, LE)
+//!   ‖ spec key (8, LE) ‖ payload length (8, LE)
+//!   ‖ fnv1a64(payload) (8, LE) ‖ payload
+//! ```
+//!
+//! so [`DiskCache::load`] detects torn, truncated, bit-flipped,
+//! wrong-key, and stale-format entries, quarantines (deletes) them,
+//! counts the event in [`DiskStats::corrupt`], and reports a miss — the
+//! caller recomputes and the slot heals. Corruption can never change
+//! output bytes, only warm-hit counts. Opening the cache also sweeps
+//! orphaned `.tmp.*` files left by crashed writers; both sweeps are
+//! idempotent removals, so a crash mid-GC is harmless.
+//!
 //! Policy, enforced by the callers in `report_gen` / `csv_export` /
 //! `sweep`:
 //!
@@ -18,7 +34,11 @@
 //!   success; panics and retried/degraded experiment runs are not
 //!   persisted at all;
 //! * chaos runs (`MLPERF_CHAOS`) disable the cache entirely, so injected
-//!   failures can never be masked by a warm entry.
+//!   failures can never be masked by a warm entry. I/O chaos
+//!   (`MLPERF_IO_CHAOS`) is the one deliberate exception: it keeps the
+//!   cache *enabled* and sabotages its filesystem seam, because the
+//!   property under test is that a sabotaged cache still yields
+//!   byte-identical output.
 //!
 //! Escape hatches: `--no-cache` on the `repro` CLI, `MLPERF_CACHE=off` in
 //! the environment. `MLPERF_CACHE_DIR` moves the directory,
@@ -26,9 +46,10 @@
 //! invalidation deterministically).
 
 use mlperf_testkit::hash::{fnv1a64, Fnv1a64};
+use mlperf_testkit::iochaos::{IoChaosPlan, ReadFault, RenameFault, WriteFault};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 /// Environment variable: `off` (or `0`) disables the persistent cache.
 pub const CACHE_ENV: &str = "MLPERF_CACHE";
@@ -36,8 +57,105 @@ pub const CACHE_ENV: &str = "MLPERF_CACHE";
 pub const CACHE_DIR_ENV: &str = "MLPERF_CACHE_DIR";
 /// Environment variable pinning the code epoch (u64; tests only).
 pub const CACHE_EPOCH_ENV: &str = "MLPERF_CACHE_EPOCH";
+/// Environment variable carrying a seeded I/O fault-injection spec
+/// (see [`mlperf_testkit::iochaos::IoChaosSpec::parse`]).
+pub const IO_CHAOS_ENV: &str = "MLPERF_IO_CHAOS";
 /// Default cache directory, relative to the working directory.
 pub const DEFAULT_CACHE_DIR: &str = "artifacts/cache";
+
+/// Leading magic of a framed cache entry.
+pub const ENTRY_MAGIC: &[u8; 8] = b"MLPFCA01";
+/// On-disk entry format version (bump to invalidate by format).
+pub const ENTRY_VERSION: u32 = 1;
+/// Fixed frame-header length preceding the payload.
+pub const ENTRY_HEADER_LEN: usize = 44;
+
+/// Why a loaded entry was rejected and quarantined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryDefect {
+    /// Shorter than the fixed header — a torn or truncated write.
+    Truncated,
+    /// The magic bytes are wrong — foreign bytes or a pre-framing entry.
+    BadMagic,
+    /// The format version is not the one this binary writes.
+    StaleFormat,
+    /// The frame's epoch field disagrees with this handle's epoch.
+    WrongEpoch,
+    /// The frame's spec-key field disagrees with the requested key —
+    /// an entry copied or renamed onto the wrong address.
+    WrongKey,
+    /// The payload-length field disagrees with the bytes on disk.
+    LengthMismatch,
+    /// The payload checksum does not match — a bit flip or partial
+    /// overwrite inside the payload.
+    ChecksumMismatch,
+}
+
+impl EntryDefect {
+    /// The defect's stable lowercase name (for traces and assertions).
+    pub fn name(self) -> &'static str {
+        match self {
+            EntryDefect::Truncated => "truncated",
+            EntryDefect::BadMagic => "bad-magic",
+            EntryDefect::StaleFormat => "stale-format",
+            EntryDefect::WrongEpoch => "wrong-epoch",
+            EntryDefect::WrongKey => "wrong-key",
+            EntryDefect::LengthMismatch => "length-mismatch",
+            EntryDefect::ChecksumMismatch => "checksum-mismatch",
+        }
+    }
+}
+
+/// Frame `payload` for the entry addressed by `(epoch, key)`.
+pub fn encode_entry(epoch: u64, key: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ENTRY_HEADER_LEN + payload.len());
+    out.extend_from_slice(ENTRY_MAGIC);
+    out.extend_from_slice(&ENTRY_VERSION.to_le_bytes());
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&key.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+fn frame_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8-byte field"))
+}
+
+/// Verify the frame in `bytes` against the expected `(epoch, key)` and
+/// return the payload slice.
+///
+/// # Errors
+///
+/// Returns the first [`EntryDefect`] found, checking in fixed order:
+/// length, magic, version, epoch, key, payload length, checksum.
+pub fn verify_entry(bytes: &[u8], epoch: u64, key: u64) -> Result<&[u8], EntryDefect> {
+    if bytes.len() < ENTRY_HEADER_LEN {
+        return Err(EntryDefect::Truncated);
+    }
+    if &bytes[0..8] != ENTRY_MAGIC {
+        return Err(EntryDefect::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte field"));
+    if version != ENTRY_VERSION {
+        return Err(EntryDefect::StaleFormat);
+    }
+    if frame_u64(bytes, 12) != epoch {
+        return Err(EntryDefect::WrongEpoch);
+    }
+    if frame_u64(bytes, 20) != key {
+        return Err(EntryDefect::WrongKey);
+    }
+    let payload = &bytes[ENTRY_HEADER_LEN..];
+    if frame_u64(bytes, 28) != payload.len() as u64 {
+        return Err(EntryDefect::LengthMismatch);
+    }
+    if frame_u64(bytes, 36) != fnv1a64(payload) {
+        return Err(EntryDefect::ChecksumMismatch);
+    }
+    Ok(payload)
+}
 
 /// Deterministic-by-construction counters of one cache handle's traffic.
 /// These are *live* (a warm run reports hits where a cold run reported
@@ -45,14 +163,21 @@ pub const DEFAULT_CACHE_DIR: &str = "artifacts/cache";
 /// report bytes, which must be identical cold vs warm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DiskStats {
-    /// Entries served from disk.
+    /// Entries served from disk (frame verified).
     pub hits: u64,
-    /// Lookups that found no (valid) entry.
+    /// Lookups that found no valid entry.
     pub misses: u64,
     /// Entries written.
     pub stores: u64,
     /// Stale-epoch entries garbage-collected when the cache was opened.
     pub invalidated: u64,
+    /// Entries that failed frame verification on load and were
+    /// quarantined (each also counts as a miss).
+    pub corrupt: u64,
+    /// Stores that failed to land (write or rename error).
+    pub store_failures: u64,
+    /// Orphaned `.tmp.*` files from crashed writers swept at open.
+    pub orphans_swept: u64,
 }
 
 impl DiskStats {
@@ -67,8 +192,11 @@ impl DiskStats {
 }
 
 /// A handle on the on-disk cache directory. Opening it garbage-collects
-/// entries from other code epochs; lookups and stores are lock-free
-/// (atomic counters, write-to-temp + rename stores).
+/// entries from other code epochs and sweeps orphaned temp files;
+/// lookups verify the entry frame before trusting a byte; stores are
+/// write-to-temp + rename. Counters are atomic, so lookups and stores
+/// stay lock-free (the optional I/O chaos plan is the one mutex, and it
+/// exists only in durability tests).
 #[derive(Debug)]
 pub struct DiskCache {
     dir: PathBuf,
@@ -77,6 +205,10 @@ pub struct DiskCache {
     misses: AtomicU64,
     stores: AtomicU64,
     invalidated: AtomicU64,
+    corrupt: AtomicU64,
+    store_failures: AtomicU64,
+    orphans_swept: AtomicU64,
+    io_chaos: Option<Mutex<IoChaosPlan>>,
 }
 
 /// Fingerprint of the running binary: FNV-1a over the executable's bytes
@@ -101,9 +233,35 @@ pub fn code_epoch() -> u64 {
     })
 }
 
+/// Does `name` have the exact `{16 hex}-{16 hex}` stem shape every cache
+/// artifact (entry or temp file) is written with?
+fn has_entry_stem(name: &str) -> bool {
+    name.len() > 33
+        && name.as_bytes()[16] == b'-'
+        && name.bytes().take(33).enumerate().all(|(i, b)| {
+            if i == 16 {
+                b == b'-'
+            } else {
+                b.is_ascii_hexdigit()
+            }
+        })
+}
+
+/// Is `name` a well-formed entry file name (`{16 hex}-{16 hex}.art`)?
+fn is_entry_name(name: &str) -> bool {
+    name.len() == 37 && has_entry_stem(name) && name.ends_with(".art")
+}
+
+/// Is `name` an in-flight temp file from some writer
+/// (`{16 hex}-{16 hex}.tmp.{pid}`)?
+fn is_tmp_name(name: &str) -> bool {
+    has_entry_stem(name) && name[33..].starts_with(".tmp.")
+}
+
 impl DiskCache {
     /// Open (creating if needed) the cache at `dir` under the process's
-    /// [`code_epoch`], garbage-collecting entries from other epochs.
+    /// [`code_epoch`], garbage-collecting entries from other epochs and
+    /// sweeping orphaned temp files.
     ///
     /// # Errors
     ///
@@ -116,6 +274,11 @@ impl DiskCache {
     /// [`DiskCache::open`] under an explicit epoch (tests pin this to
     /// exercise key derivation and invalidation deterministically).
     ///
+    /// Both sweeps — stale-epoch entries and orphaned `.tmp.*` files —
+    /// are plain idempotent removals: a crash partway through leaves
+    /// only files the next open removes again. Files that are not
+    /// cache-shaped at all are left untouched.
+    ///
     /// # Errors
     ///
     /// Propagates [`std::io::Error`] if the directory cannot be created
@@ -124,11 +287,18 @@ impl DiskCache {
         std::fs::create_dir_all(dir)?;
         let prefix = format!("{epoch:016x}-");
         let mut invalidated = 0;
+        let mut orphans_swept = 0;
         for entry in std::fs::read_dir(dir)? {
             let entry = entry?;
             let name = entry.file_name();
             let name = name.to_string_lossy();
-            if name.ends_with(".art") && !name.starts_with(&prefix) {
+            if is_tmp_name(&name) {
+                // A writer crashed between temp-write and rename; the
+                // published entry (if any) is intact, this is garbage.
+                if std::fs::remove_file(entry.path()).is_ok() {
+                    orphans_swept += 1;
+                }
+            } else if is_entry_name(&name) && !name.starts_with(&prefix) {
                 // A different build wrote this; its numbers may no longer
                 // be reproducible by the current code, so drop it.
                 if std::fs::remove_file(entry.path()).is_ok() {
@@ -143,7 +313,21 @@ impl DiskCache {
             misses: AtomicU64::new(0),
             stores: AtomicU64::new(0),
             invalidated: AtomicU64::new(invalidated),
+            corrupt: AtomicU64::new(0),
+            store_failures: AtomicU64::new(0),
+            orphans_swept: AtomicU64::new(orphans_swept),
+            io_chaos: None,
         })
+    }
+
+    /// Attach a seeded I/O fault-injection plan: every subsequent read,
+    /// write, and rename consults the plan first. Durability tests use
+    /// this to prove that a sabotaged cache still yields byte-identical
+    /// output.
+    #[must_use]
+    pub fn with_io_chaos(mut self, plan: IoChaosPlan) -> DiskCache {
+        self.io_chaos = Some(Mutex::new(plan));
+        self
     }
 
     /// Open the cache as the environment dictates: `None` when
@@ -158,12 +342,17 @@ impl DiskCache {
     /// Open the cache an explicitly resolved
     /// [`Config`](crate::config::Config) dictates (`None` when it says
     /// the cache is disabled, or when the directory cannot be opened).
+    /// An `MLPERF_IO_CHAOS` spec in the config arms the handle's fault
+    /// seam — the cache stays *enabled* under I/O chaos by design.
     pub fn from_config(config: &crate::config::Config) -> Option<DiskCache> {
         if !config.cache_enabled {
             return None;
         }
         match DiskCache::open(&config.cache_dir) {
-            Ok(cache) => Some(cache),
+            Ok(cache) => Some(match config.io_chaos {
+                Some(spec) => cache.with_io_chaos(IoChaosPlan::from_spec(spec)),
+                None => cache,
+            }),
             Err(e) => {
                 eprintln!(
                     "persistent cache disabled: {}: {e}",
@@ -197,14 +386,47 @@ impl DiskCache {
             .join(format!("{:016x}-{:016x}.art", self.epoch, self.key(spec)))
     }
 
-    /// Load the entry for `spec`, counting a hit or a miss.
-    pub fn load(&self, spec: &[u8]) -> Option<Vec<u8>> {
-        match std::fs::read(self.path_for(spec)) {
-            Ok(bytes) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(bytes)
+    /// Read the raw entry file, through the fault seam if armed.
+    fn read_entry(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+        if let Some(chaos) = &self.io_chaos {
+            let fault = chaos.lock().expect("io-chaos plan lock").decide_read();
+            match fault {
+                ReadFault::Unreadable => {
+                    return Err(std::io::ErrorKind::PermissionDenied.into());
+                }
+                ReadFault::BitFlip { bit } => {
+                    let mut bytes = std::fs::read(path)?;
+                    if !bytes.is_empty() {
+                        let bit = (bit as usize) % (bytes.len() * 8);
+                        bytes[bit / 8] ^= 1 << (bit % 8);
+                    }
+                    return Ok(bytes);
+                }
+                ReadFault::Proceed => {}
             }
-            Err(_) => {
+        }
+        std::fs::read(path)
+    }
+
+    /// Load the entry for `spec`, counting a hit or a miss. The entry
+    /// frame is verified end to end before any byte is trusted; an
+    /// entry that fails verification is quarantined (deleted), counted
+    /// in [`DiskStats::corrupt`], and reported as a miss so the caller
+    /// recomputes and the slot heals.
+    pub fn load(&self, spec: &[u8]) -> Option<Vec<u8>> {
+        let path = self.path_for(spec);
+        let Ok(bytes) = self.read_entry(&path) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        match verify_entry(&bytes, self.epoch, self.key(spec)) {
+            Ok(payload) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(payload.to_vec())
+            }
+            Err(_defect) => {
+                let _ = std::fs::remove_file(&path);
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -212,14 +434,56 @@ impl DiskCache {
     }
 
     /// Store `bytes` under `spec`, best-effort (an unwritable cache never
-    /// fails the run): write to a temp file, then rename, so a concurrent
-    /// reader sees either the old entry or the complete new one.
+    /// fails the run): frame, write to a temp file, then rename, so a
+    /// concurrent reader sees either the old entry or the complete new
+    /// one. Failures are counted in [`DiskStats::store_failures`].
     pub fn store(&self, spec: &[u8], bytes: &[u8]) {
         let path = self.path_for(spec);
         let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-        if std::fs::write(&tmp, bytes).is_ok() && std::fs::rename(&tmp, &path).is_ok() {
+        let frame = encode_entry(self.epoch, self.key(spec), bytes);
+        let (write_fault, rename_fault) = match &self.io_chaos {
+            Some(chaos) => {
+                let mut plan = chaos.lock().expect("io-chaos plan lock");
+                (plan.decide_write(), plan.decide_rename())
+            }
+            None => (WriteFault::Proceed, RenameFault::Proceed),
+        };
+        match write_fault {
+            WriteFault::Enospc => {
+                // Nothing landed; cleanup ran.
+                self.store_failures.fetch_add(1, Ordering::Relaxed);
+                let _ = std::fs::remove_file(&tmp);
+                return;
+            }
+            WriteFault::Short { keep } => {
+                // Simulated power cut after the rename was durable but the
+                // data was not: a torn frame lands at the final path and the
+                // store *believes* it succeeded — load's verification is the
+                // only line of defense.
+                let keep = (keep as usize) % frame.len().max(1);
+                if std::fs::write(&tmp, &frame[..keep]).is_ok()
+                    && std::fs::rename(&tmp, &path).is_ok()
+                {
+                    self.stores.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.store_failures.fetch_add(1, Ordering::Relaxed);
+                    let _ = std::fs::remove_file(&tmp);
+                }
+                return;
+            }
+            WriteFault::Proceed => {}
+        }
+        if let RenameFault::Torn = rename_fault {
+            // Simulated crash between temp-write and rename: the temp file
+            // stays behind as the orphan the next open sweeps.
+            let _ = std::fs::write(&tmp, &frame);
+            self.store_failures.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if std::fs::write(&tmp, &frame).is_ok() && std::fs::rename(&tmp, &path).is_ok() {
             self.stores.fetch_add(1, Ordering::Relaxed);
         } else {
+            self.store_failures.fetch_add(1, Ordering::Relaxed);
             let _ = std::fs::remove_file(&tmp);
         }
     }
@@ -230,7 +494,9 @@ impl DiskCache {
         std::fs::remove_file(self.path_for(spec)).is_ok()
     }
 
-    /// Entries currently on disk for this epoch.
+    /// Entries currently on disk for this epoch. Only well-formed entry
+    /// names (`{epoch:016x}-{16 hex}.art`) are counted — leftover temp
+    /// files and foreign junk in the directory are not entries.
     pub fn entries(&self) -> usize {
         let prefix = format!("{:016x}-", self.epoch);
         std::fs::read_dir(&self.dir).map_or(0, |rd| {
@@ -238,7 +504,7 @@ impl DiskCache {
                 .filter(|e| {
                     let n = e.file_name();
                     let n = n.to_string_lossy();
-                    n.starts_with(&prefix) && n.ends_with(".art")
+                    is_entry_name(&n) && n.starts_with(&prefix)
                 })
                 .count()
         })
@@ -251,6 +517,9 @@ impl DiskCache {
             misses: self.misses.load(Ordering::Relaxed),
             stores: self.stores.load(Ordering::Relaxed),
             invalidated: self.invalidated.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            store_failures: self.store_failures.load(Ordering::Relaxed),
+            orphans_swept: self.orphans_swept.load(Ordering::Relaxed),
         }
     }
 
@@ -261,13 +530,17 @@ impl DiskCache {
         let s = self.stats();
         format!(
             "persistent cache [{}]: {} hits / {} misses ({:.0}% hit rate), \
-             {} stored, {} invalidated\n",
+             {} stored, {} invalidated, {} corrupt quarantined, \
+             {} store failures, {} orphan tmp swept\n",
             self.dir.display(),
             s.hits,
             s.misses,
             s.hit_rate() * 100.0,
             s.stores,
             s.invalidated,
+            s.corrupt,
+            s.store_failures,
+            s.orphans_swept,
         )
     }
 }
@@ -291,6 +564,7 @@ mod tests {
         assert_eq!(c.load(b"spec-a").as_deref(), Some(&b"payload"[..]));
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.stores), (1, 1, 1));
+        assert_eq!((s.corrupt, s.store_failures, s.orphans_swept), (0, 0, 0));
         assert_eq!(c.entries(), 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -327,6 +601,172 @@ mod tests {
         assert!(!c.evict(b"a"), "second evict finds nothing");
         assert_eq!(c.load(b"a"), None);
         assert_eq!(c.load(b"b").as_deref(), Some(&b"2"[..]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entry_frame_round_trips_and_names_every_defect() {
+        let frame = encode_entry(7, 9, b"payload");
+        assert_eq!(verify_entry(&frame, 7, 9), Ok(&b"payload"[..]));
+        // Truncation, at both header and payload granularity.
+        assert_eq!(
+            verify_entry(&frame[..10], 7, 9),
+            Err(EntryDefect::Truncated)
+        );
+        assert_eq!(
+            verify_entry(&frame[..frame.len() - 2], 7, 9),
+            Err(EntryDefect::LengthMismatch)
+        );
+        // Foreign bytes.
+        assert_eq!(
+            verify_entry(b"not a cache entry at all, but long enough to scan", 7, 9),
+            Err(EntryDefect::BadMagic)
+        );
+        // Stale format version.
+        let mut stale = frame.clone();
+        stale[8] ^= 0xff;
+        assert_eq!(verify_entry(&stale, 7, 9), Err(EntryDefect::StaleFormat));
+        // Wrong epoch / wrong key (entry copied onto the wrong address).
+        assert_eq!(verify_entry(&frame, 8, 9), Err(EntryDefect::WrongEpoch));
+        assert_eq!(verify_entry(&frame, 7, 10), Err(EntryDefect::WrongKey));
+        // A bit flip anywhere in the payload.
+        let mut flipped = frame.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        assert_eq!(
+            verify_entry(&flipped, 7, 9),
+            Err(EntryDefect::ChecksumMismatch)
+        );
+    }
+
+    #[test]
+    fn corrupt_entries_are_quarantined_and_counted() {
+        let dir = tmp("quarantine");
+        let c = DiskCache::open_with_epoch(&dir, 5).unwrap();
+        c.store(b"spec", b"good bytes");
+        let path = dir.join(format!("{:016x}-{:016x}.art", 5u64, c.key(b"spec")));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(c.load(b"spec"), None, "tampered entry must not hit");
+        assert!(!path.exists(), "tampered entry must be quarantined");
+        let s = c.stats();
+        assert_eq!((s.corrupt, s.misses, s.hits), (1, 1, 0));
+        // The slot heals: recompute, store, hit.
+        c.store(b"spec", b"good bytes");
+        assert_eq!(c.load(b"spec").as_deref(), Some(&b"good bytes"[..]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pre_framing_entries_self_heal() {
+        let dir = tmp("preframing");
+        let c = DiskCache::open_with_epoch(&dir, 6).unwrap();
+        // An entry written by the pre-framing code: raw payload bytes.
+        let path = dir.join(format!("{:016x}-{:016x}.art", 6u64, c.key(b"spec")));
+        std::fs::write(&path, b"raw unframed payload from an older format").unwrap();
+        assert_eq!(c.load(b"spec"), None, "unframed entry must not be served");
+        assert!(!path.exists());
+        assert_eq!(c.stats().corrupt, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn orphan_tmp_files_are_swept_at_open() {
+        let dir = tmp("orphans");
+        let c = DiskCache::open_with_epoch(&dir, 4).unwrap();
+        c.store(b"spec", b"entry");
+        // A crashed writer's leftovers, plus foreign junk that is not ours.
+        std::fs::write(
+            dir.join(format!("{:016x}-{:016x}.tmp.12345", 4u64, c.key(b"spec"))),
+            b"half-written",
+        )
+        .unwrap();
+        std::fs::write(dir.join("README.txt"), b"not a cache file").unwrap();
+        let reopened = DiskCache::open_with_epoch(&dir, 4).unwrap();
+        let s = reopened.stats();
+        assert_eq!((s.orphans_swept, s.invalidated), (1, 0));
+        assert_eq!(reopened.entries(), 1, "the published entry survives");
+        assert!(
+            dir.join("README.txt").exists(),
+            "files that are not cache-shaped are left alone"
+        );
+        assert_eq!(reopened.load(b"spec").as_deref(), Some(&b"entry"[..]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entries_counts_only_well_formed_entry_names() {
+        let dir = tmp("strict_names");
+        let c = DiskCache::open_with_epoch(&dir, 0xab).unwrap();
+        c.store(b"a", b"1");
+        c.store(b"b", b"2");
+        // None of these are entries, whatever their names suggest.
+        let prefix = format!("{:016x}-", 0xabu64);
+        std::fs::write(dir.join(format!("{prefix}0123456789abcdef.tmp.7")), b"x").unwrap();
+        std::fs::write(dir.join(format!("{prefix}short.art")), b"x").unwrap();
+        std::fs::write(dir.join(format!("{prefix}zzzzzzzzzzzzzzzz.art")), b"x").unwrap();
+        std::fs::write(dir.join("junk.art"), b"x").unwrap();
+        assert_eq!(c.entries(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn io_chaos_enospc_counts_store_failures() {
+        let dir = tmp("chaos_enospc");
+        let c = DiskCache::open_with_epoch(&dir, 9)
+            .unwrap()
+            .with_io_chaos(IoChaosPlan::new(1).with_write_rates(0.0, 1.0));
+        c.store(b"spec", b"bytes");
+        let s = c.stats();
+        assert_eq!((s.stores, s.store_failures), (0, 1));
+        assert_eq!(c.entries(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn io_chaos_torn_rename_leaves_a_sweepable_orphan() {
+        let dir = tmp("chaos_torn");
+        let c = DiskCache::open_with_epoch(&dir, 9)
+            .unwrap()
+            .with_io_chaos(IoChaosPlan::new(1).with_torn_rename(1.0));
+        c.store(b"spec", b"bytes");
+        assert_eq!(c.stats().store_failures, 1);
+        assert_eq!(c.entries(), 0, "nothing was published");
+        assert_eq!(c.load(b"spec"), None);
+        let reopened = DiskCache::open_with_epoch(&dir, 9).unwrap();
+        assert_eq!(reopened.stats().orphans_swept, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn io_chaos_short_write_is_caught_by_verification() {
+        let dir = tmp("chaos_short");
+        let c = DiskCache::open_with_epoch(&dir, 9)
+            .unwrap()
+            .with_io_chaos(IoChaosPlan::new(2).with_write_rates(1.0, 0.0));
+        c.store(b"spec", b"a payload long enough that a prefix is plausible");
+        // The torn frame landed at the final path claiming success …
+        assert_eq!(c.stats().stores, 1);
+        // … and load refuses to serve it.
+        assert_eq!(c.load(b"spec"), None);
+        assert_eq!(c.stats().corrupt, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn io_chaos_bit_flips_on_read_never_serve_corrupt_bytes() {
+        let dir = tmp("chaos_flip");
+        let c = DiskCache::open_with_epoch(&dir, 9)
+            .unwrap()
+            .with_io_chaos(IoChaosPlan::new(3).with_read_rates(0.0, 1.0));
+        c.store(b"spec", b"bytes under test");
+        // Every read comes back with one bit flipped somewhere in the
+        // frame; whichever field it hits, verification must reject it.
+        assert_eq!(c.load(b"spec"), None);
+        let s = c.stats();
+        assert_eq!((s.hits, s.corrupt), (0, 1));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -18,6 +18,10 @@
 //! * [`chaos`] — a seeded failure-injection plan ([`chaos::ChaosPlan`])
 //!   deciding panic / error / non-finite actions at named draw points,
 //!   used to chaos-test the experiment executor's resilience layer;
+//! * [`iochaos`] — the storage-side twin ([`iochaos::IoChaosPlan`]):
+//!   seeded short writes, torn renames, bit flips, `ENOSPC`, and
+//!   unreadable files injected at a persistent store's filesystem seam,
+//!   used to prove the artifact cache self-heals under corruption;
 //! * [`loadgen`] — seeded client-workload plans (skewed hot-subset draws
 //!   over an abstract query vocabulary) for replayable load tests of
 //!   long-lived services;
@@ -34,6 +38,7 @@ pub mod bench;
 pub mod chaos;
 pub mod fault;
 pub mod hash;
+pub mod iochaos;
 pub mod loadgen;
 pub mod prop;
 pub mod rng;

@@ -33,6 +33,15 @@ MLPERF_JOBS=4 cargo test -q --offline -p mlperf-suite --test sweep_cache
 MLPERF_JOBS=1 cargo test -q --offline -p mlperf-suite --test sweep_stream
 MLPERF_JOBS=4 cargo test -q --offline -p mlperf-suite --test sweep_stream
 
+echo "== durability & hostile-client batteries at MLPERF_JOBS=1 and 4 =="
+# The durability model (DESIGN.md "Durability model"): fuzzed cache
+# tampering and seeded I/O chaos must never change output bytes, and the
+# query server must survive transport-layer abuse with typed frames.
+MLPERF_JOBS=1 cargo test -q --offline -p mlperf-suite --test cache_durability
+MLPERF_JOBS=4 cargo test -q --offline -p mlperf-suite --test cache_durability
+MLPERF_JOBS=1 cargo test -q --offline -p mlperf-suite --test serve_hostile
+MLPERF_JOBS=4 cargo test -q --offline -p mlperf-suite --test serve_hostile
+
 echo "== replication battery: MLPERF_RUNS contract at MLPERF_JOBS=1 and 4 =="
 # The replication layer (DESIGN.md "Variance model"): MLPERF_RUNS=1 is
 # byte-invisible, MLPERF_RUNS=8 replays bitwise at any worker count, and
@@ -90,6 +99,65 @@ diff -ur "$report_tmp/sweeps_cold" "$report_tmp/sweeps_warm" \
     || { echo "warm sweep CSV bytes differ from cold" >&2; exit 1; }
 grep -q "100% hit rate" "$report_tmp/sweep_warm.log" \
     || { echo "warm sweep run did not report a 100% cache hit rate" >&2; exit 1; }
+
+echo "== corruption gate: tampered cache heals to byte-identical output =="
+# The durability model (DESIGN.md "Durability model"): mutilate a
+# deterministic subset of the warm cache's entries (append garbage to
+# every 3rd, truncate every 7th), plant crash debris and foreign junk,
+# then re-run. Every output byte must still match the committed
+# artifacts, the tampering must be quarantined loudly on stderr, the
+# orphan temp file must be swept, and the junk left alone.
+i=0
+for f in "$MLPERF_CACHE_DIR"/*.art; do
+    i=$((i + 1))
+    if [ $((i % 3)) -eq 0 ]; then
+        printf 'Z' >> "$f"
+    elif [ $((i % 7)) -eq 0 ]; then
+        truncate -s 20 "$f"
+    fi
+done
+[ "$i" -ge 20 ] || { echo "warm cache has suspiciously few entries ($i)" >&2; exit 1; }
+orphan="$MLPERF_CACHE_DIR/00000000000000ff-00000000000000ff.tmp.12345"
+printf 'half a store' > "$orphan"
+printf 'hands off' > "$MLPERF_CACHE_DIR/README.txt"
+cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    --report "$report_tmp/healed.md" >/dev/null 2>"$report_tmp/healed.log"
+diff -u REPORT.md "$report_tmp/healed.md" \
+    || { echo "tampered cache changed report bytes" >&2; exit 1; }
+grep -Eq '[1-9][0-9]* corrupt quarantined' "$report_tmp/healed.log" \
+    || { echo "tampered entries were not quarantined (or not reported)" >&2; \
+         cat "$report_tmp/healed.log" >&2; exit 1; }
+[ ! -e "$orphan" ] \
+    || { echo "orphan tmp file survived the open sweep" >&2; exit 1; }
+[ -f "$MLPERF_CACHE_DIR/README.txt" ] \
+    || { echo "the cache sweep deleted a non-cache file" >&2; exit 1; }
+cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    sweep --all --out "$report_tmp/sweeps_healed" >/dev/null 2>"$report_tmp/sweeps_healed.log"
+diff -ur "$report_tmp/sweeps_cold" "$report_tmp/sweeps_healed" \
+    || { echo "tampered cache changed sweep CSV bytes" >&2; exit 1; }
+
+echo "== io-chaos gate: seeded store faults degrade loudly, output intact =="
+# Seeded fault injection at the cache's I/O seam (MLPERF_IO_CHAOS): short
+# writes land torn frames, torn renames strand temp files, ENOSPC fails
+# stores outright. The run must still produce the committed report except
+# for the one appendix line that reports the degradation, and a clean
+# re-run over the same directory must heal back to the exact artifact.
+chaos_cache="$report_tmp/io_chaos_cache"
+MLPERF_CACHE_DIR="$chaos_cache" \
+MLPERF_IO_CHAOS="seed=7,short_write=0.3,torn_rename=0.2,enospc=0.2" \
+    cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    --report "$report_tmp/io_chaos.md" >/dev/null 2>"$report_tmp/io_chaos.log"
+grep -q '^persistent-cache degradation:' "$report_tmp/io_chaos.md" \
+    || { echo "io-chaos run did not surface store failures in the appendix" >&2; \
+         cat "$report_tmp/io_chaos.log" >&2; exit 1; }
+grep -v '^persistent-cache degradation:' "$report_tmp/io_chaos.md" > "$report_tmp/io_chaos_stripped.md"
+diff -u REPORT.md "$report_tmp/io_chaos_stripped.md" \
+    || { echo "io-chaos changed report bytes beyond the degradation note" >&2; exit 1; }
+MLPERF_CACHE_DIR="$chaos_cache" \
+    cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    --report "$report_tmp/io_chaos_healed.md" >/dev/null 2>"$report_tmp/io_chaos_healed.log"
+diff -u REPORT.md "$report_tmp/io_chaos_healed.md" \
+    || { echo "cache did not heal after io-chaos" >&2; exit 1; }
 
 echo "== chaos gate: injected panic degrades one section, nothing else =="
 # The executor failure model (DESIGN.md "Executor failure model"): an
@@ -235,5 +303,38 @@ echo '{"v":1,"id":"q","kind":"shutdown"}' | cargo run -q --release --offline -p 
     query --socket "$serve_sock" >/dev/null
 wait "$serve_pid" \
     || { echo "serve daemon did not exit cleanly after shutdown" >&2; cat "$report_tmp/serve.log" >&2; exit 1; }
+
+echo "== serve hostile smoke: oversized frame typed, daemon survives =="
+# Transport-layer hardening (DESIGN.md "Durability model"): a daemon with
+# a small MLPERF_SERVE_MAX_FRAME must answer an oversized request line
+# with the typed frame-too-large error, keep serving other clients, and
+# still shut down cleanly. (Half-written frames and stalled readers need
+# raw socket control — the serve_hostile test battery above covers them.)
+hostile_sock="$report_tmp/serve_hostile.sock"
+MLPERF_SERVE_MAX_FRAME=200 cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    --no-cache serve --socket "$hostile_sock" 2>"$report_tmp/serve_hostile.log" &
+hostile_pid=$!
+for _ in $(seq 1 100); do
+    [ -S "$hostile_sock" ] && break
+    kill -0 "$hostile_pid" 2>/dev/null \
+        || { echo "hostile-smoke daemon died before binding" >&2; cat "$report_tmp/serve_hostile.log" >&2; exit 1; }
+    sleep 0.1
+done
+[ -S "$hostile_sock" ] || { echo "hostile-smoke daemon never bound $hostile_sock" >&2; exit 1; }
+printf '{"v":1,"id":"big","kind":"ping","pad":"%s"}\n' "$(printf 'x%.0s' $(seq 1 400))" \
+    > "$report_tmp/oversized.ndjson"
+cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    query --socket "$hostile_sock" < "$report_tmp/oversized.ndjson" > "$report_tmp/oversized_answer.ndjson"
+grep -q '"status":"error","kind":"frame-too-large"' "$report_tmp/oversized_answer.ndjson" \
+    || { echo "oversized frame did not get the typed frame-too-large error" >&2; \
+         cat "$report_tmp/oversized_answer.ndjson" >&2; exit 1; }
+echo '{"v":1,"id":"still-up","kind":"ping"}' | cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    query --socket "$hostile_sock" > "$report_tmp/still_up.ndjson"
+grep -q '"id":"still-up","status":"ok"' "$report_tmp/still_up.ndjson" \
+    || { echo "daemon stopped answering after the oversized frame" >&2; exit 1; }
+echo '{"v":1,"id":"q","kind":"shutdown"}' | cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    query --socket "$hostile_sock" >/dev/null
+wait "$hostile_pid" \
+    || { echo "hostile-smoke daemon did not exit cleanly" >&2; cat "$report_tmp/serve_hostile.log" >&2; exit 1; }
 
 echo "tier-1 gate passed"
