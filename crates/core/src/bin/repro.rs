@@ -48,6 +48,8 @@ fn usage() -> &'static str {
           MLPERF_RETRIES=N, MLPERF_STEP_BUDGET=N, MLPERF_FASTPATH=off (force the\n\
           full DES engine; output bytes are identical either way — see README),\n\
           MLPERF_RUNS=N (seeded replications per training cell; 1 = point estimate),\n\
+          MLPERF_PARTITION=TOKEN (run sweeps on a fractional device, e.g. 1of4x3;\n\
+          'full' = whole device; pinned report sections ignore it),\n\
           MLPERF_IO_CHAOS=SPEC (seeded cache I/O fault injection, e.g.\n\
           seed=7,bit_flip=0.25 — see DESIGN.md §2h), MLPERF_SERVE_READ_TIMEOUT_MS,\n\
           MLPERF_SERVE_WRITE_TIMEOUT_MS, MLPERF_SERVE_MAX_FRAME (serve hardening)\n\
@@ -175,8 +177,8 @@ fn run_sweeps(args: &[String], cache: Option<&DiskCache>) -> Result<ExitCode, St
             other => return Err(format!("unknown sweep flag '{other}'; {}", usage())),
         }
     }
-    let selected: Vec<&sweep::SweepSpec> = if all {
-        registry.iter().collect()
+    let selected: Vec<sweep::SweepSpec> = if all {
+        registry.clone()
     } else {
         names
             .iter()
@@ -184,6 +186,7 @@ fn run_sweeps(args: &[String], cache: Option<&DiskCache>) -> Result<ExitCode, St
                 registry
                     .iter()
                     .find(|s| s.name == *n)
+                    .cloned()
                     .ok_or_else(|| format!("no sweep '{n}' (try: repro sweep --list)"))
             })
             .collect::<Result<_, _>>()?
@@ -191,6 +194,17 @@ fn run_sweeps(args: &[String], cache: Option<&DiskCache>) -> Result<ExitCode, St
     if selected.is_empty() {
         return Err(format!("no sweep named; {}", usage()));
     }
+    // MLPERF_PARTITION re-bases every selected sweep onto a fractional
+    // device. A sweep with its own partition axis overrides the base per
+    // cell, so the knob never fights an explicit grid; unset, the specs
+    // are untouched and the output bytes are exactly the historical ones.
+    let selected: Vec<sweep::SweepSpec> = match Config::from_env().partition {
+        Some(p) => selected
+            .into_iter()
+            .map(|s| s.fix(sweep::AxisValue::Partition(Some(p))))
+            .collect(),
+        None => selected,
+    };
     std::fs::create_dir_all(&out_dir).map_err(|e| format!("creating {out_dir}: {e}"))?;
     let pool = Pool::from_env();
     // Memo-free context: sweep cells are pairwise distinct, so the step
@@ -201,7 +215,7 @@ fn run_sweeps(args: &[String], cache: Option<&DiskCache>) -> Result<ExitCode, St
     // by the shard regardless of the grid (the million-cell sweep never
     // materializes). Bytes are identical to the in-memory rendering.
     const SHARD: usize = 1024;
-    for spec in selected {
+    for spec in &selected {
         let path = format!("{out_dir}/{}.csv", spec.name);
         let file =
             std::fs::File::create(&path).map_err(|e| format!("creating {path}: {e}"))?;

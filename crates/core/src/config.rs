@@ -21,8 +21,8 @@
 //! because the suite runs multi-threaded.
 
 use crate::runner::{
-    ChaosSpec, CHAOS_ATTEMPTS_ENV, CHAOS_ENV, FASTPATH_ENV, JOBS_ENV, RETRIES_ENV,
-    RUNS_ENV, STEP_BUDGET_ENV, STRICT_ENV,
+    ChaosSpec, CHAOS_ATTEMPTS_ENV, CHAOS_ENV, FASTPATH_ENV, JOBS_ENV, PARTITION_ENV,
+    RETRIES_ENV, RUNS_ENV, STEP_BUDGET_ENV, STRICT_ENV,
 };
 use crate::serve::{
     DEFAULT_MAX_FRAME, DEFAULT_READ_TIMEOUT_MS, DEFAULT_WRITE_TIMEOUT_MS, SERVE_MAX_FRAME_ENV,
@@ -30,6 +30,7 @@ use crate::serve::{
 };
 use crate::sweep::cache::{CACHE_DIR_ENV, CACHE_ENV, DEFAULT_CACHE_DIR, IO_CHAOS_ENV};
 use crate::sweep::MAX_RUNS;
+use mlperf_hw::PartitionSpec;
 use mlperf_testkit::iochaos::{IoChaosParseError, IoChaosSpec};
 use std::fmt;
 use std::path::PathBuf;
@@ -110,6 +111,13 @@ pub struct Config {
     /// 1..=[`MAX_RUNS`]; default 1 = point pricing with no replication
     /// columns, byte-identical to the pre-replication suite).
     pub runs: u32,
+    /// Fractional-device partition applied to the base cell of every
+    /// `repro sweep` run (`MLPERF_PARTITION`, e.g. `1of4x3`; `full` and
+    /// unset both mean the whole device). Sweeps that declare their own
+    /// partition axis override it per cell, and pinned report
+    /// experiments ignore it entirely — like `MLPERF_RUNS`, the knob
+    /// reshapes exploratory sweeps, never conformance-pinned sections.
+    pub partition: Option<PartitionSpec>,
     /// Seeded I/O fault injection at the persistent cache's filesystem
     /// seam (`MLPERF_IO_CHAOS`), if configured. Unlike `MLPERF_CHAOS`,
     /// this keeps the cache *enabled*: the property under test is that a
@@ -236,6 +244,23 @@ impl Config {
             .filter(|n| (1..=MAX_RUNS).contains(n))
             .unwrap_or(1);
         let mut errors = Vec::new();
+        let partition = get(PARTITION_ENV).and_then(|raw| {
+            let text = raw.trim();
+            if text.is_empty() {
+                return None;
+            }
+            match PartitionSpec::parse(text) {
+                Ok(p) => p,
+                Err(_) => {
+                    errors.push(ConfigError::BadKnob {
+                        name: PARTITION_ENV,
+                        value: raw,
+                        expected: "a partition token: 'full', '1of{2|4|7}', or '1of{k}x{tenants}'",
+                    });
+                    None
+                }
+            }
+        });
         let io_chaos = get(IO_CHAOS_ENV).and_then(|text| match IoChaosSpec::parse(&text) {
             Ok(spec) => spec,
             Err(error) => {
@@ -273,6 +298,7 @@ impl Config {
                 retries,
                 chaos,
                 runs,
+                partition,
                 io_chaos,
                 serve_read_timeout_ms,
                 serve_write_timeout_ms,
@@ -318,6 +344,7 @@ mod tests {
         assert_eq!(cfg.retries, None);
         assert!(cfg.chaos.is_none());
         assert_eq!(cfg.runs, 1, "default is point pricing");
+        assert!(cfg.partition.is_none(), "default is the whole device");
         assert!(cfg.io_chaos.is_none());
         assert_eq!(cfg.serve_read_timeout_ms, DEFAULT_READ_TIMEOUT_MS);
         assert_eq!(cfg.serve_write_timeout_ms, DEFAULT_WRITE_TIMEOUT_MS);
@@ -335,6 +362,7 @@ mod tests {
             (STRICT_ENV, "1"),
             (RETRIES_ENV, "7"),
             (RUNS_ENV, "8"),
+            (PARTITION_ENV, "1of4x3"),
             (IO_CHAOS_ENV, "seed=3,bit_flip=0.5"),
             (SERVE_READ_TIMEOUT_ENV, "1500"),
             (SERVE_WRITE_TIMEOUT_ENV, "0"),
@@ -348,6 +376,10 @@ mod tests {
         assert!(cfg.strict);
         assert_eq!(cfg.retries, Some(7));
         assert_eq!(cfg.runs, 8);
+        assert_eq!(
+            cfg.partition.map(|p| p.to_string()).as_deref(),
+            Some("1of4x3")
+        );
         let io = cfg.io_chaos.expect("io-chaos spec parsed");
         assert_eq!((io.seed, io.bit_flip), (3, 0.5));
         assert_eq!(cfg.serve_read_timeout_ms, 1500);
@@ -459,6 +491,34 @@ mod tests {
             "io chaos sabotages the cache's I/O — it must not disable the cache"
         );
         assert!(cfg.io_chaos.is_some());
+    }
+
+    #[test]
+    fn partition_knob_normalizes_or_rejects() {
+        // `full`, blank, and unset all mean the whole device — the
+        // normalized form, so a knob'd full-device sweep is byte-identical
+        // to an un-knob'd one.
+        assert!(with(&[]).partition.is_none());
+        assert!(with(&[(PARTITION_ENV, "full")]).partition.is_none());
+        assert!(with(&[(PARTITION_ENV, "  ")]).partition.is_none());
+        // Explicit solo-tenant spelling normalizes to the bare token.
+        assert_eq!(
+            with(&[(PARTITION_ENV, "1of2x1")])
+                .partition
+                .map(|p| p.to_string())
+                .as_deref(),
+            Some("1of2")
+        );
+        // Garbage is a typed error under strict resolution (the CLI path)
+        // and a logged fallback under the lenient one.
+        for bad in ["1of3", "2of4", "1of4x9", "half"] {
+            let err = try_with(&[(PARTITION_ENV, bad)]).unwrap_err();
+            assert!(
+                matches!(&err, ConfigError::BadKnob { name, .. } if *name == PARTITION_ENV),
+                "{bad}: {err}"
+            );
+            assert!(with(&[(PARTITION_ENV, bad)]).partition.is_none());
+        }
     }
 
     #[test]

@@ -18,9 +18,12 @@
 //! | [`storage_study`] | extension: disk-staging feasibility (§V-C's tier) |
 //! | [`fault_study`] | extension: faults, checkpoint/restart, expected TTT |
 //! | [`variance_decomposition`] | extension: run-to-run variance shares (seed/batch/precision) |
+//! | [`partition_study`] | extension: suite throughput under k-way device partitioning |
+//! | [`colocation_study`] | extension: training + inference co-location on slices |
 
 pub mod batch_sweep;
 pub mod cluster_study;
+pub mod colocation_study;
 pub mod energy_cost;
 pub mod fault_study;
 pub mod figure1;
@@ -28,6 +31,7 @@ pub mod figure2;
 pub mod figure3;
 pub mod figure4;
 pub mod figure5;
+pub mod partition_study;
 pub mod storage_study;
 pub mod table1;
 pub mod table2;

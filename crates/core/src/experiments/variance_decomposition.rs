@@ -97,6 +97,7 @@ fn cell(id: BenchmarkId) -> CellSpec {
         mtbf_hours: None,
         interval: None,
         runs: Some(1),
+        partition: None,
     }
 }
 

@@ -42,14 +42,15 @@ pub use pool::{Pool, TaskFailure, JOBS_ENV};
 
 use crate::benchmark::BenchmarkId;
 use crate::experiments::{
-    batch_sweep, cluster_study, energy_cost, fault_study, figure1, figure2, figure3, figure4,
-    figure5, storage_study, table1, table2, table3, table4, table5, variance_decomposition,
+    batch_sweep, cluster_study, colocation_study, energy_cost, fault_study, figure1, figure2,
+    figure3, figure4, figure5, partition_study, storage_study, table1, table2, table3, table4,
+    table5, variance_decomposition,
 };
 use crate::workloads::{self, WorkloadRun, WorkloadSpec};
 use crate::{sensitivity, validation};
 use mlperf_analysis::roofline::RooflineModel;
 use mlperf_hw::systems::{SystemId, SystemSpec};
-use mlperf_hw::Precision;
+use mlperf_hw::{PartitionSpec, Precision};
 use mlperf_models::PrecisionPolicy;
 use error::panic_message;
 use mlperf_sim::engine::{RunSpec, SimError, Simulator, StepReport};
@@ -89,6 +90,9 @@ pub struct RunKey {
     pub per_gpu_batch: u64,
     /// Simulation window `(warmup, measured)` iterations.
     pub window: (u64, u64),
+    /// Fractional-device partition the job runs inside, if any (`None`
+    /// keys exactly as every pre-partition entry did).
+    pub partition: Option<PartitionSpec>,
 }
 
 /// A memoizable training-simulation request: a benchmark's (possibly
@@ -101,6 +105,7 @@ pub struct TrainPoint {
     gpus: u32,
     precision: Option<PrecisionPolicy>,
     per_gpu_batch: Option<u64>,
+    partition: Option<PartitionSpec>,
 }
 
 impl TrainPoint {
@@ -113,6 +118,7 @@ impl TrainPoint {
             gpus,
             precision: None,
             per_gpu_batch: None,
+            partition: None,
         }
     }
 
@@ -138,6 +144,15 @@ impl TrainPoint {
         self
     }
 
+    /// Run the job inside a fractional-device partition (`None` — the
+    /// default — is the whole device, and keys identically to a point
+    /// built before partitioning existed).
+    #[must_use]
+    pub fn with_partition(mut self, partition: Option<PartitionSpec>) -> Self {
+        self.partition = partition;
+        self
+    }
+
     /// The cache key, with overrides resolved to effective values.
     fn key(&self, job: &TrainingJob, window: (u64, u64)) -> RunKey {
         RunKey {
@@ -148,6 +163,7 @@ impl TrainPoint {
             precision: job.precision(),
             per_gpu_batch: job.per_gpu_batch(),
             window,
+            partition: job.partition(),
         }
     }
 }
@@ -200,8 +216,15 @@ impl CacheStats {
 }
 
 /// Key of one roofline pre-screen verdict: (benchmark, reference,
-/// system, precision, gpus).
-type ScreenKey = (BenchmarkId, bool, SystemId, PrecisionPolicy, u32);
+/// system, precision, gpus, partition).
+type ScreenKey = (
+    BenchmarkId,
+    bool,
+    SystemId,
+    PrecisionPolicy,
+    u32,
+    Option<PartitionSpec>,
+);
 
 /// Shared execution context: the memo caches, the artifact store, and the
 /// cache counters. One `Ctx` spans one report (or one standalone
@@ -390,6 +413,9 @@ impl Ctx {
         if let Some(b) = point.per_gpu_batch {
             job = job.with_per_gpu_batch(b);
         }
+        if point.partition.is_some() {
+            job = job.with_partition(point.partition);
+        }
         job
     }
 
@@ -571,6 +597,7 @@ impl Ctx {
             point.system,
             job.precision(),
             point.gpus,
+            job.partition(),
         );
         if let Some(&verdict) = lock(&self.fast_screen).get(&key) {
             return verdict;
@@ -604,8 +631,19 @@ impl Ctx {
             return true;
         }
         // Device-time lower bound from the attainable roof, at the
-        // fastest ceiling the policy can reach.
-        let roofline = RooflineModel::for_gpu(&system.gpu_model().spec());
+        // fastest ceiling the policy can reach — of the *slice* the job
+        // runs inside, when the point is partitioned.
+        let parent = system.gpu_model().spec();
+        let gpu_spec = match point.partition {
+            None => parent,
+            Some(p) => match p.sliced_spec(&parent) {
+                Ok(sliced) => sliced,
+                // An invalid slice is a typed engine error either way;
+                // attempt the fast path so both loops reject identically.
+                Err(_) => return true,
+            },
+        };
+        let roofline = RooflineModel::for_gpu(&gpu_spec);
         let roof_precision = match template.precision() {
             PrecisionPolicy::Amp => Precision::TensorCore,
             _ => Precision::Single,
@@ -784,6 +822,10 @@ pub enum Artifact {
     Fault(fault_study::FaultStudy),
     /// Run-to-run variance decomposition extension study.
     Variance(variance_decomposition::VarianceDecomposition),
+    /// Suite throughput under k-way device partitioning.
+    Partition(partition_study::PartitionStudy),
+    /// Training + inference co-location study.
+    Colocation(colocation_study::ColocationStudy),
 }
 
 impl Artifact {
@@ -808,6 +850,8 @@ impl Artifact {
             Artifact::BatchSweep(_) => "batch_sweep",
             Artifact::Fault(_) => "fault_study",
             Artifact::Variance(_) => "variance_decomposition",
+            Artifact::Partition(_) => "partition_study",
+            Artifact::Colocation(_) => "colocation_study",
         }
     }
 
@@ -880,6 +924,23 @@ impl Artifact {
     pub fn as_variance(&self) -> Option<&variance_decomposition::VarianceDecomposition> {
         match self {
             Artifact::Variance(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The partition-study payload, if that is what this artifact holds.
+    pub fn as_partition(&self) -> Option<&partition_study::PartitionStudy> {
+        match self {
+            Artifact::Partition(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The co-location-study payload, if that is what this artifact
+    /// holds.
+    pub fn as_colocation(&self) -> Option<&colocation_study::ColocationStudy> {
+        match self {
+            Artifact::Colocation(c) => Some(c),
             _ => None,
         }
     }
@@ -1084,6 +1145,12 @@ pub const FASTPATH_ENV: &str = "MLPERF_FASTPATH";
 /// pre-replication suite). Above one, sweeps and cell queries append the
 /// epochs-to-target distribution columns.
 pub const RUNS_ENV: &str = "MLPERF_RUNS";
+/// Environment variable applying a fractional-device partition to every
+/// sweep base cell (`full`, or a slice token like `1of4` / `1of4x3` —
+/// profile plus optional co-tenant count). Pinned experiments ignore it,
+/// exactly as they ignore [`RUNS_ENV`]; unset (or `full`) is
+/// byte-identical to the pre-partition suite.
+pub const PARTITION_ENV: &str = "MLPERF_PARTITION";
 
 /// Seed of the retry-backoff PRNG; each experiment draws from stream
 /// [`fnv1a64`]`(id)` of this seed, so the trace is schedule-invariant.
@@ -1408,7 +1475,7 @@ pub fn execute(
     Ok(execution)
 }
 
-/// The seventeen experiments of the full report, in the report's output
+/// The nineteen experiments of the full report, in the report's output
 /// order (Table I is a synthesis layer on top and not part of the report
 /// body — see [`all_experiments`]).
 pub fn report_experiments() -> Vec<&'static dyn Experiment> {
@@ -1430,6 +1497,8 @@ pub fn report_experiments() -> Vec<&'static dyn Experiment> {
         &batch_sweep::Exp,
         &fault_study::Exp,
         &variance_decomposition::Exp,
+        &partition_study::Exp,
+        &colocation_study::Exp,
     ]
 }
 

@@ -24,6 +24,7 @@
 use crate::benchmark::BenchmarkId;
 use crate::sweep::{CellKind, CellSpec, IntervalChoice, MAX_RUNS};
 use mlperf_hw::systems::SystemId;
+use mlperf_hw::PartitionSpec;
 use mlperf_models::PrecisionPolicy;
 
 /// The one schema version this server speaks.
@@ -322,6 +323,7 @@ const CELL_FIELDS: &[&str] = &[
     "mtbf_hours",
     "interval",
     "runs",
+    "partition",
 ];
 const SWEEP_FIELDS: &[&str] = &["sweep"];
 
@@ -425,6 +427,16 @@ fn parse_cell(fields: &[(String, Json)]) -> Result<CellSpec, String> {
             ))
         }
     };
+    // `partition` follows the same contract: `"full"` is the explicit
+    // spelling of the default and normalizes to it (same canonical bytes,
+    // same coalescing key as omitting the field); an invalid token is a
+    // typed bad-request naming the field, never a clamp.
+    let partition = match str_field(fields, "partition")?.as_deref() {
+        None => None,
+        Some(token) => {
+            PartitionSpec::parse(token).map_err(|e| format!("field 'partition': {e}"))?
+        }
+    };
     Ok(CellSpec {
         kind: cell_kind,
         workload: Some(workload),
@@ -435,6 +447,7 @@ fn parse_cell(fields: &[(String, Json)]) -> Result<CellSpec, String> {
         mtbf_hours,
         interval,
         runs,
+        partition,
     })
 }
 
@@ -665,6 +678,32 @@ mod tests {
             let (_, msg) =
                 parse_request(&format!(r#"{base},"runs":{bad}}}"#)).expect_err(bad);
             assert!(msg.contains("'runs'"), "runs={bad}: got '{msg}'");
+        }
+    }
+
+    #[test]
+    fn partition_field_parses_normalizes_and_rejects_bad_tokens() {
+        let base = r#"{"v":1,"kind":"cell","workload":"MLPf_Res50_MX","system":"C4140_(K)","gpus":1"#;
+        let req = parse_request(&format!(r#"{base},"partition":"1of4x3"}}"#)).unwrap();
+        let QueryV1::Cell(spec) = &req.query else {
+            panic!("expected a cell query")
+        };
+        assert_eq!(spec.partition.map(|p| p.to_string()).as_deref(), Some("1of4x3"));
+        assert!(String::from_utf8(req.canonical_bytes()).unwrap().ends_with(";part=1of4x3"));
+        // "full" (and the solo "x1" spelling) are the explicit default:
+        // identical identity — and thus coalescing key — to omitting the
+        // field, so old clients and new ones share cache entries.
+        let full = parse_request(&format!(r#"{base},"partition":"full"}}"#)).unwrap();
+        let plain = parse_request(&format!("{base}}}")).unwrap();
+        assert_eq!(full.canonical_bytes(), plain.canonical_bytes());
+        let solo = parse_request(&format!(r#"{base},"partition":"1of2x1"}}"#)).unwrap();
+        let bare = parse_request(&format!(r#"{base},"partition":"1of2"}}"#)).unwrap();
+        assert_eq!(solo.canonical_bytes(), bare.canonical_bytes());
+        // Invalid tokens are typed bad-requests naming the field.
+        for bad in ["1of3", "2of4", "1of4x9", "half", "1of4x0", " 1of4"] {
+            let (_, msg) = parse_request(&format!(r#"{base},"partition":"{bad}"}}"#))
+                .expect_err(bad);
+            assert!(msg.contains("'partition'"), "partition={bad}: got '{msg}'");
         }
     }
 

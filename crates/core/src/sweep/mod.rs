@@ -34,6 +34,7 @@ use crate::runner::{Ctx, Pool, TrainPoint};
 use mlperf_data::storage::StorageDevice;
 use mlperf_hw::systems::SystemId;
 use mlperf_hw::units::Seconds;
+use mlperf_hw::{PartitionProfile, PartitionSpec};
 use mlperf_models::PrecisionPolicy;
 use mlperf_sim::checkpoint::{daly_interval, expected_runtime};
 use mlperf_sim::{CheckpointSpec, SimError};
@@ -64,6 +65,8 @@ pub enum AxisValue {
     MtbfHours(f64),
     /// Checkpoint-interval policy (expected-TTT cells).
     Interval(IntervalChoice),
+    /// Fractional-device partition (`None` = the whole device).
+    Partition(Option<PartitionSpec>),
 }
 
 /// What a cell computes.
@@ -139,6 +142,10 @@ pub struct CellSpec {
     /// Per-cell run-count override (> 1 turns replication on for this
     /// cell regardless of `MLPERF_RUNS`). `None` defers to the context.
     pub runs: Option<u32>,
+    /// Fractional-device partition the cell's job runs inside. `None` —
+    /// the whole device — spells and caches exactly as every
+    /// pre-partition cell did.
+    pub partition: Option<PartitionSpec>,
 }
 
 impl CellSpec {
@@ -153,6 +160,7 @@ impl CellSpec {
             mtbf_hours: None,
             interval: None,
             runs: None,
+            partition: None,
         }
     }
 
@@ -165,6 +173,7 @@ impl CellSpec {
             AxisValue::Precision(p) => self.precision = Some(p),
             AxisValue::MtbfHours(m) => self.mtbf_hours = Some(m),
             AxisValue::Interval(i) => self.interval = Some(i),
+            AxisValue::Partition(p) => self.partition = p,
         }
     }
 
@@ -207,6 +216,11 @@ impl CellSpec {
         if let Some(r) = self.runs {
             s.push_str(&format!(";runs={r}"));
         }
+        // Same only-when-set rule: a whole-device cell's identity (and
+        // cache entry) is exactly what it was before partitioning existed.
+        if let Some(p) = self.partition {
+            s.push_str(&format!(";part={p}"));
+        }
         s.into_bytes()
     }
 
@@ -247,6 +261,7 @@ impl CellError {
             SimError::NonFinite { .. } => "non-finite",
             SimError::BadGpuSet(_) => "bad-gpu-set",
             SimError::Topology(_) => "topology",
+            SimError::Partition(_) => "bad-partition",
         };
         CellError {
             kind: kind.to_string(),
@@ -386,6 +401,17 @@ impl SweepSpec {
         &self.axes
     }
 
+    /// Whether any cell of this sweep can carry a partition (a partition
+    /// axis or a partitioned base). Gates the CSV's `partition` column:
+    /// partition-free sweeps emit exactly the bytes they always did.
+    pub fn partitioned(&self) -> bool {
+        self.base.partition.is_some()
+            || self
+                .axes
+                .iter()
+                .any(|a| a.values.iter().any(|v| matches!(v, AxisValue::Partition(_))))
+    }
+
     /// Keep only the first `max_cells` cells of the deterministic
     /// expansion — the CI-sized prefix of a grid too large to run whole.
     /// Truncation is part of the sweep's canonical identity (the cache
@@ -494,6 +520,9 @@ pub struct SweepRun {
     /// The effective run count the cells were priced at (> 1 appends the
     /// replication columns to the CSV).
     pub runs: u32,
+    /// Whether the sweep carries a partition axis or base (adds the
+    /// `partition` column to the CSV).
+    pub partitioned: bool,
     /// Every cell, in deterministic expansion order.
     pub cells: Vec<CellResult>,
 }
@@ -546,6 +575,9 @@ pub fn price_cell(ctx: &Ctx, spec: &CellSpec) -> Result<CellValue, CellError> {
             if let Some(p) = spec.precision {
                 point = point.with_precision(p);
             }
+            if spec.partition.is_some() {
+                point = point.with_partition(spec.partition);
+            }
             let (step, outcome) = ctx.step_and_outcome(&point).map_err(CellError::from_sim)?;
             // Epochs are charged by the *base* job's convergence model at
             // the cell's effective global batch (matching the batch
@@ -591,7 +623,10 @@ pub fn price_cell(ctx: &Ctx, spec: &CellSpec) -> Result<CellValue, CellError> {
             let choice = spec
                 .interval
                 .ok_or_else(|| CellError::invalid("expected-TTT cell has no interval"))?;
-            let point = TrainPoint::new(workload, system, gpus);
+            let mut point = TrainPoint::new(workload, system, gpus);
+            if spec.partition.is_some() {
+                point = point.with_partition(spec.partition);
+            }
             let outcome = ctx.outcome(&point).map_err(CellError::from_sim)?;
             let work = outcome.total_time;
             let job = ctx.base_job(workload, false);
@@ -739,14 +774,16 @@ fn collect(spec: &SweepSpec, runs: u32, cells: Vec<CellResult>) -> SweepRun {
         kind: spec.kind,
         axis_names: spec.axes.iter().map(|a| a.name).collect(),
         runs: runs.max(1),
+        partitioned: spec.partitioned(),
         cells,
     }
 }
 
-/// The CSV header vocabulary for one cell kind: spec columns, a status
-/// column, the kind's metric columns (plus the replication columns when
-/// `runs > 1`), and the error token.
-pub(crate) fn csv_headers(kind: CellKind, runs: u32) -> Vec<&'static str> {
+/// The CSV header vocabulary for one cell kind: spec columns (plus the
+/// `partition` column when the sweep carries one), a status column, the
+/// kind's metric columns (plus the replication columns when `runs > 1`),
+/// and the error token.
+pub(crate) fn csv_headers(kind: CellKind, runs: u32, partitioned: bool) -> Vec<&'static str> {
     let mut headers = vec![
         "workload",
         "system",
@@ -755,8 +792,11 @@ pub(crate) fn csv_headers(kind: CellKind, runs: u32) -> Vec<&'static str> {
         "precision",
         "mtbf_hours",
         "interval",
-        "status",
     ];
+    if partitioned {
+        headers.push("partition");
+    }
+    headers.push("status");
     headers.extend_from_slice(kind.columns());
     if runs > 1 {
         headers.extend_from_slice(kind.run_columns());
@@ -768,8 +808,9 @@ pub(crate) fn csv_headers(kind: CellKind, runs: u32) -> Vec<&'static str> {
 /// Render one cell as its CSV row cells (unquoted). Shared between
 /// [`to_csv`] and [`run_streamed`] so the streamed file is byte-identical
 /// to the in-memory rendering. `runs` must match the header the row goes
-/// under: it sizes the dash padding of degraded rows.
-fn row_cells(kind: CellKind, runs: u32, cell: &CellResult) -> Vec<String> {
+/// under: it sizes the dash padding of degraded rows; `partitioned`
+/// likewise gates the partition cell.
+fn row_cells(kind: CellKind, runs: u32, partitioned: bool, cell: &CellResult) -> Vec<String> {
     let s = &cell.spec;
     let mut row = vec![
         s.workload.map_or("-", BenchmarkId::abbreviation).to_string(),
@@ -790,6 +831,9 @@ fn row_cells(kind: CellKind, runs: u32, cell: &CellResult) -> Vec<String> {
             Some(IntervalChoice::FixedMin(m)) => format!("{m:.1}min"),
         },
     ];
+    if partitioned {
+        row.push(s.partition.map_or_else(|| "full".to_string(), |p| p.to_string()));
+    }
     match &cell.outcome {
         Ok(v) => {
             row.push("ok".to_string());
@@ -809,9 +853,9 @@ fn row_cells(kind: CellKind, runs: u32, cell: &CellResult) -> Vec<String> {
 
 /// Render a run as a long-form CSV: one row per cell in expansion order.
 pub fn to_csv(run: &SweepRun) -> String {
-    let mut t = Table::new("", csv_headers(run.kind, run.runs));
+    let mut t = Table::new("", csv_headers(run.kind, run.runs, run.partitioned));
     for cell in &run.cells {
-        t.add_row(row_cells(run.kind, run.runs, cell));
+        t.add_row(row_cells(run.kind, run.runs, run.partitioned, cell));
     }
     t.to_csv()
 }
@@ -854,7 +898,8 @@ pub fn run_streamed(
     let shard = shard.max(1);
     let total = spec.len();
     let runs = ctx.runs();
-    out.write_all(crate::report::csv_line(csv_headers(spec.kind, runs)).as_bytes())?;
+    let partitioned = spec.partitioned();
+    out.write_all(crate::report::csv_line(csv_headers(spec.kind, runs, partitioned)).as_bytes())?;
     let mut summary = StreamSummary {
         cells: 0,
         errors: 0,
@@ -882,7 +927,7 @@ pub fn run_streamed(
             summary.cells += 1;
             summary.errors += usize::from(cell.outcome.is_err());
             summary.disk_hits += usize::from(cell.from_disk);
-            let row = row_cells(spec.kind, runs, cell);
+            let row = row_cells(spec.kind, runs, partitioned, cell);
             out.write_all(
                 crate::report::csv_line(row.iter().map(String::as_str)).as_bytes(),
             )?;
@@ -956,6 +1001,34 @@ pub fn fault_ttt() -> SweepSpec {
     )
 }
 
+/// The partition-scaling grid: every MLPerf benchmark on one V100 of the
+/// C4140 (K), whole-device and at the packed 2-/4-/7-way slice layouts
+/// (every co-tenant busy — the worst-case interference point). This is
+/// the input grid of the partition study; per-device throughput is k ×
+/// the per-slice rate the cells price.
+pub fn partition_scaling() -> SweepSpec {
+    SweepSpec::new(
+        "partition_scaling",
+        "MLPerf workloads x k-way device partitioning (C4140 K, 1 GPU)",
+        CellKind::Training,
+    )
+    .fix(AxisValue::System(SystemId::C4140K))
+    .fix(AxisValue::Gpus(1))
+    .axis(
+        "workload",
+        BenchmarkId::MLPERF.iter().copied().map(AxisValue::Workload).collect(),
+    )
+    .axis(
+        "partition",
+        vec![
+            AxisValue::Partition(None),
+            AxisValue::Partition(Some(PartitionSpec::packed(PartitionProfile::Half))),
+            AxisValue::Partition(Some(PartitionSpec::packed(PartitionProfile::Quarter))),
+            AxisValue::Partition(Some(PartitionSpec::packed(PartitionProfile::Seventh))),
+        ],
+    )
+}
+
 /// How many cells of [`million_cell`] the registry (and CI) actually
 /// runs; the full grid is the bench harness's stress load.
 pub const MILLION_CELL_CI_PREFIX: usize = 512;
@@ -1001,6 +1074,7 @@ pub fn registry() -> Vec<SweepSpec> {
         batch_wall(BenchmarkId::MlpfRes50Mx),
         fault_ttt(),
         million_cell().truncate(MILLION_CELL_CI_PREFIX),
+        partition_scaling(),
     ]
 }
 

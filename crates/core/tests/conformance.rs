@@ -92,6 +92,7 @@ macro_rules! conformance {
 conformance! {
     batch_sweep_fingerprint => ("batch_sweep", 0xaca8d63b127022bc),
     cluster_study_fingerprint => ("cluster_study", 0x86bd653f59f3b623),
+    colocation_study_fingerprint => ("colocation_study", 0x9e4138f10cbb30a5),
     energy_cost_fingerprint => ("energy_cost", 0xd86f11075749179e),
     fault_study_fingerprint => ("fault_study", 0xcb40352502963c14),
     figure1_fingerprint => ("figure1", 0x081a800b4753d117),
@@ -99,6 +100,7 @@ conformance! {
     figure3_fingerprint => ("figure3", 0xbaa5f129a6ad24d6),
     figure4_fingerprint => ("figure4", 0xe08d8c325bf46110),
     figure5_fingerprint => ("figure5", 0x15de211c4021faff),
+    partition_study_fingerprint => ("partition_study", 0xe8e321d4f1d3be8f),
     sensitivity_fingerprint => ("sensitivity", 0x80c59403b7ec1498),
     storage_study_fingerprint => ("storage_study", 0x7ef9d762fad32c2a),
     table1_fingerprint => ("table1", 0xa44eacb108f49693),

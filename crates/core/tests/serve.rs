@@ -230,6 +230,49 @@ fn per_connection_budgets_trip_deterministically() {
 }
 
 #[test]
+fn partition_queries_price_normalize_and_reject_through_the_server() {
+    // Batch 16 fits the quarter slice (the default batch OOMs it).
+    const CELL: &str =
+        r#""kind":"cell","workload":"MLPf_Res50_MX","system":"C4140_(K)","gpus":1,"batch":16"#;
+    let lines: Vec<String> = vec![
+        // A sliced cell prices like any other (a distinct coalescing slot).
+        format!(r#"{{"v":1,"id":"sliced",{CELL},"partition":"1of4x2"}}"#),
+        // `partition:"full"` normalizes to the whole device, so it must
+        // coalesce with the partition-free spelling of the same cell …
+        format!(r#"{{"v":1,"id":"spelled",{CELL},"partition":"full"}}"#),
+        format!(r#"{{"v":1,"id":"bare",{CELL}}}"#),
+        // … and a malformed token is a typed bad-request, not a crash.
+        format!(r#"{{"v":1,"id":"bad",{CELL},"partition":"1of3"}}"#),
+        r#"{"v":1,"id":"alive","kind":"ping"}"#.into(),
+    ];
+    let opts = ServeOptions { socket: sock("partition"), ..ServeOptions::default() };
+    let (transcripts, stats) = serve_workload(&test_config(2), &opts, std::slice::from_ref(&lines));
+    let text = String::from_utf8(transcripts.into_iter().next().unwrap()).unwrap();
+    let frames: Vec<&str> = text.lines().collect();
+    assert_eq!(frames.len(), lines.len(), "{text}");
+    for ok in &frames[..3] {
+        assert!(ok.contains("\"status\":\"ok\""), "{ok}");
+    }
+    // The quarter slice runs slower than the whole device: the sliced
+    // frame must carry its own numbers, not the full-device ones.
+    assert_ne!(frames[0].replace("sliced", "bare"), frames[2], "{text}");
+    assert_eq!(frames[1].replace("spelled", "bare"), frames[2], "'full' must normalize");
+    assert!(
+        frames[3].contains("bad-request") && frames[3].contains("partition"),
+        "{text}"
+    );
+    assert_eq!(frames[4], protocol::pong_frame("alive").trim_end(), "{text}");
+    // Two unique physical cells (sliced, whole); the normalized spelling
+    // coalesces onto the whole-device slot.
+    assert_eq!((stats.coalesce_misses, stats.coalesce_hits), (2, 1), "{text}");
+    assert_eq!(stats.error_responses, 1);
+
+    let opts_b = ServeOptions { socket: sock("partition_b"), ..ServeOptions::default() };
+    let (second, _) = serve_workload(&test_config(2), &opts_b, &[lines]);
+    assert_eq!(text.as_bytes(), &second[0][..], "partition frames must replay");
+}
+
+#[test]
 fn malformed_queries_get_typed_errors_and_the_server_survives() {
     let lines: Vec<String> = vec![
         "not json".into(),

@@ -41,18 +41,22 @@ fn warm_report_is_byte_identical_with_zero_recomputation() {
         let cache = DiskCache::open_with_epoch(&dir, EPOCH).unwrap();
         let pool = Pool::with_workers(workers);
 
+        // One cache entry per scheduled section, plus the manifest (the
+        // count tracks the experiment registry, never a literal here).
+        let entries = runner::all_experiments().len() as u64 + 1;
+
         let (cold, cold_exec) = report_gen::build_cached(&pool, &Ctx::new(), &cfg(), Some(&cache));
         assert!(!cold_exec.degraded(), "cold run must be healthy");
-        // Cold: one manifest probe missed, 18 sections + manifest stored.
+        // Cold: one manifest probe missed, every section + manifest stored.
         let s = cache.stats();
-        assert_eq!((s.hits, s.misses, s.stores), (0, 1, 19), "cold counters");
+        assert_eq!((s.hits, s.misses, s.stores), (0, 1, entries), "cold counters");
 
         let (warm, warm_exec) = report_gen::build_cached(&pool, &Ctx::new(), &cfg(), Some(&cache));
         assert_eq!(cold, warm, "warm report bytes differ at {workers} workers");
-        // Warm: manifest + 18 sections all hit, nothing stored, and no
+        // Warm: manifest + every section hit, nothing stored, and no
         // experiment ran (per-experiment wall list stays empty).
         let s = cache.stats();
-        assert_eq!((s.hits, s.misses, s.stores), (19, 1, 19), "warm counters");
+        assert_eq!((s.hits, s.misses, s.stores), (entries, 1, entries), "warm counters");
         assert!(
             warm_exec.stats.per_experiment.is_empty(),
             "warm run recomputed an experiment"
@@ -68,10 +72,12 @@ fn warm_csv_exports_are_byte_identical_with_zero_recomputation() {
         let cache = DiskCache::open_with_epoch(&dir, EPOCH).unwrap();
         let pool = Pool::with_workers(workers);
 
+        // One entry per export file (counted off the export registry).
+        let files = csv_export::EXPORT_FILES.len() as u64;
         let (cold, cold_exec) =
             csv_export::build_all_cached(&pool, &Ctx::new(), &cfg(), Some(&cache));
         assert!(!cold_exec.degraded());
-        assert_eq!(cold.len(), 9);
+        assert_eq!(cold.len() as u64, files);
 
         let (warm, warm_exec) =
             csv_export::build_all_cached(&pool, &Ctx::new(), &cfg(), Some(&cache));
@@ -80,7 +86,7 @@ fn warm_csv_exports_are_byte_identical_with_zero_recomputation() {
             assert_eq!(a.contents, b.contents, "{} differs warm", a.file);
         }
         let s = cache.stats();
-        assert_eq!((s.hits, s.stores), (9, 9), "csv cache counters");
+        assert_eq!((s.hits, s.stores), (files, files), "csv cache counters");
         assert!(
             warm_exec.stats.per_experiment.is_empty(),
             "warm csv run recomputed an experiment"
@@ -94,6 +100,7 @@ fn warm_csv_exports_are_byte_identical_with_zero_recomputation() {
 /// canonical-bytes-as-bit-pattern rule is actually exercised).
 fn arbitrary_cell(rng: &mut Rng) -> sweep::CellSpec {
     use mlperf_hw::systems::SystemId;
+    use mlperf_hw::{PartitionProfile, PartitionSpec};
     use mlperf_models::PrecisionPolicy;
     let kind = if rng.gen_u64().is_multiple_of(2) {
         sweep::CellKind::Training
@@ -111,6 +118,7 @@ fn arbitrary_cell(rng: &mut Rng) -> sweep::CellSpec {
         mtbf_hours: None,
         interval: None,
         runs: None,
+        partition: None,
     };
     if pick(rng, 4) > 0 {
         cell.workload = Some(BenchmarkId::MLPERF[pick(rng, 7) as usize]);
@@ -144,6 +152,12 @@ fn arbitrary_cell(rng: &mut Rng) -> sweep::CellSpec {
     }
     if pick(rng, 3) == 0 {
         cell.runs = Some([2u32, 8, 16, 512][pick(rng, 4) as usize]);
+    }
+    if pick(rng, 3) == 0 {
+        let profile = PartitionProfile::ALL[pick(rng, 3) as usize];
+        let tenants = 1 + pick(rng, u64::from(profile.slice_count())) as u32;
+        cell.partition =
+            Some(PartitionSpec::new(profile, tenants).expect("tenants within slice count"));
     }
     cell
 }

@@ -265,6 +265,35 @@ impl GpuSpec {
         self.empirical_flop_rate(precision).as_flops_per_sec()
             / self.empirical_hbm_bandwidth().as_bytes_per_sec()
     }
+
+    /// A MIG-style slice of this device: `sm_count` granted SMs with every
+    /// compute ceiling scaled by `compute_scale`, a fixed HBM allocation,
+    /// bandwidth scaled by `bw_scale`, and a lane share of the
+    /// interconnect. Only [`crate::partition`] constructs these — layout
+    /// validity (and the refusal rules) live there.
+    pub(crate) fn slice(
+        &self,
+        sm_count: u32,
+        compute_scale: f64,
+        hbm_capacity: Bytes,
+        bw_scale: f64,
+        nvlink_lanes: u32,
+    ) -> GpuSpec {
+        GpuSpec {
+            model: self.model,
+            name: self.name,
+            form_factor: self.form_factor,
+            sm_count,
+            boost_clock_mhz: self.boost_clock_mhz,
+            peak_fp64: self.peak_fp64.scale(compute_scale),
+            peak_fp32: self.peak_fp32.scale(compute_scale),
+            peak_fp16: self.peak_fp16.scale(compute_scale),
+            peak_tensor: self.peak_tensor.scale(compute_scale),
+            hbm_capacity,
+            hbm_bandwidth: self.hbm_bandwidth.scale(bw_scale),
+            nvlink_lanes,
+        }
+    }
 }
 
 impl fmt::Display for GpuSpec {

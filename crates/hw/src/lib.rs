@@ -9,6 +9,9 @@
 //! * [`interconnect`] — PCIe 3.0, NVLink 2.0, and UPI link models;
 //! * [`topology`] — interconnect graphs with GPU-to-GPU path classification
 //!   (NVLink / PCIe-switch P2P / through-CPU / through-UPI);
+//! * [`partition`] — MIG-style fractional device slices (SM/HBM/L2/NVLink
+//!   shares with typed layout-validity rules) and a co-location
+//!   interference model for tenants sharing a device;
 //! * [`systems`] — the six Dell platforms of Table III plus the MLPerf v0.5
 //!   reference machine, prebuilt;
 //! * [`units`] — strongly-typed bytes, FLOPs, bandwidths, rates, durations.
@@ -29,6 +32,7 @@ pub mod cpu;
 pub mod gpu;
 pub mod interconnect;
 pub mod numa;
+pub mod partition;
 pub mod power;
 pub mod systems;
 pub mod topology;
@@ -36,6 +40,7 @@ pub mod units;
 
 pub use cpu::{CpuModel, CpuSpec, DimmConfig};
 pub use gpu::{FormFactor, GpuModel, GpuSpec, Precision};
+pub use partition::{PartitionError, PartitionProfile, PartitionSpec};
 pub use interconnect::Link;
 pub use systems::{SystemId, SystemSpec};
 pub use topology::{Node, NodeId, P2pClass, Path, PeerPath, Topology, TopologyError};

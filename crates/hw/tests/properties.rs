@@ -3,9 +3,18 @@
 use mlperf_hw::cpu::CpuModel;
 use mlperf_hw::gpu::{GpuModel, Precision};
 use mlperf_hw::interconnect::Link;
+use mlperf_hw::partition::{PartitionError, PartitionProfile, PartitionSpec};
 use mlperf_hw::topology::Topology;
 use mlperf_hw::units::{Bandwidth, Bytes, FlopRate, Flops, Seconds};
 use mlperf_testkit::prop::*;
+
+/// The Volta-class SKUs that accept MIG-style slicing (Pascal refuses).
+const SLICEABLE: [GpuModel; 4] = [
+    GpuModel::TeslaV100Sxm2_16,
+    GpuModel::TeslaV100Sxm2_32,
+    GpuModel::TeslaV100Pcie16,
+    GpuModel::TeslaV100Pcie32,
+];
 
 /// Shared checker for `star_topology_routes`, so the pinned regression
 /// case below re-runs exactly the property's logic.
@@ -141,6 +150,105 @@ mlperf_testkit::properties! {
     #[test]
     fn star_topology_routes(lane_choices in vec_of(0usize..3, 2usize..6)) {
         check_star_topology(&lane_choices)?;
+    }
+
+    /// A partition slice never exceeds its parent device on any resource:
+    /// SMs, HBM capacity, HBM bandwidth, NVLink lanes, and every
+    /// per-precision compute ceiling.
+    #[test]
+    fn partition_slice_never_exceeds_parent(
+        model_idx in 0usize..4,
+        profile_idx in 0usize..3,
+        tenants in 1u32..=7,
+    ) {
+        let parent = SLICEABLE[model_idx].spec();
+        let profile = PartitionProfile::ALL[profile_idx];
+        let tenants = tenants.min(profile.slice_count());
+        let spec = PartitionSpec::new(profile, tenants).expect("in-range tenants");
+        let slice = spec.sliced_spec(&parent).expect("V100-class slices");
+        prop_assert!(slice.sm_count() >= 1);
+        prop_assert!(slice.sm_count() <= parent.sm_count());
+        prop_assert!(slice.hbm_capacity() <= parent.hbm_capacity());
+        prop_assert!(
+            slice.hbm_bandwidth().as_bytes_per_sec()
+                <= parent.hbm_bandwidth().as_bytes_per_sec()
+        );
+        prop_assert!(slice.nvlink_lanes() <= parent.nvlink_lanes());
+        for p in Precision::ALL {
+            prop_assert!(
+                slice.peak_flop_rate(p).as_flops_per_sec()
+                    <= parent.peak_flop_rate(p).as_flops_per_sec()
+            );
+            prop_assert!(
+                slice.empirical_flop_rate(p).as_flops_per_sec()
+                    <= parent.empirical_flop_rate(p).as_flops_per_sec()
+            );
+        }
+    }
+
+    /// Invalid slice layouts are typed errors, never a clamp: zero or
+    /// oversubscribed tenant counts refuse at construction, Pascal refuses
+    /// at slicing, and out-of-grammar tokens refuse at parse.
+    #[test]
+    fn invalid_partition_layouts_refuse_typed(
+        profile_idx in 0usize..3,
+        extra in 1u32..=9,
+    ) {
+        let profile = PartitionProfile::ALL[profile_idx];
+        let slices = profile.slice_count();
+        prop_assert_eq!(
+            PartitionSpec::new(profile, 0),
+            Err(PartitionError::ZeroTenants)
+        );
+        prop_assert_eq!(
+            PartitionSpec::new(profile, slices + extra),
+            Err(PartitionError::TooManyTenants { tenants: slices + extra, slices })
+        );
+        let pascal = GpuModel::TeslaP100Pcie16.spec();
+        prop_assert_eq!(
+            PartitionSpec::solo(profile).sliced_spec(&pascal),
+            Err(PartitionError::UnsupportedDevice { model: GpuModel::TeslaP100Pcie16 })
+        );
+        let token = format!("1of{}x{}", slices, slices + extra);
+        prop_assert_eq!(
+            PartitionSpec::parse(&token),
+            Err(PartitionError::TooManyTenants { tenants: slices + extra, slices })
+        );
+    }
+
+    /// The co-location interference slowdown is ≥ 1 everywhere, exactly
+    /// 1.0 for a sole tenant, and strictly monotone in the tenant count.
+    #[test]
+    fn interference_slowdown_laws(profile_idx in 0usize..3) {
+        let profile = PartitionProfile::ALL[profile_idx];
+        prop_assert_eq!(PartitionSpec::solo(profile).interference_slowdown(), 1.0);
+        let mut last = 0.0;
+        for t in 1..=profile.slice_count() {
+            let s = PartitionSpec::new(profile, t)
+                .expect("in-range tenants")
+                .interference_slowdown();
+            prop_assert!(s >= 1.0);
+            prop_assert!(s > last);
+            last = s;
+        }
+    }
+
+    /// Canonical partition tokens round-trip through parse/display, and
+    /// the two normalizing spellings (`full`, explicit `x1`) land on the
+    /// canonical form.
+    #[test]
+    fn partition_tokens_round_trip(profile_idx in 0usize..3, tenants in 1u32..=7) {
+        let profile = PartitionProfile::ALL[profile_idx];
+        let tenants = tenants.min(profile.slice_count());
+        let spec = PartitionSpec::new(profile, tenants).expect("in-range tenants");
+        let token = spec.to_string();
+        prop_assert_eq!(PartitionSpec::parse(&token), Ok(Some(spec)));
+        let explicit = format!("1of{}x1", profile.slice_count());
+        let normalized = PartitionSpec::parse(&explicit)
+            .expect("grammatical")
+            .expect("partitioned");
+        prop_assert_eq!(normalized.to_string(), format!("1of{}", profile.slice_count()));
+        prop_assert_eq!(PartitionSpec::parse("full"), Ok(None));
     }
 
     /// Route bottleneck bandwidth equals the minimum over traversed links,

@@ -75,6 +75,66 @@ impl ClusterJobSpec {
     }
 }
 
+/// The slot geometry of a partitioned pool: `gpus` devices each carved
+/// into `slices_per_gpu` MIG-style slices.
+///
+/// The cluster's capacity unit generalizes from whole GPUs to *slots*:
+/// width 1 in a [`ClusterJobSpec`] duration map is one fractional slice,
+/// width `slices_per_gpu` a whole device, and wider placements span
+/// devices. Everything else — policies, arrivals, node failures, the
+/// elastic preemption machinery — is unchanged, which is exactly the
+/// point: "requeue at a narrower width" becomes "requeue at a smaller
+/// partition" with no new event machinery. The per-slot durations
+/// themselves come from the engine pricing jobs on
+/// [`PartitionSpec`](mlperf_hw::partition::PartitionSpec) slices, so the
+/// slowdown of running fractional is the priced one, not a guess.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionLayout {
+    gpus: u64,
+    slices_per_gpu: u64,
+}
+
+impl PartitionLayout {
+    /// A pool of `gpus` devices each split into `slices_per_gpu` slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn new(gpus: u64, slices_per_gpu: u64) -> Self {
+        assert!(gpus > 0, "pool needs at least one GPU");
+        assert!(slices_per_gpu > 0, "a device has at least one slice");
+        PartitionLayout {
+            gpus,
+            slices_per_gpu,
+        }
+    }
+
+    /// An unpartitioned pool (one slot per device) — the classic cluster.
+    pub fn whole_devices(gpus: u64) -> Self {
+        PartitionLayout::new(gpus, 1)
+    }
+
+    /// Devices in the pool.
+    pub fn gpus(&self) -> u64 {
+        self.gpus
+    }
+
+    /// Slices each device is carved into.
+    pub fn slices_per_gpu(&self) -> u64 {
+        self.slices_per_gpu
+    }
+
+    /// Total schedulable slots (`gpus × slices_per_gpu`).
+    pub fn slots(&self) -> u64 {
+        self.gpus * self.slices_per_gpu
+    }
+
+    /// Slots a placement spanning `devices` whole GPUs occupies.
+    pub fn device_slots(&self, devices: u64) -> u64 {
+        devices * self.slices_per_gpu
+    }
+}
+
 /// A job plus its arrival time.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Submission {
@@ -358,6 +418,21 @@ impl NodeFailure {
             gpus,
         }
     }
+
+    /// A failure of `devices` whole GPUs in a partitioned pool: every
+    /// slice of a dead device dies with it, so the loss is counted in
+    /// slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` is zero.
+    pub fn of_devices_after_minutes(minutes: f64, devices: u64, layout: PartitionLayout) -> Self {
+        assert!(devices > 0, "a failure must take at least one device");
+        NodeFailure {
+            at: Seconds::from_minutes(minutes),
+            gpus: layout.device_slots(devices),
+        }
+    }
 }
 
 /// The full execution record of one cluster run.
@@ -455,6 +530,14 @@ impl Cluster {
     pub fn new(gpu_count: u64) -> Self {
         assert!(gpu_count > 0, "cluster needs at least one GPU");
         Cluster { gpu_count }
+    }
+
+    /// A cluster over a partitioned pool: capacity is `layout.slots()`
+    /// and every width in job duration maps counts slots, so policies
+    /// place fractional-device slices with the same machinery they place
+    /// whole GPUs with.
+    pub fn partitioned(layout: PartitionLayout) -> Self {
+        Cluster::new(layout.slots())
     }
 
     /// Execute the submissions under a policy and return the trace.
@@ -870,6 +953,103 @@ mod tests {
         assert_eq!(trace.preemptions, 0);
         assert_eq!(trace.completions.len(), 1);
         assert!((trace.makespan.as_minutes() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn preempted_job_requeues_at_a_smaller_partition() {
+        // One V100 carved into 4 slices. The job can run on the whole
+        // device (4 slots, 10 min) or one quarter slice (1 slot, 44 min
+        // — slower than 4×, as the priced interference model makes it).
+        let layout = PartitionLayout::new(1, 4);
+        let subs = vec![Submission::at_start(ClusterJobSpec::new(
+            "elastic",
+            [(1, 44.0), (4, 10.0)],
+        ))];
+        // Three of the four slices die at minute 5 (partial device loss:
+        // the survivor keeps one healthy slice).
+        let trace = Cluster::partitioned(layout).run_with_faults(
+            subs,
+            &mut GreedyBestFinish,
+            &[NodeFailure::after_minutes(5.0, 3)],
+        );
+        assert_eq!(trace.preemptions, 1);
+        assert_eq!(trace.completions.len(), 1);
+        let c = &trace.completions[0];
+        // Killed mid-run on the whole device, restarted from scratch on
+        // the one surviving quarter slice: 5 + 44 minutes.
+        assert_eq!(c.width, 1);
+        assert!((c.start.as_minutes() - 5.0).abs() < 1e-9);
+        assert!((trace.makespan.as_minutes() - 49.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn whole_device_failure_takes_all_its_slices() {
+        let layout = PartitionLayout::new(2, 7);
+        assert_eq!(layout.slots(), 14);
+        let f = NodeFailure::of_devices_after_minutes(5.0, 1, layout);
+        assert_eq!(f.gpus, 7);
+        // A 7-slot job preempted by the device loss fits the surviving
+        // device exactly.
+        let subs = vec![Submission::at_start(ClusterJobSpec::new(
+            "suite",
+            [(7, 30.0), (14, 18.0)],
+        ))];
+        let trace =
+            Cluster::partitioned(layout).run_with_faults(subs, &mut FcfsWidestFit, &[f]);
+        assert_eq!(trace.preemptions, 1);
+        assert_eq!(trace.completions[0].width, 7);
+        assert!((trace.makespan.as_minutes() - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_policy_places_fractional_slices() {
+        // A packed 2-GPU × 2-slice pool with slice-only jobs: every
+        // policy must fill slots with fractional placements.
+        let layout = PartitionLayout::new(2, 2);
+        let subs = || {
+            (0..4)
+                .map(|i| {
+                    Submission::at_start(ClusterJobSpec::new(
+                        format!("slice-{i}"),
+                        [(1, 20.0 + i as f64)],
+                    ))
+                })
+                .collect::<Vec<_>>()
+        };
+        let policies: Vec<Box<dyn SchedulingPolicy>> = vec![
+            Box::new(NaiveWidest),
+            Box::new(GreedyBestFinish),
+            Box::new(AreaEfficient),
+            Box::new(ShortestJobFirst),
+            Box::new(FcfsWidestFit),
+        ];
+        for mut policy in policies {
+            let trace = Cluster::partitioned(layout).run(subs(), policy.as_mut());
+            assert_eq!(trace.completions.len(), 4, "{}", policy.name());
+            assert!(
+                trace.completions.iter().all(|c| c.width == 1),
+                "{} placed a non-slice width",
+                policy.name()
+            );
+            // Naive waits for the whole pool between placements; the
+            // work-conserving policies co-schedule all four at once.
+            if policy.name() != "naive-widest" {
+                assert!(
+                    (trace.makespan.as_minutes() - 23.0).abs() < 1e-9,
+                    "{}: {}",
+                    policy.name(),
+                    trace.makespan.as_minutes()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn whole_device_layout_matches_the_classic_cluster() {
+        let classic = Cluster::new(4).run(batch(), &mut AreaEfficient);
+        let layered =
+            Cluster::partitioned(PartitionLayout::whole_devices(4)).run(batch(), &mut AreaEfficient);
+        assert_eq!(classic, layered);
     }
 
     #[test]

@@ -18,6 +18,8 @@ use crate::allreduce::plan_allreduce;
 use crate::des::FifoResource;
 use crate::job::TrainingJob;
 use crate::kernel::KernelTimer;
+use mlperf_hw::gpu::GpuSpec;
+use mlperf_hw::partition::PartitionError;
 use mlperf_hw::systems::SystemSpec;
 use mlperf_hw::topology::{NodeId, P2pClass};
 use mlperf_hw::units::{Bytes, Seconds};
@@ -47,6 +49,9 @@ pub enum SimError {
     },
     /// Topology routing failed.
     Topology(mlperf_hw::TopologyError),
+    /// The job's device partition is invalid on this system's GPU (typed
+    /// layout refusal from `mlperf_hw::partition` — never a clamp).
+    Partition(PartitionError),
     /// An analytical-model boundary produced NaN/Inf or a degenerate
     /// cost; `context` names the offending (benchmark, system,
     /// precision, batch) point.
@@ -67,6 +72,7 @@ impl fmt::Display for SimError {
                 write!(f, "replica needs {required} but device has {available}")
             }
             SimError::Topology(e) => write!(f, "topology error: {e}"),
+            SimError::Partition(e) => write!(f, "bad partition: {e}"),
             SimError::NonFinite { context } => {
                 write!(f, "non-finite output: {context}")
             }
@@ -78,6 +84,7 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimError::Topology(e) => Some(e),
+            SimError::Partition(e) => Some(e),
             _ => None,
         }
     }
@@ -456,7 +463,7 @@ impl<'a> Simulator<'a> {
         }
         let n = gpus.len() as u64;
         let batch = job.effective_per_gpu_batch(n);
-        let gpu_spec = self.system.gpu_model().spec();
+        let gpu_spec = self.effective_gpu_spec(job)?;
 
         // Gated *before* pricing: the footprint is O(1) while pricing
         // walks the graph, and wall-crossing batch sweeps reject most
@@ -477,6 +484,18 @@ impl<'a> Simulator<'a> {
         Ok(hbm_per_gpu)
     }
 
+    /// The device spec the job actually runs on: the whole GPU, or — when
+    /// the job carries a partition — one interference-adjusted MIG-style
+    /// slice of it. Partition-free jobs take the exact pre-partition path,
+    /// so their priced numbers stay bit-identical.
+    fn effective_gpu_spec(&self, job: &TrainingJob) -> Result<GpuSpec, SimError> {
+        let parent = self.system.gpu_model().spec();
+        match job.partition() {
+            None => Ok(parent),
+            Some(p) => p.sliced_spec(&parent).map_err(SimError::Partition),
+        }
+    }
+
     /// Validate the GPU set and price every batch-level quantity — device
     /// phases, memory, communication, and the host-pipeline services —
     /// exactly as the monolithic `run_inner` used to, stopping just short
@@ -486,7 +505,7 @@ impl<'a> Simulator<'a> {
         let topo = self.system.topology();
         let n = gpus.len() as u64;
         let batch = job.effective_per_gpu_batch(n);
-        let gpu_spec = self.system.gpu_model().spec();
+        let gpu_spec = self.effective_gpu_spec(job)?;
 
         // --- price the device phases ------------------------------------
         let timer = KernelTimer::new(gpu_spec.clone(), job.efficiency());
@@ -519,8 +538,12 @@ impl<'a> Simulator<'a> {
         let period = job.allreduce_period() as f64;
         let (ar_full, comm_class, wire_per_gpu) = if n > 1 {
             let plan = plan_allreduce(topo, gpus, job.allreduce(), pass.gradient_bytes)?;
+            // A 1/k slice holds a 1/k lane share of the interconnect, so
+            // the collective stretches by the slice count (wire bytes are
+            // unchanged; the slowdown is exactly 1.0 partition-free).
+            let comm_slowdown = job.partition().map_or(1.0, |p| p.comm_slowdown());
             (
-                plan.time.scale(1.0 / period),
+                plan.time.scale(comm_slowdown / period),
                 Some(plan.worst_class),
                 plan.wire_bytes_per_gpu.scale(1.0 / period),
             )
@@ -1072,6 +1095,94 @@ mod tests {
         let r1 = step_on_first(&sim, &job, 1);
         let r4 = step_on_first(&sim, &job, 4);
         assert!(r4.dram_footprint > r1.dram_footprint);
+    }
+
+    #[test]
+    fn partitioned_slice_steps_slower_and_oom_gates_on_sliced_hbm() {
+        use mlperf_hw::partition::{PartitionProfile, PartitionSpec};
+        let system = SystemId::C4140K.spec();
+        let sim = Simulator::new(&system);
+        let whole = resnet_job();
+        let sliced = whole.with_partition(Some(PartitionSpec::solo(PartitionProfile::Quarter)));
+        let r_whole = step(&sim, &whole, &[0]).unwrap();
+        let small_sliced = whole
+            .with_per_gpu_batch(16)
+            .with_partition(Some(PartitionSpec::solo(PartitionProfile::Quarter)));
+        let r_sliced = step(&sim, &small_sliced, &[0]).unwrap();
+        // A quarter slice at a batch that fits must price strictly slower
+        // per sample than the whole device at its tuned batch.
+        let whole_rate = r_whole.throughput_samples_per_sec();
+        let slice_rate = r_sliced.throughput_samples_per_sec();
+        assert!(
+            slice_rate < whole_rate,
+            "slice {slice_rate} vs whole {whole_rate}"
+        );
+        // The tuned batch (96) fits 16 GB but not a 4 GB quarter slice:
+        // the OOM wall moves with the sliced capacity.
+        assert!(matches!(
+            step(&sim, &sliced, &[0]),
+            Err(SimError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn colocated_tenants_slow_the_step_monotonically() {
+        use mlperf_hw::partition::{PartitionProfile, PartitionSpec};
+        let system = SystemId::C4140K.spec();
+        let sim = Simulator::new(&system);
+        let base = resnet_job().with_per_gpu_batch(8);
+        let mut last = 0.0;
+        for tenants in 1..=4 {
+            let spec = PartitionSpec::new(PartitionProfile::Quarter, tenants).unwrap();
+            let r = step(&sim, &base.with_partition(Some(spec)), &[0]).unwrap();
+            assert!(
+                r.step_time.as_secs() > last,
+                "tenants={tenants}: {} not slower than {last}",
+                r.step_time.as_secs()
+            );
+            last = r.step_time.as_secs();
+        }
+    }
+
+    #[test]
+    fn pascal_partition_is_a_typed_error() {
+        use mlperf_hw::partition::{PartitionProfile, PartitionSpec};
+        let system = SystemId::ReferenceP100.spec();
+        let sim = Simulator::new(&system);
+        let job = resnet_job()
+            .with_per_gpu_batch(8)
+            .with_partition(Some(PartitionSpec::solo(PartitionProfile::Half)));
+        assert!(matches!(
+            step(&sim, &job, &[0]),
+            Err(SimError::Partition(
+                mlperf_hw::partition::PartitionError::UnsupportedDevice { .. }
+            ))
+        ));
+        // Preflight refuses identically (the serve layer's cheap gate).
+        assert!(matches!(
+            sim.preflight(&job, &[0]),
+            Err(SimError::Partition(_))
+        ));
+    }
+
+    #[test]
+    fn partitioned_fast_path_matches_des_bitwise() {
+        use mlperf_hw::partition::{PartitionProfile, PartitionSpec};
+        let system = SystemId::C4140K.spec();
+        let sim = Simulator::new(&system);
+        for profile in PartitionProfile::ALL {
+            for tenants in [1, 2] {
+                let spec = PartitionSpec::new(profile, tenants).unwrap();
+                let job = resnet_job()
+                    .with_per_gpu_batch(4)
+                    .with_partition(Some(spec));
+                let run = RunSpec::on_first(job, 2);
+                let des = sim.execute(&run).unwrap();
+                if let Some(fast) = sim.execute_fast(&run).unwrap() {
+                    assert_eq!(fast.report, des.report, "{profile:?} x{tenants}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::allreduce::AllReduceAlgorithm;
 use crate::kernel::Efficiency;
 use mlperf_data::InputPipeline;
+use mlperf_hw::partition::PartitionSpec;
 use mlperf_hw::units::{Bytes, Seconds};
 use mlperf_models::{ModelGraph, Optimizer, PrecisionPolicy};
 use std::fmt;
@@ -105,6 +106,7 @@ pub struct TrainingJob {
     allreduce_period: u64,
     host_fixed_core_secs: f64,
     host_poll_cores: f64,
+    partition: Option<PartitionSpec>,
 }
 
 /// Builder for [`TrainingJob`] ([C-BUILDER]): the required pieces go into
@@ -145,6 +147,7 @@ impl TrainingJob {
                 allreduce_period: 1,
                 host_fixed_core_secs: 0.0,
                 host_poll_cores: 0.0,
+                partition: None,
             },
         }
     }
@@ -222,6 +225,21 @@ impl TrainingJob {
         assert!(batch > 0, "per-GPU batch must be positive");
         let mut job = self.clone();
         job.per_gpu_batch = batch;
+        job
+    }
+
+    /// The MIG-style device slice this job runs on, if any. `None` means
+    /// the whole GPU — the pre-partition suite's (byte-identical) default.
+    pub fn partition(&self) -> Option<PartitionSpec> {
+        self.partition
+    }
+
+    /// A copy of this job placed on a device partition (or back on the
+    /// whole GPU with `None`). The engine slices every GPU the job runs
+    /// on and applies the co-location interference model.
+    pub fn with_partition(&self, partition: Option<PartitionSpec>) -> TrainingJob {
+        let mut job = self.clone();
+        job.partition = partition;
         job
     }
 

@@ -252,6 +252,43 @@ MLPERF_FASTPATH=off cargo run -q --release --offline -p mlperf-suite --bin repro
 diff -ur "$report_tmp/sweeps_fast" "$report_tmp/sweeps_slow" \
     || { echo "sweep CSV bytes depend on MLPERF_FASTPATH" >&2; exit 1; }
 
+echo "== partition gate: sliced sweeps replay; knob scoped to sweeps only =="
+# Multi-tenant partitioning (DESIGN.md §2i): the partition_scaling grid
+# must emit byte-identical CSV across fresh processes and worker counts;
+# MLPERF_PARTITION re-bases exploratory sweeps (the CSV grows the
+# partition column and the sliced rows) but must never perturb one byte
+# of the conformance-pinned report; and a malformed token must fail fast
+# before any output is written.
+MLPERF_JOBS=1 cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    --no-cache sweep partition_scaling --out "$report_tmp/part_j1" >/dev/null
+MLPERF_JOBS=4 cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    --no-cache sweep partition_scaling --out "$report_tmp/part_j4" >/dev/null
+MLPERF_JOBS=4 cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    --no-cache sweep partition_scaling --out "$report_tmp/part_j4b" >/dev/null
+diff -u "$report_tmp/part_j1/partition_scaling.csv" "$report_tmp/part_j4/partition_scaling.csv" \
+    || { echo "partition_scaling CSV depends on MLPERF_JOBS" >&2; exit 1; }
+diff -u "$report_tmp/part_j4/partition_scaling.csv" "$report_tmp/part_j4b/partition_scaling.csv" \
+    || { echo "partition_scaling CSV is not replayable" >&2; exit 1; }
+head -1 "$report_tmp/part_j1/partition_scaling.csv" | grep -q "partition" \
+    || { echo "partition_scaling CSV is missing the partition column" >&2; exit 1; }
+MLPERF_PARTITION=1of2x2 cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    --no-cache sweep figure4_scaling --out "$report_tmp/part_knob" >/dev/null
+grep -q "1of2x2" "$report_tmp/part_knob/figure4_scaling.csv" \
+    || { echo "MLPERF_PARTITION did not re-base the sweep" >&2; exit 1; }
+MLPERF_PARTITION=1of2x2 cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    --no-cache --report "$report_tmp/part_report.md" >/dev/null
+diff -u REPORT.md "$report_tmp/part_report.md" \
+    || { echo "MLPERF_PARTITION leaked into the conformance-pinned report" >&2; exit 1; }
+set +e
+MLPERF_PARTITION=half cargo run -q --release --offline -p mlperf-suite --bin repro -- \
+    --list >/dev/null 2>"$report_tmp/part_bad.log"
+part_status=$?
+set -e
+[ "$part_status" -eq 1 ] \
+    || { echo "malformed MLPERF_PARTITION must fail fast (exit 1), got $part_status" >&2; exit 1; }
+grep -q "MLPERF_PARTITION" "$report_tmp/part_bad.log" \
+    || { echo "malformed-knob error does not name MLPERF_PARTITION" >&2; exit 1; }
+
 echo "== executor bench (JSON) =="
 cargo bench -q --offline -p mlperf-bench --bench executor
 
@@ -277,6 +314,8 @@ cat > "$report_tmp/serve_mix.ndjson" <<'EOF'
 {"v":1,"id":"oom","kind":"cell","workload":"MLPf_Res50_MX","system":"C4140_(K)","gpus":1,"batch":16384}
 {"v":1,"id":"bad","kind":"cell","workload":"MLPf_SSD_Py","system":"DSS_8440","gpus":16}
 {"v":1,"id":"ttt","kind":"cell","workload":"MLPf_XFMR_Py","system":"DSS_8440","gpus":4,"cell_kind":"expected-ttt","mtbf_hours":4,"interval":"daly"}
+{"v":1,"id":"slice","kind":"cell","workload":"MLPf_Res50_MX","system":"C4140_(K)","gpus":1,"batch":16,"partition":"1of4x2"}
+{"v":1,"id":"badpart","kind":"cell","workload":"MLPf_Res50_MX","system":"C4140_(K)","gpus":1,"partition":"1of3"}
 {"v":1,"id":"sw","kind":"sweep","sweep":"fault_ttt"}
 EOF
 cargo run -q --release --offline -p mlperf-suite --bin repro -- \
@@ -297,6 +336,10 @@ diff -u "$report_tmp/serve_a.ndjson" "$report_tmp/serve_b.ndjson" \
     || { echo "serve replay is not byte-identical" >&2; exit 1; }
 grep -q '"id":"oom","status":"error","kind":"oom"' "$report_tmp/serve_a.ndjson" \
     || { echo "serve did not answer the OOM cell with a typed error" >&2; exit 1; }
+grep -q '"id":"slice","status":"ok"' "$report_tmp/serve_a.ndjson" \
+    || { echo "serve did not price the sliced cell" >&2; exit 1; }
+grep -q '"id":"badpart","status":"error","kind":"bad-request"' "$report_tmp/serve_a.ndjson" \
+    || { echo "serve did not reject the malformed partition token" >&2; exit 1; }
 grep -q '"id":"sw","status":"done"' "$report_tmp/serve_a.ndjson" \
     || { echo "serve did not finish the streamed sweep" >&2; exit 1; }
 echo '{"v":1,"id":"q","kind":"shutdown"}' | cargo run -q --release --offline -p mlperf-suite --bin repro -- \
